@@ -1,0 +1,219 @@
+package kylix
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"kylix/internal/comm"
+	"kylix/internal/memnet"
+	"kylix/internal/netsim"
+	"kylix/internal/replica"
+	"kylix/internal/tcpnet"
+	"kylix/internal/topo"
+	"kylix/internal/trace"
+)
+
+// Cluster is an in-process Kylix cluster: m machines connected by the
+// chosen transport, ready to run SPMD allreduce programs. For
+// cross-process deployments use ListenNode instead.
+type Cluster struct {
+	cfg       config
+	bf        *topo.Butterfly
+	phys      int
+	mem       *memnet.Network
+	tcp       []*tcpnet.Node
+	collector *trace.Collector
+	// roundBase is where the next Run's tag sequence starts; successive
+	// runs over the same transports must never reuse tags (stale
+	// replica-race cancellations would swallow them).
+	roundBase atomic.Uint32
+}
+
+// NewCluster creates a cluster of m physical machines. With
+// WithReplication(s), the topology spans m/s logical machines and every
+// logical machine runs s replicas.
+func NewCluster(m int, opts ...Option) (*Cluster, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("kylix: machine count %d must be >= 1", m)
+	}
+	if cfg.replication < 1 || m%cfg.replication != 0 {
+		return nil, fmt.Errorf("kylix: machine count %d not divisible by replication factor %d", m, cfg.replication)
+	}
+	logical := m / cfg.replication
+	bf, err := buildTopology(cfg, logical)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Cluster{cfg: cfg, bf: bf, phys: m}
+	var rec comm.Recorder = comm.NopRecorder{}
+	if cfg.trace {
+		c.collector = trace.NewCollector(m)
+		rec = c.collector
+	}
+	switch cfg.transport {
+	case TransportMemory:
+		c.mem = memnet.New(m, memnet.WithRecorder(rec), memnet.WithRecvTimeout(cfg.recvTimeout))
+	case TransportTCP:
+		nodes, err := tcpnet.LocalCluster(m, tcpnet.Options{RecvTimeout: cfg.recvTimeout, Recorder: rec})
+		if err != nil {
+			return nil, err
+		}
+		c.tcp = nodes
+	default:
+		return nil, fmt.Errorf("kylix: unknown transport %d", cfg.transport)
+	}
+	return c, nil
+}
+
+func buildTopology(cfg config, logical int) (*topo.Butterfly, error) {
+	degrees := cfg.degrees
+	switch {
+	case cfg.binary:
+		var err error
+		degrees, err = topo.Binary(logical)
+		if err != nil {
+			return nil, err
+		}
+	case degrees == nil:
+		degrees = topo.Direct(logical)
+	}
+	bf, err := topo.New(degrees)
+	if err != nil {
+		return nil, err
+	}
+	if bf.M() != logical {
+		return nil, fmt.Errorf("kylix: degrees %v span %d machines, cluster has %d logical", degrees, bf.M(), logical)
+	}
+	return bf, nil
+}
+
+// Size returns the physical machine count.
+func (c *Cluster) Size() int { return c.phys }
+
+// LogicalSize returns the machine count the topology spans (Size divided
+// by the replication factor).
+func (c *Cluster) LogicalSize() int { return c.bf.M() }
+
+// Degrees returns the butterfly degrees in use.
+func (c *Cluster) Degrees() []int { return c.bf.Degrees() }
+
+// Kill marks a physical machine dead before (or between) runs. Only the
+// in-memory transport supports failure injection; a replicated cluster
+// keeps functioning as long as every replica group retains a live
+// member.
+func (c *Cluster) Kill(rank int) error {
+	if c.mem == nil {
+		return fmt.Errorf("kylix: failure injection requires TransportMemory")
+	}
+	c.mem.Kill(rank)
+	return nil
+}
+
+// Run executes fn concurrently on every live machine and waits for all
+// of them. Each machine's fn receives its own Node; returning an error
+// from any machine fails the run. Runs may be repeated on the same
+// cluster (failures can be injected in between); each run's message tags
+// continue where the previous run's stopped.
+func (c *Cluster) Run(fn func(*Node) error) error {
+	base := c.roundBase.Load()
+	var maxUsed atomic.Uint32
+	body := func(ep comm.Endpoint) error {
+		node, err := newNode(ep, c.bf, c.cfg, base)
+		if err != nil {
+			return err
+		}
+		err = fn(node)
+		for {
+			used := node.roundsUsed()
+			cur := maxUsed.Load()
+			if used <= cur || maxUsed.CompareAndSwap(cur, used) {
+				break
+			}
+		}
+		return err
+	}
+	var err error
+	if c.mem != nil {
+		err = memnet.Run(c.mem, body)
+	} else {
+		errc := make(chan error, c.phys)
+		for _, tn := range c.tcp {
+			go func(ep comm.Endpoint) { errc <- body(ep) }(tn)
+		}
+		for range c.tcp {
+			if e := <-errc; e != nil && err == nil {
+				err = e
+			}
+		}
+	}
+	c.roundBase.Store(base + maxUsed.Load())
+	return err
+}
+
+// Traffic returns the layer-by-layer traffic recorded so far (requires
+// WithTrace) together with modelled EC2 times under the paper's cost
+// model. threads is the per-node send/receive concurrency to model.
+func (c *Cluster) Traffic(threads int) (*TrafficReport, error) {
+	if c.collector == nil {
+		return nil, fmt.Errorf("kylix: traffic recording not enabled; construct the cluster with WithTrace()")
+	}
+	return buildTrafficReport(c.collector, netsim.EC2(), threads), nil
+}
+
+// ResetTraffic clears recorded traffic (e.g. to time configuration and
+// reduction separately).
+func (c *Cluster) ResetTraffic() {
+	if c.collector != nil {
+		c.collector.Reset()
+	}
+}
+
+// Close releases all transports.
+func (c *Cluster) Close() {
+	if c.mem != nil {
+		c.mem.Close()
+	}
+	tcpnet.CloseAll(c.tcp)
+}
+
+// ListenNode joins a cross-process TCP cluster: addrs lists every
+// machine's listen address (one process per rank calls ListenNode with
+// its own rank). The returned Node is ready for Configure/Reduce once
+// all peers are up; Close releases it.
+func ListenNode(rank int, addrs []string, opts ...Option) (*Node, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.replication < 1 || len(addrs)%cfg.replication != 0 {
+		return nil, fmt.Errorf("kylix: %d machines not divisible by replication %d", len(addrs), cfg.replication)
+	}
+	bf, err := buildTopology(cfg, len(addrs)/cfg.replication)
+	if err != nil {
+		return nil, err
+	}
+	tn, err := tcpnet.Listen(rank, addrs, tcpnet.Options{RecvTimeout: cfg.recvTimeout})
+	if err != nil {
+		return nil, err
+	}
+	node, err := newNode(tn, bf, cfg, 0)
+	if err != nil {
+		_ = tn.Close()
+		return nil, err
+	}
+	node.closer = tn
+	return node, nil
+}
+
+// wrapReplication applies the replica layer when configured.
+func wrapReplication(ep comm.Endpoint, cfg config) (comm.Endpoint, error) {
+	if cfg.replication == 1 {
+		return ep, nil
+	}
+	return replica.Wrap(ep, cfg.replication)
+}

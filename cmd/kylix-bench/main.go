@@ -1,0 +1,93 @@
+// kylix-bench regenerates every table and figure of the Kylix paper's
+// evaluation section (ICPP 2014 §VII) from synthetic power-law workloads
+// and the EC2-calibrated network cost model. See EXPERIMENTS.md for the
+// paper-vs-reproduction comparison the output feeds.
+//
+// Usage:
+//
+//	kylix-bench                  # all experiments at default scale
+//	kylix-bench -exp fig6,fig8   # a subset
+//	kylix-bench -scale quick     # smaller, faster workloads
+//	kylix-bench -measured        # include the real-TCP packet sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"kylix/internal/bench"
+	"kylix/internal/netsim"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "default", "experiment scale: default or quick")
+		exps      = flag.String("exp", "all", "comma-separated experiments: fig2,fig4,fig5,fig6,fig7,fig8,fig9,table1,ablation-design,ablation-fused,ablation-racing,ablation-jitter or all")
+		measured  = flag.Bool("measured", false, "also run the real loopback-TCP packet sweep for fig2")
+	)
+	flag.Parse()
+
+	var sc bench.Scale
+	switch *scaleName {
+	case "default":
+		sc = bench.DefaultScale()
+	case "quick":
+		sc = bench.QuickScale()
+	default:
+		fmt.Fprintf(os.Stderr, "kylix-bench: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+
+	type experiment struct {
+		name string
+		run  func() (*bench.Table, error)
+	}
+	experiments := []experiment{
+		{"fig2", func() (*bench.Table, error) { return bench.Figure2(netsim.EC2()), nil }},
+		{"fig4", func() (*bench.Table, error) { return bench.Figure4(), nil }},
+		{"fig5", func() (*bench.Table, error) { return bench.Figure5(sc) }},
+		{"fig6", func() (*bench.Table, error) { return bench.Figure6(sc) }},
+		{"fig7", func() (*bench.Table, error) { return bench.Figure7(sc) }},
+		{"table1", func() (*bench.Table, error) { return bench.TableI(sc) }},
+		{"fig8", func() (*bench.Table, error) { return bench.Figure8(sc) }},
+		{"fig9", func() (*bench.Table, error) { return bench.Figure9(sc) }},
+		{"ablation-design", func() (*bench.Table, error) { return bench.AblationDesignSearch(sc) }},
+		{"ablation-fused", func() (*bench.Table, error) { return bench.AblationFusedConfigReduce(sc) }},
+		{"ablation-racing", func() (*bench.Table, error) { return bench.AblationPacketRacing(), nil }},
+		{"ablation-jitter", func() (*bench.Table, error) { return bench.AblationJitterDES(sc) }},
+	}
+
+	fmt.Printf("kylix-bench: scale=%s (n=%d, machines=%d)\n\n", *scaleName, sc.N, sc.Machines)
+	for _, e := range experiments {
+		if !all && !want[e.name] {
+			continue
+		}
+		start := time.Now()
+		tab, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kylix-bench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Print(tab.Render())
+		fmt.Printf("   [%s ran in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *measured && (all || want["fig2"]) {
+		tab, err := bench.Figure2Measured(250 * time.Millisecond)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kylix-bench: measured fig2: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(tab.Render())
+		fmt.Println()
+	}
+}

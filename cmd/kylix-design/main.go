@@ -1,0 +1,125 @@
+// kylix-design runs the paper's Section IV network-design workflow:
+// given the dataset's feature count, power-law exponent and measured
+// per-partition density, plus the cluster size and the network's minimum
+// efficient packet size, it prints the optimal butterfly degrees and the
+// Proposition 4.1 per-layer predictions.
+//
+// The paper's Twitter configuration:
+//
+//	kylix-design -n 60000000 -alpha 0.8 -density 0.21 -machines 64
+//	=> degrees 8x4x2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"kylix/internal/powerlaw"
+	"kylix/internal/topo"
+)
+
+func main() {
+	var (
+		fitDemo   = flag.Bool("fit-demo", false, "demonstrate the §IV empirical-curve variant: synthesize an occurrence sample at the given parameters, fit (alpha, lambda) back from it, and design from the fit")
+		n         = flag.Int64("n", 60_000_000, "total feature (vertex) count")
+		alpha     = flag.Float64("alpha", 0.8, "power-law exponent of the data (0.5-2 for most real datasets)")
+		density   = flag.Float64("density", 0.21, "measured nonzero density of one machine's partition")
+		machines  = flag.Int("machines", 64, "cluster size m (degrees multiply to m)")
+		elemBytes = flag.Int("elem-bytes", 4, "wire bytes per vector element")
+		minPacket = flag.Float64("min-packet", 5<<20, "minimum efficient packet size in bytes (read off Figure 2)")
+		maxDegree = flag.Int("max-degree", 0, "optional cap on any layer's degree (0 = none)")
+		showTopo  = flag.Bool("show-topology", false, "print the designed network's layer groups (small m)")
+	)
+	flag.Parse()
+
+	if *fitDemo {
+		runFitDemo(*n, *alpha, *density, *machines, *elemBytes, *minPacket)
+		return
+	}
+
+	degrees, err := powerlaw.Design(powerlaw.DesignInput{
+		N: *n, Alpha: *alpha, Density0: *density,
+		Machines: *machines, ElemBytes: *elemBytes,
+		MinPacket: *minPacket, MaxDegree: *maxDegree,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kylix-design: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("optimal degrees: ")
+	for i, d := range degrees {
+		if i > 0 {
+			fmt.Print(" x ")
+		}
+		fmt.Print(d)
+	}
+	fmt.Println()
+
+	lambda0, err := powerlaw.SolveLambda(*n, *alpha, *density)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kylix-design: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nProposition 4.1 predictions (lambda0 = %.4g):\n", lambda0)
+	fmt.Printf("%-6s %-8s %-9s %-14s %-14s\n", "layer", "degree", "density", "dataPerNodeMB", "msgMB")
+	stats := powerlaw.Predict(*n, *alpha, lambda0, degrees)
+	for i, d := range degrees {
+		dataMB := stats[i].ElemsPerNode * float64(*elemBytes) / (1 << 20)
+		fmt.Printf("%-6d %-8d %-9.3f %-14.2f %-14.2f\n",
+			i+1, d, stats[i].Density, dataMB, dataMB/float64(d))
+	}
+	bottom := stats[len(stats)-1]
+	fmt.Printf("%-6s %-8s %-9.3f %-14.2f\n", "bottom", "-", bottom.Density,
+		bottom.ElemsPerNode*float64(*elemBytes)/(1<<20))
+
+	if *showTopo {
+		bf, err := topo.New(degrees)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kylix-design: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n%s", bf.Describe())
+	}
+}
+
+// runFitDemo exercises the measure-then-design pipeline on synthetic
+// data: it draws one partition's occurrence sample at the requested
+// parameters (capping n so the demo stays instant), fits the power-law
+// parameters back from the raw sample, and designs the network from the
+// fit — the workflow a practitioner follows when alpha is unknown.
+func runFitDemo(n int64, alpha, density float64, machines, elemBytes int, minPacket float64) {
+	const demoCap = 1 << 15
+	scale := 1.0
+	if n > demoCap {
+		scale = float64(demoCap) / float64(n)
+		minPacket *= scale
+		n = demoCap
+	}
+	lambda0, err := powerlaw.SolveLambda(n, alpha, density)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kylix-design: %v\n", err)
+		os.Exit(1)
+	}
+	gen := &powerlaw.Generator{N: n, Alpha: alpha, Lambda0: lambda0}
+	rng := rand.New(rand.NewSource(1))
+	occ := gen.Occurrences(rng)
+	fmt.Printf("sampled %d raw occurrences over %d features (true alpha %.2f, density %.3f)\n",
+		len(occ), n, alpha, density)
+	degrees, fitAlpha, _, err := powerlaw.DesignFromSample(rng, occ, n, machines, elemBytes, minPacket)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kylix-design: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("fitted alpha: %.2f\n", fitAlpha)
+	fmt.Printf("designed degrees: ")
+	for i, d := range degrees {
+		if i > 0 {
+			fmt.Print(" x ")
+		}
+		fmt.Print(d)
+	}
+	fmt.Println()
+}

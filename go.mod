@@ -1,0 +1,3 @@
+module kylix
+
+go 1.22

@@ -1,0 +1,325 @@
+// Package als trains a matrix-factorization recommender with
+// alternating least squares over Kylix — the §I-A1 "factor models whose
+// loss function has the form l = f(X_i, v)" case. Ratings are sharded by
+// row (user) across machines; user factors stay local, item factors are
+// shared state synchronized per half-iteration by a width-K sparse
+// allreduce over exactly the items each machine touches.
+//
+// The item update is the classic distributed normal-equation trick: for
+// item j, the solve needs A_j = sum over ratings (u_i u_i^T) + lambda I
+// and b_j = sum over ratings (r u_i), both sums over *all* machines'
+// ratings of j. Each machine pushes its partial (A_j, b_j) — packed as
+// K*(K+1) floats per item — through a sum-allreduce and solves locally,
+// so every machine derives identical item factors without a coordinator.
+package als
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"kylix/internal/core"
+	"kylix/internal/sparse"
+)
+
+// Rating is one (user, item, value) observation. Users are machine-local
+// row indices; items are global.
+type Rating struct {
+	User  int32
+	Item  int32
+	Value float32
+}
+
+// Params tune the factorization.
+type Params struct {
+	// Rank is the factor dimension K.
+	Rank int
+	// Lambda is the ridge regularizer.
+	Lambda float64
+	// Iters is the number of full (user+item) alternations.
+	Iters int
+}
+
+// PackWidth returns the allreduce width needed for rank K: the packed
+// upper triangle of A (K*(K+1)/2) plus b (K).
+func PackWidth(k int) int { return k*(k+1)/2 + k }
+
+// Result is one machine's outcome.
+type Result struct {
+	// UserFactors[u] is the local user u's factor vector.
+	UserFactors [][]float64
+	// ItemFactors maps the machine's touched items to their (globally
+	// identical) factor vectors.
+	ItemFactors map[int32][]float64
+	// RMSE traces the local training error after each iteration.
+	RMSE []float64
+}
+
+// RunNode trains collectively. The machine must be constructed with
+// Width = PackWidth(p.Rank). users is the local user count; ratings use
+// local user indices in [0, users).
+func RunNode(m *core.Machine, users int, ratings []Rating, p Params, rng *rand.Rand) (*Result, error) {
+	if p.Rank < 1 || p.Iters < 1 {
+		return nil, fmt.Errorf("als: bad params %+v", p)
+	}
+	k := p.Rank
+	width := PackWidth(k)
+
+	// Items this machine touches, and per-item rating lists.
+	var itemIdx []int32
+	byItem := map[int32][]Rating{}
+	byUser := make([][]Rating, users)
+	for _, r := range ratings {
+		if r.User < 0 || int(r.User) >= users {
+			return nil, fmt.Errorf("als: user %d out of [0,%d)", r.User, users)
+		}
+		if len(byItem[r.Item]) == 0 {
+			itemIdx = append(itemIdx, r.Item)
+		}
+		byItem[r.Item] = append(byItem[r.Item], r)
+		byUser[r.User] = append(byUser[r.User], r)
+	}
+	items, _, err := sparse.NewSet(itemIdx)
+	if err != nil {
+		return nil, err
+	}
+	itemPos := map[int32]int{}
+	for i, key := range items {
+		itemPos[key.Index()] = i
+	}
+
+	// Deterministic item-factor init (identical across machines); random
+	// local user init.
+	itemF := make([][]float64, len(items))
+	for i, key := range items {
+		itemF[i] = initFactor(key.Index(), k)
+	}
+	userF := make([][]float64, users)
+	for u := range userF {
+		userF[u] = make([]float64, k)
+		for c := range userF[u] {
+			userF[u][c] = rng.Float64() - 0.5
+		}
+	}
+
+	cfg, err := m.Configure(items, items)
+	if err != nil {
+		return nil, fmt.Errorf("als: configure: %w", err)
+	}
+
+	res := &Result{}
+	packed := make([]float32, len(items)*width)
+	for it := 0; it < p.Iters; it++ {
+		// User step: ridge-solve each local user against current items.
+		for u := range userF {
+			if len(byUser[u]) == 0 {
+				continue
+			}
+			a := newSym(k, p.Lambda)
+			b := make([]float64, k)
+			for _, r := range byUser[u] {
+				f := itemF[itemPos[r.Item]]
+				accumulate(a, b, f, float64(r.Value), k)
+			}
+			userF[u] = solve(a, b, k)
+		}
+
+		// Item step: pack partial normal equations, sum-allreduce, solve.
+		for i := range packed {
+			packed[i] = 0
+		}
+		for i, key := range items {
+			a := newSym(k, 0) // lambda added once after summation
+			b := make([]float64, k)
+			for _, r := range byItem[key.Index()] {
+				accumulate(a, b, userF[r.User], float64(r.Value), k)
+			}
+			pack(packed[i*width:(i+1)*width], a, b, k)
+		}
+		summed, err := cfg.Reduce(packed)
+		if err != nil {
+			return nil, fmt.Errorf("als: iter %d: %w", it, err)
+		}
+		for i := range items {
+			a, b := unpack(summed[i*width:(i+1)*width], k)
+			for c := 0; c < k; c++ {
+				a[c*k+c] += p.Lambda
+			}
+			itemF[i] = solve(a, b, k)
+		}
+
+		// Local RMSE.
+		se := 0.0
+		for _, r := range ratings {
+			se += sq(float64(r.Value) - dot(userF[r.User], itemF[itemPos[r.Item]]))
+		}
+		res.RMSE = append(res.RMSE, math.Sqrt(se/float64(len(ratings))))
+	}
+	res.UserFactors = userF
+	res.ItemFactors = make(map[int32][]float64, len(items))
+	for i, key := range items {
+		res.ItemFactors[key.Index()] = itemF[i]
+	}
+	return res, nil
+}
+
+// newSym allocates a KxK matrix with diag preloaded.
+func newSym(k int, diag float64) []float64 {
+	a := make([]float64, k*k)
+	for c := 0; c < k; c++ {
+		a[c*k+c] = diag
+	}
+	return a
+}
+
+// accumulate adds f f^T to a and value*f to b.
+func accumulate(a, b, f []float64, value float64, k int) {
+	for r := 0; r < k; r++ {
+		for c := 0; c < k; c++ {
+			a[r*k+c] += f[r] * f[c]
+		}
+		b[r] += value * f[r]
+	}
+}
+
+// pack flattens the upper triangle of a and b into float32s.
+func pack(dst []float32, a, b []float64, k int) {
+	p := 0
+	for r := 0; r < k; r++ {
+		for c := r; c < k; c++ {
+			dst[p] = float32(a[r*k+c])
+			p++
+		}
+	}
+	for r := 0; r < k; r++ {
+		dst[p] = float32(b[r])
+		p++
+	}
+}
+
+// unpack rebuilds the symmetric a and b.
+func unpack(src []float32, k int) (a, b []float64) {
+	a = make([]float64, k*k)
+	b = make([]float64, k)
+	p := 0
+	for r := 0; r < k; r++ {
+		for c := r; c < k; c++ {
+			a[r*k+c] = float64(src[p])
+			a[c*k+r] = float64(src[p])
+			p++
+		}
+	}
+	for r := 0; r < k; r++ {
+		b[r] = float64(src[p])
+		p++
+	}
+	return a, b
+}
+
+// solve returns x with A x = b via Gaussian elimination with partial
+// pivoting (K is small — single digits — so this is plenty).
+func solve(a, b []float64, k int) []float64 {
+	m := make([]float64, k*(k+1))
+	for r := 0; r < k; r++ {
+		copy(m[r*(k+1):r*(k+1)+k], a[r*k:(r+1)*k])
+		m[r*(k+1)+k] = b[r]
+	}
+	w := k + 1
+	for col := 0; col < k; col++ {
+		piv := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(m[r*w+col]) > math.Abs(m[piv*w+col]) {
+				piv = r
+			}
+		}
+		if piv != col {
+			for c := 0; c <= k; c++ {
+				m[col*w+c], m[piv*w+c] = m[piv*w+c], m[col*w+c]
+			}
+		}
+		d := m[col*w+col]
+		if math.Abs(d) < 1e-12 {
+			continue // singular direction; leave zero
+		}
+		for r := 0; r < k; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r*w+col] / d
+			for c := col; c <= k; c++ {
+				m[r*w+c] -= f * m[col*w+c]
+			}
+		}
+	}
+	x := make([]float64, k)
+	for r := 0; r < k; r++ {
+		if d := m[r*w+r]; math.Abs(d) >= 1e-12 {
+			x[r] = m[r*w+k] / d
+		}
+	}
+	return x
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func sq(x float64) float64 { return x * x }
+
+// initFactor derives item j's deterministic starting factor.
+func initFactor(item int32, k int) []float64 {
+	f := make([]float64, k)
+	h := uint64(uint32(item))*0x9E3779B97F4A7C15 + 1
+	for c := range f {
+		h ^= h >> 33
+		h *= 0xFF51AFD7ED558CCD
+		h ^= h >> 33
+		f[c] = float64(h%2000)/1000 - 1
+	}
+	return f
+}
+
+// GenRatings synthesizes a low-rank ratings shard: ground-truth rank-K
+// user/item factors generate values with noise, users local, items drawn
+// Zipf-ishly from a global item space.
+func GenRatings(rng *rand.Rand, users int, nItems int32, perUser, trueRank int, seed int64) []Rating {
+	var out []Rating
+	for u := 0; u < users; u++ {
+		uf := make([]float64, trueRank)
+		for c := range uf {
+			uf[c] = rng.Float64()*2 - 1
+		}
+		seen := map[int32]bool{}
+		for len(seen) < perUser {
+			item := int32(math.Exp(rng.Float64()*math.Log(float64(nItems)))) - 1
+			if item >= nItems {
+				item = nItems - 1
+			}
+			if seen[item] {
+				continue
+			}
+			seen[item] = true
+			truth := initFactorSeeded(item, trueRank, seed)
+			v := dot(uf, truth) + rng.NormFloat64()*0.05
+			out = append(out, Rating{User: int32(u), Item: item, Value: float32(v)})
+		}
+	}
+	return out
+}
+
+// initFactorSeeded is the ground-truth item factor for synthesis.
+func initFactorSeeded(item int32, k int, seed int64) []float64 {
+	f := make([]float64, k)
+	h := uint64(uint32(item))*0xD6E8FEB86659FD93 ^ uint64(seed)
+	for c := range f {
+		h ^= h >> 32
+		h *= 0xD6E8FEB86659FD93
+		h ^= h >> 32
+		f[c] = float64(h%2000)/1000 - 1
+	}
+	return f
+}

@@ -1,0 +1,146 @@
+package als
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kylix/internal/comm"
+	"kylix/internal/core"
+	"kylix/internal/memnet"
+	"kylix/internal/topo"
+)
+
+func TestSolveLinearSystems(t *testing.T) {
+	// 2x2: [[2,0],[0,4]] x = [2,8] -> x = [1,2].
+	x := solve([]float64{2, 0, 0, 4}, []float64{2, 8}, 2)
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-2) > 1e-9 {
+		t.Fatalf("solve = %v", x)
+	}
+	// Needs pivoting: [[0,1],[1,0]] x = [3,5] -> x = [5,3].
+	x = solve([]float64{0, 1, 1, 0}, []float64{3, 5}, 2)
+	if math.Abs(x[0]-5) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Fatalf("pivoted solve = %v", x)
+	}
+	// Singular: zero matrix -> zero solution, no panic.
+	x = solve(make([]float64, 4), []float64{1, 1}, 2)
+	if x[0] != 0 || x[1] != 0 {
+		t.Fatalf("singular solve = %v", x)
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	k := 3
+	a := []float64{1, 2, 3, 2, 5, 6, 3, 6, 9} // symmetric
+	b := []float64{7, 8, 9}
+	buf := make([]float32, PackWidth(k))
+	pack(buf, a, b, k)
+	a2, b2 := unpack(buf, k)
+	for i := range a {
+		if math.Abs(a[i]-a2[i]) > 1e-6 {
+			t.Fatalf("a mismatch at %d: %v vs %v", i, a, a2)
+		}
+	}
+	for i := range b {
+		if math.Abs(b[i]-b2[i]) > 1e-6 {
+			t.Fatalf("b mismatch: %v vs %v", b, b2)
+		}
+	}
+}
+
+func TestGenRatingsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rs := GenRatings(rng, 10, 50, 5, 3, 7)
+	if len(rs) != 50 {
+		t.Fatalf("ratings = %d", len(rs))
+	}
+	for _, r := range rs {
+		if r.User < 0 || r.User >= 10 || r.Item < 0 || r.Item >= 50 {
+			t.Fatalf("rating out of range: %+v", r)
+		}
+	}
+}
+
+func runALS(t *testing.T, machines int, p Params) []*Result {
+	t.Helper()
+	bf := topo.MustNew([]int{machines})
+	shards := make([][]Rating, machines)
+	const usersPerMachine = 30
+	for r := range shards {
+		shards[r] = GenRatings(rand.New(rand.NewSource(int64(50+r))), usersPerMachine, 120, 12, p.Rank, 99)
+	}
+	net := memnet.New(machines)
+	defer net.Close()
+	results := make([]*Result, machines)
+	err := memnet.Run(net, func(ep comm.Endpoint) error {
+		m, err := core.NewMachine(ep, bf, core.Options{Width: PackWidth(p.Rank)})
+		if err != nil {
+			return err
+		}
+		res, err := RunNode(m, usersPerMachine, shards[ep.Rank()], p, rand.New(rand.NewSource(int64(ep.Rank()))))
+		if err != nil {
+			return err
+		}
+		results[ep.Rank()] = res
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+func TestALSFitsLowRankData(t *testing.T) {
+	p := Params{Rank: 3, Lambda: 0.05, Iters: 10}
+	results := runALS(t, 4, p)
+	for r, res := range results {
+		first, last := res.RMSE[0], res.RMSE[len(res.RMSE)-1]
+		if last >= first {
+			t.Fatalf("machine %d RMSE did not drop: %f -> %f", r, first, last)
+		}
+		if last > 0.2 {
+			t.Fatalf("machine %d final RMSE %f too high (data is rank-%d + 0.05 noise)", r, last, p.Rank)
+		}
+	}
+}
+
+func TestItemFactorsAgreeAcrossMachines(t *testing.T) {
+	p := Params{Rank: 2, Lambda: 0.1, Iters: 4}
+	results := runALS(t, 3, p)
+	// Any item shared by two machines must have identical factors.
+	shared := 0
+	for item, f0 := range results[0].ItemFactors {
+		for r := 1; r < len(results); r++ {
+			if fr, ok := results[r].ItemFactors[item]; ok {
+				shared++
+				for c := range f0 {
+					if math.Abs(f0[c]-fr[c]) > 1e-4 {
+						t.Fatalf("item %d factor differs: %v vs %v", item, f0, fr)
+					}
+				}
+			}
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no shared items between machines; test vacuous")
+	}
+}
+
+func TestRunNodeValidates(t *testing.T) {
+	net := memnet.New(1)
+	defer net.Close()
+	bf := topo.MustNew([]int{1})
+	m, _ := core.NewMachine(net.Endpoint(0), bf, core.Options{Width: PackWidth(2)})
+	if _, err := RunNode(m, 2, []Rating{{User: 0, Item: 1, Value: 1}}, Params{Rank: 0, Iters: 1}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("accepted rank 0")
+	}
+	if _, err := RunNode(m, 1, []Rating{{User: 5, Item: 1, Value: 1}}, Params{Rank: 2, Iters: 1}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("accepted out-of-range user")
+	}
+}
+
+func TestPackWidth(t *testing.T) {
+	if PackWidth(1) != 2 || PackWidth(3) != 9 || PackWidth(4) != 14 {
+		t.Fatalf("PackWidth wrong: %d %d %d", PackWidth(1), PackWidth(3), PackWidth(4))
+	}
+}

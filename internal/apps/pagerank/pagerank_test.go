@@ -1,0 +1,152 @@
+package pagerank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kylix/internal/comm"
+	"kylix/internal/core"
+	"kylix/internal/graph"
+	"kylix/internal/memnet"
+	"kylix/internal/topo"
+)
+
+func distributedRun(t *testing.T, degrees []int, n int64, edges []graph.Edge, iters int) []*Result {
+	t.Helper()
+	bf := topo.MustNew(degrees)
+	rng := rand.New(rand.NewSource(9))
+	parts := graph.PartitionEdges(rng, edges, bf.M())
+	shards, err := BuildShards(n, edges, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := memnet.New(bf.M())
+	defer net.Close()
+	results := make([]*Result, bf.M())
+	err = memnet.Run(net, func(ep comm.Endpoint) error {
+		m, err := core.NewMachine(ep, bf, core.Options{})
+		if err != nil {
+			return err
+		}
+		res, err := RunNode(m, shards[ep.Rank()], n, iters)
+		if err != nil {
+			return err
+		}
+		results[ep.Rank()] = res
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stash shards for the caller through the results (by closure use).
+	for r, res := range results {
+		res.InVals = append([]float32(nil), res.InVals...)
+		_ = r
+	}
+	checkAgainstSequential(t, n, edges, iters, shards, results)
+	return results
+}
+
+func checkAgainstSequential(t *testing.T, n int64, edges []graph.Edge, iters int, shards []*graph.Shard, results []*Result) {
+	t.Helper()
+	want := Sequential(int32(n), edges, iters)
+	for r, res := range results {
+		for i, k := range shards[r].In {
+			got := res.InVals[i]
+			exp := want[k.Index()]
+			if math.Abs(float64(got-exp)) > 1e-4+1e-3*math.Abs(float64(exp)) {
+				t.Fatalf("machine %d vertex %d: got %g want %g", r, k.Index(), got, exp)
+			}
+		}
+	}
+}
+
+func TestPageRankMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := int64(400)
+	edges := graph.GenPowerLaw(rng, n, 3000, 0.9, 0.9)
+	for _, degrees := range [][]int{{4}, {2, 2}, {4, 2}} {
+		distributedRun(t, degrees, n, edges, 6)
+	}
+}
+
+func TestPageRankSumsToOneIsh(t *testing.T) {
+	// PageRank over a graph where every vertex has out-edges conserves
+	// probability mass.
+	rng := rand.New(rand.NewSource(37))
+	n := int32(100)
+	var edges []graph.Edge
+	for v := int32(0); v < n; v++ {
+		for j := 0; j < 3; j++ {
+			edges = append(edges, graph.Edge{Src: v, Dst: rng.Int31n(n)})
+		}
+	}
+	ranks := Sequential(n, edges, 30)
+	sum := 0.0
+	for _, r := range ranks {
+		sum += float64(r)
+	}
+	if math.Abs(sum-1) > 0.01 {
+		t.Fatalf("mass = %f, want ~1", sum)
+	}
+}
+
+func TestPageRankConvergenceDeltasShrink(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n := int64(300)
+	edges := graph.GenPowerLaw(rng, n, 2500, 1, 1)
+	results := distributedRun(t, []int{4}, n, edges, 8)
+	for _, res := range results {
+		if res.Iters != 8 || len(res.Deltas) != 8 {
+			t.Fatal("iteration bookkeeping wrong")
+		}
+		if res.Deltas[7] >= res.Deltas[0] {
+			t.Fatalf("deltas not shrinking: %v", res.Deltas)
+		}
+	}
+}
+
+func TestRunNodeValidatesParams(t *testing.T) {
+	net := memnet.New(1)
+	defer net.Close()
+	bf := topo.MustNew([]int{1})
+	m, _ := core.NewMachine(net.Endpoint(0), bf, core.Options{})
+	shard, _ := graph.BuildShard([]graph.Edge{{Src: 0, Dst: 1}}, nil)
+	if _, err := RunNode(m, shard, 0, 3); err == nil {
+		t.Fatal("accepted n=0")
+	}
+	if _, err := RunNode(m, shard, 10, -1); err == nil {
+		t.Fatal("accepted negative iters")
+	}
+}
+
+func TestSequentialDanglingVertices(t *testing.T) {
+	// Vertices with no out-edges simply leak mass; ranks stay finite and
+	// the iteration is well-defined.
+	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}
+	ranks := Sequential(4, edges, 10)
+	for v, r := range ranks {
+		if math.IsNaN(float64(r)) || r < 0 {
+			t.Fatalf("vertex %d rank %f", v, r)
+		}
+	}
+	// Vertex 3 receives nothing: teleport mass only.
+	if math.Abs(float64(ranks[3])-(1-Damping)/4) > 1e-6 {
+		t.Fatalf("isolated vertex rank %g", ranks[3])
+	}
+}
+
+func TestBuildShardsWeightsGlobal(t *testing.T) {
+	// Edge weights must use *global* out-degrees even when the edges of
+	// one source are split across partitions.
+	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}}
+	parts := [][]graph.Edge{{edges[0]}, {edges[1]}}
+	shards, err := BuildShards(3, edges, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shards[0].W[0] != 0.5 || shards[1].W[0] != 0.5 {
+		t.Fatalf("weights %v %v, want 0.5 each", shards[0].W, shards[1].W)
+	}
+}

@@ -1,0 +1,193 @@
+package sgd
+
+import (
+	"math/rand"
+	"testing"
+
+	"kylix/internal/comm"
+	"kylix/internal/core"
+	"kylix/internal/memnet"
+	"kylix/internal/sparse"
+	"kylix/internal/topo"
+)
+
+func TestGenDatasetShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := GenDataset(rng, 1000, 50, 8, 1.0, 7)
+	if len(ds.Examples) != 50 {
+		t.Fatalf("examples = %d", len(ds.Examples))
+	}
+	ones := 0
+	for _, ex := range ds.Examples {
+		if len(ex.Feats) != 8 || len(ex.Vals) != 8 {
+			t.Fatal("example shape wrong")
+		}
+		seen := map[int32]bool{}
+		for _, f := range ex.Feats {
+			if f < 0 || int64(f) >= ds.N {
+				t.Fatalf("feature %d out of range", f)
+			}
+			if seen[f] {
+				t.Fatal("duplicate feature within example")
+			}
+			seen[f] = true
+		}
+		if ex.Label == 1 {
+			ones++
+		}
+	}
+	if ones == 0 || ones == 50 {
+		t.Fatalf("degenerate labels: %d of 50 positive", ones)
+	}
+}
+
+func TestHomeSetsPartitionFeatures(t *testing.T) {
+	n := int64(500)
+	m := 4
+	seen := map[int32]int{}
+	for rank := 0; rank < m; rank++ {
+		set := HomeSets(n, m, rank)
+		for _, k := range set {
+			seen[k.Index()]++
+		}
+	}
+	if len(seen) != int(n) {
+		t.Fatalf("homes cover %d of %d features", len(seen), n)
+	}
+	for f, count := range seen {
+		if count != 1 {
+			t.Fatalf("feature %d has %d homes", f, count)
+		}
+	}
+}
+
+func TestBatchFeatures(t *testing.T) {
+	batch := []Example{
+		{Feats: []int32{5, 2}, Vals: []float32{1, 1}},
+		{Feats: []int32{2, 9}, Vals: []float32{1, 1}},
+	}
+	set, pos := batchFeatures(batch)
+	if len(set) != 3 {
+		t.Fatalf("batch set size %d", len(set))
+	}
+	for bi, ex := range batch {
+		for i, f := range ex.Feats {
+			if set[pos[bi][i]].Index() != f {
+				t.Fatalf("position map wrong for example %d feature %d", bi, i)
+			}
+		}
+	}
+}
+
+func TestTruthWeightDeterministicBounded(t *testing.T) {
+	for f := int32(0); f < 200; f++ {
+		w := truthWeight(f, 3)
+		if w != truthWeight(f, 3) {
+			t.Fatal("not deterministic")
+		}
+		if w < -2 || w >= 2 {
+			t.Fatalf("weight %f out of [-2,2)", w)
+		}
+	}
+}
+
+func TestDistributedTrainingLossDecreases(t *testing.T) {
+	const m = 4
+	n := int64(300)
+	bf := topo.MustNew([]int{2, 2})
+	dss := make([]*Dataset, m)
+	for r := 0; r < m; r++ {
+		dss[r] = GenDataset(rand.New(rand.NewSource(int64(100+r))), n, 120, 6, 1.0, 55)
+	}
+	p := Params{Rounds: 80, BatchSize: 32, LearnRate: 1.0, L2: 1e-4}
+	net := memnet.New(m)
+	defer net.Close()
+	results := make([]*Result, m)
+	err := memnet.Run(net, func(ep comm.Endpoint) error {
+		mach, err := core.NewMachine(ep, bf, core.Options{})
+		if err != nil {
+			return err
+		}
+		home := HomeSets(n, m, ep.Rank())
+		res, err := RunNode(mach, dss[ep.Rank()], home, p, rand.New(rand.NewSource(int64(ep.Rank()))))
+		if err != nil {
+			return err
+		}
+		results[ep.Rank()] = res
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Training loss at the end should be clearly below the start (the
+	// model learns), on every machine.
+	for r, res := range results {
+		head := avg(res.Losses[:10])
+		tail := avg(res.Losses[len(res.Losses)-10:])
+		if tail >= head*0.9 {
+			t.Fatalf("machine %d loss did not decrease: head %f tail %f (%v)", r, head, tail, res.Losses)
+		}
+	}
+	// The sequential trainer on the pooled data reaches a comparable
+	// ballpark (sanity, not exact equivalence: different batch orders).
+	seq := SequentialTrain(dss, Params{Rounds: 80, BatchSize: 128, LearnRate: 1.0, L2: 1e-4}, rand.New(rand.NewSource(9)))
+	if avg(seq[len(seq)-5:]) >= avg(seq[:5]) {
+		t.Fatal("sequential reference failed to learn")
+	}
+}
+
+func TestHomeModelsDisjointAndComplete(t *testing.T) {
+	// After training, exactly the homed features appear in each model.
+	const m = 2
+	n := int64(50)
+	bf := topo.MustNew([]int{2})
+	net := memnet.New(m)
+	defer net.Close()
+	results := make([]*Result, m)
+	dss := []*Dataset{
+		GenDataset(rand.New(rand.NewSource(1)), n, 40, 4, 1.0, 3),
+		GenDataset(rand.New(rand.NewSource(2)), n, 40, 4, 1.0, 3),
+	}
+	err := memnet.Run(net, func(ep comm.Endpoint) error {
+		mach, err := core.NewMachine(ep, bf, core.Options{})
+		if err != nil {
+			return err
+		}
+		home := HomeSets(n, m, ep.Rank())
+		res, err := RunNode(mach, dss[ep.Rank()], home, Params{Rounds: 3, BatchSize: 8, LearnRate: 0.1}, rand.New(rand.NewSource(int64(ep.Rank()))))
+		if err != nil {
+			return err
+		}
+		results[ep.Rank()] = res
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, res := range results {
+		total += len(res.Model)
+	}
+	if total != int(n) {
+		t.Fatalf("models cover %d features, want %d", total, n)
+	}
+}
+
+func TestRunNodeValidatesParams(t *testing.T) {
+	net := memnet.New(1)
+	defer net.Close()
+	bf := topo.MustNew([]int{1})
+	m, _ := core.NewMachine(net.Endpoint(0), bf, core.Options{})
+	ds := GenDataset(rand.New(rand.NewSource(1)), 10, 5, 2, 1, 1)
+	if _, err := RunNode(m, ds, sparse.MustNewSet([]int32{0}), Params{Rounds: 0, BatchSize: 4}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("accepted zero rounds")
+	}
+}
+
+func avg(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

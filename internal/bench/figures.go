@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"kylix/internal/comm"
+	"kylix/internal/netsim"
+	"kylix/internal/powerlaw"
+	"kylix/internal/tcpnet"
+)
+
+// Figure2 reproduces the throughput-vs-packet-size curve: the modelled
+// EC2 goodput at packet sizes from 64 KB to 32 MB, showing the ~5 MB
+// minimum efficient packet (>=80% of peak) and the collapse below it
+// (0.4 MB packets — direct allreduce on the Twitter workload — reach
+// only ~a quarter of peak).
+func Figure2(model netsim.Model) *Table {
+	t := &Table{
+		Title:  "Figure 2: network throughput vs packet size (modelled EC2, 10 Gb/s)",
+		Note:   "paper anchor: ~5 MB packets needed to mask per-message overhead;\n0.4 MB packets reach roughly 30% of full bandwidth",
+		Header: []string{"packetMB", "goodputGbps", "fractionOfPeak"},
+	}
+	for _, kb := range []int{64, 128, 256, 409, 512, 1024, 2048, 5120, 8192, 16384, 32768} {
+		size := float64(kb) * 1024
+		pt := model.PacketSweep([]float64{size})[0]
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", size/(1<<20)),
+			fmt.Sprintf("%.2f", pt.GoodputBps*8/1e9),
+			fmt.Sprintf("%.0f%%", pt.Fraction*100),
+		})
+	}
+	return t
+}
+
+// Figure2Measured sweeps real loopback TCP sockets: for each packet
+// size it streams packets for a fixed wall budget between two tcpnet
+// nodes and reports achieved throughput. Loopback has far lower
+// per-message overhead than a datacenter network, so the knee sits at
+// smaller packets; the qualitative shape (throughput rising with packet
+// size to a plateau) is the claim being checked.
+func Figure2Measured(perSize time.Duration) (*Table, error) {
+	t := &Table{
+		Title:  "Figure 2 (measured): loopback TCP throughput vs packet size",
+		Note:   "real sockets on 127.0.0.1; expect the same rising-to-plateau shape\nwith the knee at much smaller packets than EC2's",
+		Header: []string{"packetKB", "throughputGbps"},
+	}
+	nodes, err := tcpnet.LocalCluster(2, tcpnet.Options{RecvTimeout: 30 * time.Second})
+	if err != nil {
+		return nil, err
+	}
+	defer tcpnet.CloseAll(nodes)
+	seq := uint32(0)
+	for _, kb := range []int{1, 4, 16, 64, 256, 1024, 4096} {
+		payload := &comm.Bytes{Data: make([]byte, kb*1024)}
+		deadline := time.Now().Add(perSize)
+		var sent int64
+		start := time.Now()
+		for time.Now().Before(deadline) {
+			tag := comm.MakeTag(comm.KindApp, 0, seq)
+			seq++
+			if err := nodes[0].Send(1, tag, payload); err != nil {
+				return nil, err
+			}
+			if _, err := nodes[1].Recv(0, tag); err != nil {
+				return nil, err
+			}
+			sent += int64(payload.WireSize())
+		}
+		elapsed := time.Since(start).Seconds()
+		t.Rows = append(t.Rows, []string{
+			fi(int64(kb)),
+			fmt.Sprintf("%.2f", float64(sent)*8/1e9/elapsed),
+		})
+	}
+	return t, nil
+}
+
+// Figure4 reproduces the density-vs-scaling-factor curves for alpha in
+// {0.5, 1, 2}, with lambda normalized by lambda_0.9 as in the paper, to
+// show the curve's modest dependence on alpha.
+func Figure4() *Table {
+	n := int64(1 << 20)
+	alphas := []float64{0.5, 1.0, 2.0}
+	t := &Table{
+		Title:  "Figure 4: vector density f(lambda) vs normalized scaling factor",
+		Note:   "lambda normalized by lambda_0.9 (f(lambda_0.9) = 0.9); columns per power-law exponent",
+		Header: []string{"lambda/lambda0.9", "alpha=0.5", "alpha=1.0", "alpha=2.0"},
+	}
+	l9 := make([]float64, len(alphas))
+	for i, a := range alphas {
+		v, err := powerlaw.SolveLambda(n, a, 0.9)
+		if err != nil {
+			panic(err) // n and 0.9 are fixed valid inputs
+		}
+		l9[i] = v
+	}
+	for _, frac := range []float64{0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 0.5, 1.0, 2.0} {
+		row := []string{fmt.Sprintf("%.3f", frac)}
+		for i, a := range alphas {
+			row = append(row, f3(powerlaw.Density(n, a, frac*l9[i])))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Figure5 reproduces the per-layer total communication volume — the
+// "Kylix" profile — for the Twitter-like (8x4x2, density 0.21) and
+// Yahoo-like (16x4, density 0.035) configurations, with the measured
+// volumes of a real protocol run next to the Proposition 4.1
+// predictions. The final row is the fully reduced bottom volume, the
+// paper's "last layer".
+func Figure5(sc Scale) (*Table, error) {
+	t := &Table{
+		Title: "Figure 5: total communication volume by layer (MB, values pass)",
+		Note: fmt.Sprintf("n=%d features, %d machines; volumes shrink down the layers (the Kylix shape);\nTwitter-like shrinks fast (dense vectors, ~100%% collision), Yahoo-like shallower",
+			sc.N, sc.Machines),
+		Header: []string{"dataset", "layer", "degree", "measuredMB", "predictedMB"},
+	}
+	for _, p := range []profile{twitterProfile(), yahooProfile()} {
+		degrees := scaleDegrees(p.degrees, sc.Machines)
+		w, err := genWorkload(p, sc.N, sc.Machines, sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res, err := runAllreduce(w, degrees, 1, nil, 1)
+		if err != nil {
+			return nil, err
+		}
+		lambda0, err := powerlaw.SolveLambda(sc.N, p.alpha, p.density)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := powerlaw.PredictTraffic(sc.N, p.alpha, lambda0, degrees)
+		if err != nil {
+			return nil, err
+		}
+		reduceLayers := res.col.KindLayers(comm.KindReduce)
+		for i, lt := range reduceLayers {
+			predMB := "-"
+			if i < len(pred) {
+				predMB = fmtMB(int64(pred[i].TotalElems * 4))
+			}
+			t.Rows = append(t.Rows, []string{
+				p.name, fi(int64(lt.Layer)), fi(int64(degrees[i])),
+				fmtMB(lt.Bytes), predMB,
+			})
+		}
+		// Bottom layer: fully reduced volume.
+		stats := powerlaw.Predict(sc.N, p.alpha, lambda0, degrees)
+		bottomPred := stats[len(stats)-1].ElemsPerNode * float64(sc.Machines) * 4
+		t.Rows = append(t.Rows, []string{
+			p.name, "bottom", "-",
+			fmtMB(res.bottomOut * 4), fmtMB(int64(bottomPred)),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; performance-shape assertions are skipped under it.
+const raceEnabled = true

@@ -1,0 +1,28 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"kylix/internal/netsim"
+)
+
+// TestRenderAllQuick prints every table at quick scale when -v is used;
+// it doubles as an end-to-end smoke test of the full harness.
+func TestRenderAllQuick(t *testing.T) {
+	sc := QuickScale()
+	tables := []*Table{Figure2(netsim.EC2()), Figure4()}
+	for _, gen := range []func(Scale) (*Table, error){Figure5, Figure6, Figure7, TableI, Figure8, Figure9} {
+		tab, err := gen(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables = append(tables, tab)
+	}
+	if os.Getenv("BENCH_RENDER") != "" {
+		for _, tab := range tables {
+			fmt.Println(tab.Render())
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package comm defines the transport-independent messaging abstraction
+// that the Kylix protocol runs on: ranked endpoints exchanging tagged,
+// typed payloads with blocking matched receives. Two transports implement
+// it — internal/memnet (in-process, one goroutine per machine) and
+// internal/tcpnet (real TCP sockets, in- or cross-process).
+//
+// The design mirrors the paper's §VI-B implementation notes: sends are
+// asynchronous and never block on the receiver (opportunistic
+// communication), receives match on (sender, tag), and RecvAny provides
+// the "first replica wins" racing primitive of §V-B.
+package comm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind classifies a message's role within the protocol.
+type Kind uint8
+
+const (
+	// KindConfig carries in/out index sets during the downward
+	// configuration pass.
+	KindConfig Kind = iota + 1
+	// KindReduce carries partial values during the downward
+	// scatter-reduce pass.
+	KindReduce
+	// KindGather carries reduced values during the upward allgather.
+	KindGather
+	// KindConfigReduce carries indices and values together (the combined
+	// configure+reduce used by minibatch workloads).
+	KindConfigReduce
+	// KindApp is reserved for application-level traffic (e.g. the
+	// MapReduce baseline's shuffle).
+	KindApp
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindConfig:
+		return "config"
+	case KindReduce:
+		return "reduce"
+	case KindGather:
+		return "gather"
+	case KindConfigReduce:
+		return "config+reduce"
+	case KindApp:
+		return "app"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Tag identifies one matched send/receive step: the message kind, the
+// communication layer it belongs to, and a sequence number
+// distinguishing successive rounds (e.g. PageRank iterations).
+type Tag uint64
+
+// MakeTag packs kind, layer and sequence number into a Tag.
+func MakeTag(kind Kind, layer int, seq uint32) Tag {
+	if layer < 0 || layer > 255 {
+		panic("comm: layer out of range")
+	}
+	return Tag(uint64(kind)<<48 | uint64(uint8(layer))<<40 | uint64(seq))
+}
+
+// Kind extracts the message kind.
+func (t Tag) Kind() Kind { return Kind(t >> 48) }
+
+// Layer extracts the communication layer.
+func (t Tag) Layer() int { return int(uint8(t >> 40)) }
+
+// Seq extracts the sequence number.
+func (t Tag) Seq() uint32 { return uint32(t) }
+
+// String implements fmt.Stringer.
+func (t Tag) String() string {
+	return fmt.Sprintf("%s/L%d/#%d", t.Kind(), t.Layer(), t.Seq())
+}
+
+// Errors shared by transports.
+var (
+	// ErrClosed is returned by operations on a closed endpoint.
+	ErrClosed = errors.New("comm: endpoint closed")
+	// ErrTimeout is returned when a receive's deadline expires, which in
+	// an unreplicated network means a peer died or the protocol hung.
+	ErrTimeout = errors.New("comm: receive timed out")
+)
+
+// Endpoint is one machine's connection to the cluster. Send is
+// asynchronous (it never waits for the receiver) and safe for concurrent
+// use; Recv blocks until a message with the exact (from, tag) signature
+// arrives. Sending to a dead machine is a silent no-op: the paper's
+// fault-tolerance design requires that survivors keep streaming to
+// replica groups without tracking liveness.
+type Endpoint interface {
+	// Rank is this machine's index in [0, Size).
+	Rank() int
+	// Size is the cluster size m.
+	Size() int
+	// Send transmits p to machine `to` under the given tag. Ownership of
+	// p transfers to the transport; the caller must not mutate it after
+	// sending.
+	Send(to int, tag Tag, p Payload) error
+	// Recv blocks for the message sent by `from` with tag `tag`.
+	Recv(from int, tag Tag) (Payload, error)
+	// RecvAny blocks until any one of the listed senders delivers a
+	// message with the tag, returning the winner's rank. Late duplicate
+	// arrivals with the same tag from the losing senders are discarded
+	// by the transport (the §V-B packet race cancellation).
+	RecvAny(froms []int, tag Tag) (int, Payload, error)
+	// Close releases the endpoint; blocked receives return ErrClosed.
+	Close() error
+}

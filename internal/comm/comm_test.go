@@ -1,0 +1,311 @@
+package comm
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"kylix/internal/sparse"
+)
+
+func TestTagPacking(t *testing.T) {
+	for _, kind := range []Kind{KindConfig, KindReduce, KindGather, KindConfigReduce, KindApp} {
+		for _, layer := range []int{0, 1, 7, 255} {
+			for _, seq := range []uint32{0, 1, 1 << 30} {
+				tag := MakeTag(kind, layer, seq)
+				if tag.Kind() != kind || tag.Layer() != layer || tag.Seq() != seq {
+					t.Fatalf("tag round trip failed: %v -> kind=%v layer=%d seq=%d",
+						tag, tag.Kind(), tag.Layer(), tag.Seq())
+				}
+			}
+		}
+	}
+}
+
+func TestTagUnique(t *testing.T) {
+	seen := map[Tag]bool{}
+	for _, kind := range []Kind{KindConfig, KindReduce} {
+		for layer := 0; layer < 4; layer++ {
+			for seq := uint32(0); seq < 4; seq++ {
+				tag := MakeTag(kind, layer, seq)
+				if seen[tag] {
+					t.Fatalf("duplicate tag %v", tag)
+				}
+				seen[tag] = true
+			}
+		}
+	}
+}
+
+func TestMakeTagPanicsOnBadLayer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	MakeTag(KindConfig, 256, 0)
+}
+
+func TestKindString(t *testing.T) {
+	if KindConfig.String() != "config" || Kind(99).String() == "" {
+		t.Error("Kind.String broken")
+	}
+	if MakeTag(KindReduce, 2, 7).String() == "" {
+		t.Error("Tag.String broken")
+	}
+}
+
+func roundTrip(t *testing.T, p Payload) Payload {
+	t.Helper()
+	buf := p.AppendTo(nil)
+	if len(buf) != p.WireSize() {
+		t.Fatalf("WireSize %d but encoded %d bytes", p.WireSize(), len(buf))
+	}
+	q, err := DecodePayload(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestKeysPayloadRoundTrip(t *testing.T) {
+	p := &Keys{Keys: sparse.MustNewSet([]int32{1, 5, 9})}
+	q := roundTrip(t, p).(*Keys)
+	if !q.Keys.Equal(p.Keys) {
+		t.Fatal("keys mismatch")
+	}
+}
+
+func TestFloatsPayloadRoundTrip(t *testing.T) {
+	p := &Floats{Vals: []float32{1.5, -2.25, 0}}
+	q := roundTrip(t, p).(*Floats)
+	for i := range p.Vals {
+		if q.Vals[i] != p.Vals[i] {
+			t.Fatal("vals mismatch")
+		}
+	}
+}
+
+func TestKeysValsPayloadRoundTrip(t *testing.T) {
+	p := &KeysVals{Keys: sparse.MustNewSet([]int32{2, 4}), Vals: []float32{3, 1, 4, 1}}
+	q := roundTrip(t, p).(*KeysVals)
+	if !q.Keys.Equal(p.Keys) || len(q.Vals) != 4 || q.Vals[2] != 4 {
+		t.Fatal("keysvals mismatch")
+	}
+}
+
+func TestBytesPayloadRoundTrip(t *testing.T) {
+	p := &Bytes{Data: []byte("hello")}
+	q := roundTrip(t, p).(*Bytes)
+	if string(q.Data) != "hello" {
+		t.Fatal("bytes mismatch")
+	}
+}
+
+func TestEmptyPayloads(t *testing.T) {
+	for _, p := range []Payload{&Keys{}, &Floats{}, &KeysVals{}, &Bytes{}} {
+		roundTrip(t, p)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{99},                              // unknown discriminator
+		{1, 5},                            // truncated length
+		{1, 10, 0, 0, 0},                  // keys count 10, no data
+		{2, 3, 0, 0, 0, 1},                // floats truncated
+		{3, 1, 0, 0, 0},                   // keysvals missing second count
+		{3, 1, 0, 0, 0, 1, 0, 0, 0, 1, 2}, // keysvals truncated body
+		{4, 9, 0, 0, 0, 'x'},              // bytes truncated
+	}
+	for i, c := range cases {
+		if _, err := DecodePayload(c); err == nil {
+			t.Errorf("case %d: want decode error", i)
+		}
+	}
+}
+
+func TestDecodeBytesCopies(t *testing.T) {
+	buf := (&Bytes{Data: []byte("abc")}).AppendTo(nil)
+	q, err := DecodePayload(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-1] = 'z'
+	if string(q.(*Bytes).Data) != "abc" {
+		t.Fatal("decoded Bytes aliases input buffer")
+	}
+}
+
+func TestMailboxBasic(t *testing.T) {
+	mb := NewMailbox(time.Second)
+	mb.Deliver(3, MakeTag(KindConfig, 1, 0), &Bytes{Data: []byte("x")})
+	p, err := mb.Recv(3, MakeTag(KindConfig, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p.(*Bytes).Data) != "x" {
+		t.Fatal("wrong payload")
+	}
+}
+
+func TestMailboxBlocksUntilDelivery(t *testing.T) {
+	mb := NewMailbox(5 * time.Second)
+	tag := MakeTag(KindReduce, 0, 0)
+	done := make(chan Payload, 1)
+	go func() {
+		p, err := mb.Recv(7, tag)
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- p
+	}()
+	time.Sleep(10 * time.Millisecond)
+	mb.Deliver(7, tag, &Floats{Vals: []float32{1}})
+	select {
+	case p := <-done:
+		if p == nil {
+			t.Fatal("recv errored")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("recv did not wake")
+	}
+}
+
+func TestMailboxTimeout(t *testing.T) {
+	mb := NewMailbox(50 * time.Millisecond)
+	start := time.Now()
+	_, err := mb.Recv(0, MakeTag(KindConfig, 0, 0))
+	if err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout far too late")
+	}
+}
+
+func TestMailboxClose(t *testing.T) {
+	mb := NewMailbox(0)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		mb.Close()
+	}()
+	if _, err := mb.Recv(0, MakeTag(KindConfig, 0, 0)); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	// Deliveries after close are dropped without panic.
+	mb.Deliver(0, MakeTag(KindConfig, 0, 0), &Bytes{})
+}
+
+func TestMailboxFIFOPerSender(t *testing.T) {
+	mb := NewMailbox(time.Second)
+	tag := MakeTag(KindApp, 0, 0)
+	for i := 0; i < 10; i++ {
+		mb.Deliver(1, tag, &Floats{Vals: []float32{float32(i)}})
+	}
+	for i := 0; i < 10; i++ {
+		p, err := mb.Recv(1, tag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.(*Floats).Vals[0] != float32(i) {
+			t.Fatalf("out of order: got %v at %d", p.(*Floats).Vals[0], i)
+		}
+	}
+}
+
+func TestMailboxRecvAnyRace(t *testing.T) {
+	mb := NewMailbox(time.Second)
+	tag := MakeTag(KindReduce, 1, 3)
+	mb.Deliver(5, tag, &Bytes{Data: []byte("winner")})
+	from, p, err := mb.RecvAny([]int{2, 5, 9}, tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != 5 || string(p.(*Bytes).Data) != "winner" {
+		t.Fatalf("won from %d", from)
+	}
+	// Late duplicates from the losers are discarded.
+	mb.Deliver(2, tag, &Bytes{Data: []byte("late")})
+	mb.Deliver(9, tag, &Bytes{Data: []byte("late")})
+	if n := mb.Pending(); n != 0 {
+		t.Fatalf("%d late duplicates retained", n)
+	}
+}
+
+func TestMailboxRecvAnyDoesNotCancelOtherTags(t *testing.T) {
+	mb := NewMailbox(time.Second)
+	tagA := MakeTag(KindReduce, 1, 0)
+	tagB := MakeTag(KindReduce, 1, 1)
+	mb.Deliver(5, tagA, &Bytes{})
+	if _, _, err := mb.RecvAny([]int{2, 5}, tagA); err != nil {
+		t.Fatal(err)
+	}
+	// Sender 2 lost the race for tagA, but its tagB messages still flow.
+	mb.Deliver(2, tagB, &Bytes{Data: []byte("ok")})
+	if p, err := mb.Recv(2, tagB); err != nil || string(p.(*Bytes).Data) != "ok" {
+		t.Fatalf("tagB delivery broken: %v %v", p, err)
+	}
+}
+
+func TestMailboxResetDiscards(t *testing.T) {
+	mb := NewMailbox(time.Second)
+	tag := MakeTag(KindGather, 0, 0)
+	mb.Deliver(1, tag, &Bytes{})
+	if _, _, err := mb.RecvAny([]int{1, 2}, tag); err != nil {
+		t.Fatal(err)
+	}
+	mb.ResetDiscards()
+	mb.Deliver(2, tag, &Bytes{})
+	if _, err := mb.Recv(2, tag); err != nil {
+		t.Fatal("delivery after ResetDiscards dropped")
+	}
+}
+
+func TestMailboxConcurrentStress(t *testing.T) {
+	mb := NewMailbox(5 * time.Second)
+	const senders = 8
+	const msgs = 200
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(s)))
+			for i := 0; i < msgs; i++ {
+				if rng.Intn(4) == 0 {
+					time.Sleep(time.Microsecond)
+				}
+				mb.Deliver(s, MakeTag(KindApp, 0, uint32(i)), &Floats{Vals: []float32{float32(s*1000 + i)}})
+			}
+		}(s)
+	}
+	var rg sync.WaitGroup
+	errs := make(chan error, senders)
+	for s := 0; s < senders; s++ {
+		rg.Add(1)
+		go func(s int) {
+			defer rg.Done()
+			for i := 0; i < msgs; i++ {
+				p, err := mb.Recv(s, MakeTag(KindApp, 0, uint32(i)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if p.(*Floats).Vals[0] != float32(s*1000+i) {
+					errs <- ErrTimeout
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	rg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

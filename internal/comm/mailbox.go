@@ -1,0 +1,165 @@
+package comm
+
+import (
+	"sync"
+	"time"
+)
+
+// mailKey matches an incoming message to a waiting receive.
+type mailKey struct {
+	from int
+	tag  Tag
+}
+
+// Mailbox is the matched-receive buffer shared by all transports: an
+// unbounded per-(sender, tag) queue with blocking consumers. Sends into
+// a Mailbox never block, which realizes the paper's requirement that
+// nodes communicate opportunistically and never stall on slow peers.
+type Mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queues  map[mailKey][]Payload
+	closed  bool
+	timeout time.Duration
+	// discard marks (from, tag) pairs whose future deliveries should be
+	// dropped: the losers of a replica race (§V-B cancellation).
+	discard map[mailKey]struct{}
+}
+
+// NewMailbox creates a Mailbox whose blocking receives fail with
+// ErrTimeout after the given duration (0 means wait forever).
+func NewMailbox(timeout time.Duration) *Mailbox {
+	m := &Mailbox{
+		queues:  make(map[mailKey][]Payload),
+		discard: make(map[mailKey]struct{}),
+		timeout: timeout,
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Deliver enqueues a message. It is called by transport receive paths
+// and never blocks. Messages for cancelled (from, tag) slots are dropped.
+func (m *Mailbox) Deliver(from int, tag Tag, p Payload) {
+	k := mailKey{from, tag}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	if _, dead := m.discard[k]; dead {
+		m.mu.Unlock()
+		return
+	}
+	m.queues[k] = append(m.queues[k], p)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// Recv blocks until a message from (from, tag) is available.
+func (m *Mailbox) Recv(from int, tag Tag) (Payload, error) {
+	_, p, err := m.RecvAny([]int{from}, tag)
+	return p, err
+}
+
+// RecvAny blocks until a message with the tag arrives from any of the
+// listed senders; the first available one wins. The losing senders'
+// slots for this tag are marked for discard so late duplicates do not
+// accumulate. Returns the winning sender.
+func (m *Mailbox) RecvAny(froms []int, tag Tag) (int, Payload, error) {
+	var deadline time.Time
+	var stop chan struct{}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.closed {
+			return 0, nil, ErrClosed
+		}
+		if from, p, ok := m.takeLocked(froms, tag); ok {
+			return from, p, nil
+		}
+		if m.timeout > 0 {
+			if deadline.IsZero() {
+				deadline = time.Now().Add(m.timeout)
+				// A waiter exists now: wake sleepers periodically so the
+				// deadline is observed even with no traffic. Started
+				// lazily so the common non-blocking receive pays nothing.
+				stop = make(chan struct{})
+				defer close(stop)
+				go func() {
+					t := time.NewTicker(m.timeout / 4)
+					defer t.Stop()
+					for {
+						select {
+						case <-stop:
+							return
+						case <-t.C:
+							m.cond.Broadcast()
+						}
+					}
+				}()
+			} else if time.Now().After(deadline) {
+				return 0, nil, ErrTimeout
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// takeLocked scans the senders for a ready message; on a hit it dequeues
+// it and cancels the losing senders' slots. Caller holds m.mu.
+func (m *Mailbox) takeLocked(froms []int, tag Tag) (int, Payload, bool) {
+	for _, from := range froms {
+		k := mailKey{from, tag}
+		q := m.queues[k]
+		if len(q) == 0 {
+			continue
+		}
+		p := q[0]
+		if len(q) == 1 {
+			delete(m.queues, k)
+		} else {
+			m.queues[k] = q[1:]
+		}
+		for _, other := range froms {
+			if other != from {
+				ko := mailKey{other, tag}
+				m.discard[ko] = struct{}{}
+				delete(m.queues, ko)
+			}
+		}
+		return from, p, true
+	}
+	return 0, nil, false
+}
+
+// Close wakes and fails all blocked receivers and drops queued messages.
+func (m *Mailbox) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.queues = nil
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// Pending reports the number of queued, undelivered messages (for tests
+// and leak diagnostics).
+func (m *Mailbox) Pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, q := range m.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// ResetDiscards clears race-cancellation state. Callers reusing tags
+// across independent rounds (e.g. a new allreduce with the same seq)
+// must reset between rounds; the protocol instead never reuses tags, so
+// this is primarily for tests.
+func (m *Mailbox) ResetDiscards() {
+	m.mu.Lock()
+	m.discard = make(map[mailKey]struct{})
+	m.mu.Unlock()
+}

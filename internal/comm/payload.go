@@ -1,0 +1,183 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"kylix/internal/sparse"
+)
+
+// Payload is a typed message body. In-memory transports pass Payloads by
+// reference (zero copy); the TCP transport encodes them with the
+// self-describing wire format below. WireSize is also what the traffic
+// recorder charges, so both transports account identical byte volumes.
+type Payload interface {
+	// WireSize is the encoded size in bytes, excluding the frame header.
+	WireSize() int
+	// AppendTo appends the wire encoding to buf and returns it.
+	AppendTo(buf []byte) []byte
+}
+
+// Payload type discriminators on the wire (6 and 7 live in
+// payload_config.go).
+const (
+	wireKeys     = 1
+	wireFloats   = 2
+	wireKeysVals = 3
+	wireBytes    = 4
+)
+
+// Keys carries a sorted index set (configuration pass).
+type Keys struct {
+	Keys sparse.Set
+}
+
+// Floats carries a value block (reduce and gather passes).
+type Floats struct {
+	Vals []float32
+}
+
+// KeysVals carries an index set together with its values (the combined
+// configure+reduce message of §III, and the bottom turnaround).
+type KeysVals struct {
+	Keys sparse.Set
+	Vals []float32
+}
+
+// Bytes carries opaque application data.
+type Bytes struct {
+	Data []byte
+}
+
+// WireSize implements Payload.
+func (p *Keys) WireSize() int { return 1 + 4 + 8*len(p.Keys) }
+
+// AppendTo implements Payload.
+func (p *Keys) AppendTo(buf []byte) []byte {
+	buf = append(buf, wireKeys)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Keys)))
+	for _, k := range p.Keys {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(k))
+	}
+	return buf
+}
+
+// WireSize implements Payload.
+func (p *Floats) WireSize() int { return 1 + 4 + 4*len(p.Vals) }
+
+// AppendTo implements Payload.
+func (p *Floats) AppendTo(buf []byte) []byte {
+	buf = append(buf, wireFloats)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Vals)))
+	for _, v := range p.Vals {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+	}
+	return buf
+}
+
+// WireSize implements Payload.
+func (p *KeysVals) WireSize() int { return 1 + 4 + 4 + 8*len(p.Keys) + 4*len(p.Vals) }
+
+// AppendTo implements Payload.
+func (p *KeysVals) AppendTo(buf []byte) []byte {
+	buf = append(buf, wireKeysVals)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Keys)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Vals)))
+	for _, k := range p.Keys {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(k))
+	}
+	for _, v := range p.Vals {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+	}
+	return buf
+}
+
+// WireSize implements Payload.
+func (p *Bytes) WireSize() int { return 1 + 4 + len(p.Data) }
+
+// AppendTo implements Payload.
+func (p *Bytes) AppendTo(buf []byte) []byte {
+	buf = append(buf, wireBytes)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Data)))
+	return append(buf, p.Data...)
+}
+
+// DecodePayload parses a wire-encoded payload produced by AppendTo.
+func DecodePayload(buf []byte) (Payload, error) {
+	if len(buf) < 1 {
+		return nil, fmt.Errorf("comm: empty payload")
+	}
+	kind, buf := buf[0], buf[1:]
+	readU32 := func() (uint32, error) {
+		if len(buf) < 4 {
+			return 0, fmt.Errorf("comm: truncated payload")
+		}
+		v := binary.LittleEndian.Uint32(buf)
+		buf = buf[4:]
+		return v, nil
+	}
+	switch kind {
+	case wireKeys:
+		n, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if len(buf) < int(n)*8 {
+			return nil, fmt.Errorf("comm: truncated keys payload")
+		}
+		keys := make(sparse.Set, n)
+		for i := range keys {
+			keys[i] = sparse.Key(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+		return &Keys{Keys: keys}, nil
+	case wireFloats:
+		n, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if len(buf) < int(n)*4 {
+			return nil, fmt.Errorf("comm: truncated floats payload")
+		}
+		vals := make([]float32, n)
+		for i := range vals {
+			vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+		}
+		return &Floats{Vals: vals}, nil
+	case wireKeysVals:
+		nk, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		nv, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if len(buf) < int(nk)*8+int(nv)*4 {
+			return nil, fmt.Errorf("comm: truncated keysvals payload")
+		}
+		keys := make(sparse.Set, nk)
+		for i := range keys {
+			keys[i] = sparse.Key(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+		buf = buf[nk*8:]
+		vals := make([]float32, nv)
+		for i := range vals {
+			vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+		}
+		return &KeysVals{Keys: keys, Vals: vals}, nil
+	case wireBytes:
+		n, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if len(buf) < int(n) {
+			return nil, fmt.Errorf("comm: truncated bytes payload")
+		}
+		data := make([]byte, n)
+		copy(data, buf)
+		return &Bytes{Data: data}, nil
+	default:
+		return decodeConfigPayload(kind, buf)
+	}
+}

@@ -1,0 +1,145 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"kylix/internal/sparse"
+)
+
+// Additional wire discriminators (continuing payload.go's space).
+const (
+	wireInOut    = 6
+	wireCombined = 7
+)
+
+// InOut carries a node's in- and out- index-set pieces in one
+// configuration message, as §III-A sends both partitions together.
+type InOut struct {
+	In  sparse.Set
+	Out sparse.Set
+}
+
+// Combined carries in-keys, out-keys and out-values in a single message:
+// the fused configure+reduce downward pass that §III recommends for
+// minibatch workloads whose in/out sets change every allreduce.
+type Combined struct {
+	In   sparse.Set
+	Out  sparse.Set
+	Vals []float32
+}
+
+// WireSize implements Payload.
+func (p *InOut) WireSize() int { return 1 + 4 + 4 + 8*len(p.In) + 8*len(p.Out) }
+
+// AppendTo implements Payload.
+func (p *InOut) AppendTo(buf []byte) []byte {
+	buf = append(buf, wireInOut)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.In)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Out)))
+	buf = appendKeys(buf, p.In)
+	buf = appendKeys(buf, p.Out)
+	return buf
+}
+
+// WireSize implements Payload.
+func (p *Combined) WireSize() int {
+	return 1 + 4 + 4 + 4 + 8*len(p.In) + 8*len(p.Out) + 4*len(p.Vals)
+}
+
+// AppendTo implements Payload.
+func (p *Combined) AppendTo(buf []byte) []byte {
+	buf = append(buf, wireCombined)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.In)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Out)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Vals)))
+	buf = appendKeys(buf, p.In)
+	buf = appendKeys(buf, p.Out)
+	for _, v := range p.Vals {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+	}
+	return buf
+}
+
+func appendKeys(buf []byte, s sparse.Set) []byte {
+	for _, k := range s {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(k))
+	}
+	return buf
+}
+
+func decodeKeys(buf []byte, n uint32) (sparse.Set, []byte, error) {
+	if len(buf) < int(n)*8 {
+		return nil, nil, fmt.Errorf("comm: truncated key block")
+	}
+	keys := make(sparse.Set, n)
+	for i := range keys {
+		keys[i] = sparse.Key(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return keys, buf[n*8:], nil
+}
+
+// decodeConfigPayload handles the discriminators defined in this file;
+// it is called from DecodePayload's default branch.
+func decodeConfigPayload(kind byte, buf []byte) (Payload, error) {
+	readU32 := func() (uint32, error) {
+		if len(buf) < 4 {
+			return 0, fmt.Errorf("comm: truncated payload")
+		}
+		v := binary.LittleEndian.Uint32(buf)
+		buf = buf[4:]
+		return v, nil
+	}
+	switch kind {
+	case wireInOut:
+		ni, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		no, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		in, rest, err := decodeKeys(buf, ni)
+		if err != nil {
+			return nil, err
+		}
+		out, _, err := decodeKeys(rest, no)
+		if err != nil {
+			return nil, err
+		}
+		return &InOut{In: in, Out: out}, nil
+	case wireCombined:
+		ni, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		no, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		nv, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		in, rest, err := decodeKeys(buf, ni)
+		if err != nil {
+			return nil, err
+		}
+		out, rest, err := decodeKeys(rest, no)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) < int(nv)*4 {
+			return nil, fmt.Errorf("comm: truncated combined values")
+		}
+		vals := make([]float32, nv)
+		for i := range vals {
+			vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(rest[i*4:]))
+		}
+		return &Combined{In: in, Out: out, Vals: vals}, nil
+	default:
+		return nil, fmt.Errorf("comm: unknown payload discriminator %d", kind)
+	}
+}

@@ -1,0 +1,15 @@
+package comm
+
+// Recorder observes transport sends for traffic accounting. Transports
+// call Record once per message with the payload's wire size; recording
+// happens at send time, so traffic toward dead machines is charged to
+// the sender exactly as a physical NIC would be.
+type Recorder interface {
+	Record(from, to int, tag Tag, bytes int)
+}
+
+// NopRecorder discards all samples.
+type NopRecorder struct{}
+
+// Record implements Recorder.
+func (NopRecorder) Record(from, to int, tag Tag, bytes int) {}

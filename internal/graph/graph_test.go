@@ -1,0 +1,237 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"kylix/internal/sparse"
+)
+
+func TestGenPowerLawBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := int64(10000)
+	edges := GenPowerLaw(rng, n, 5000, 0.8, 1.0)
+	if len(edges) != 5000 {
+		t.Fatalf("edge count %d", len(edges))
+	}
+	for _, e := range edges {
+		if e.Src < 0 || int64(e.Src) >= n || e.Dst < 0 || int64(e.Dst) >= n {
+			t.Fatalf("edge out of range: %+v", e)
+		}
+	}
+}
+
+func TestGenPowerLawSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := int64(10000)
+	edges := GenPowerLaw(rng, n, 20000, 1.0, 1.0)
+	deg := OutDegrees(n, edges)
+	// A power-law graph has a few very-high-degree vertices.
+	var maxDeg int32
+	nonzero := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+		if d > 0 {
+			nonzero++
+		}
+	}
+	avg := float64(len(edges)) / float64(nonzero)
+	if float64(maxDeg) < 10*avg {
+		t.Errorf("max degree %d not power-law-ish vs avg %.1f", maxDeg, avg)
+	}
+}
+
+func TestVertexOfRankBijectiveEnough(t *testing.T) {
+	// Distinct ranks map to mostly distinct vertices (the mix is a hash
+	// reduce; collisions must be rare).
+	n := int64(100000)
+	seen := map[int32]bool{}
+	coll := 0
+	for r := int64(1); r <= 10000; r++ {
+		v := vertexOfRank(r, n)
+		if seen[v] {
+			coll++
+		}
+		seen[v] = true
+	}
+	if coll > 600 { // ~binomial expectation for 10k draws into 100k bins
+		t.Errorf("%d collisions in 10000 draws", coll)
+	}
+}
+
+func TestPartitionEdgesCoversAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	edges := GenPowerLaw(rng, 1000, 2000, 1, 1)
+	parts := PartitionEdges(rng, edges, 7)
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total != len(edges) {
+		t.Fatalf("partition lost edges: %d of %d", total, len(edges))
+	}
+	// Roughly balanced.
+	for i, p := range parts {
+		if len(p) < len(edges)/7/2 || len(p) > len(edges)/7*2 {
+			t.Errorf("partition %d badly unbalanced: %d", i, len(p))
+		}
+	}
+}
+
+func TestBuildShardPositions(t *testing.T) {
+	edges := []Edge{{1, 5}, {2, 5}, {1, 7}}
+	s, err := BuildShard(edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.In) != 2 || len(s.Out) != 2 {
+		t.Fatalf("in=%d out=%d", len(s.In), len(s.Out))
+	}
+	for e, edge := range edges {
+		if s.In[s.SrcPos[e]].Index() != edge.Src {
+			t.Fatalf("edge %d source position wrong", e)
+		}
+		if s.Out[s.DstPos[e]].Index() != edge.Dst {
+			t.Fatalf("edge %d dest position wrong", e)
+		}
+		if s.W[e] != 1 {
+			t.Fatal("default weight not 1")
+		}
+	}
+	if s.NNZ() != 3 {
+		t.Fatal("NNZ wrong")
+	}
+}
+
+func TestBuildShardWeightMismatch(t *testing.T) {
+	if _, err := BuildShard([]Edge{{1, 2}}, []float32{1, 2}); err == nil {
+		t.Fatal("accepted weight length mismatch")
+	}
+}
+
+func TestShardMultiply(t *testing.T) {
+	edges := []Edge{{0, 1}, {2, 1}, {0, 3}}
+	s, err := BuildShard(edges, []float32{2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float32, len(s.In))
+	for i, k := range s.In {
+		x[i] = float32(k.Index() + 1) // x[vertex v] = v+1
+	}
+	y := make([]float32, len(s.Out))
+	if err := s.Multiply(x, y); err != nil {
+		t.Fatal(err)
+	}
+	// y[1] = 2*x[0] + 3*x[2] = 2*1+3*3 = 11; y[3] = 4*x[0] = 4.
+	want := map[int32]float32{1: 11, 3: 4}
+	for i, k := range s.Out {
+		if y[i] != want[k.Index()] {
+			t.Fatalf("y[%d] = %f, want %f", k.Index(), y[i], want[k.Index()])
+		}
+	}
+	if err := s.Multiply(x[:1], y); err == nil {
+		t.Fatal("accepted short x")
+	}
+}
+
+func TestShardMultiplyMatchesCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := int64(200)
+	edges := GenPowerLaw(rng, n, 1000, 1, 1)
+	w := make([]float32, len(edges))
+	for i := range w {
+		w[i] = rng.Float32()
+	}
+	s, err := BuildShard(edges, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr := NewCSR(int32(n), edges, w)
+
+	xDense := make([]float32, n)
+	for i := range xDense {
+		xDense[i] = rng.Float32()
+	}
+	yDense := make([]float32, n)
+	csr.Multiply(xDense, yDense)
+
+	x := make([]float32, len(s.In))
+	for i, k := range s.In {
+		x[i] = xDense[k.Index()]
+	}
+	y := make([]float32, len(s.Out))
+	if err := s.Multiply(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range s.Out {
+		if diff := y[i] - yDense[k.Index()]; diff > 1e-4 || diff < -1e-4 {
+			t.Fatalf("vertex %d: shard %f vs csr %f", k.Index(), y[i], yDense[k.Index()])
+		}
+	}
+}
+
+func TestPageRankWeights(t *testing.T) {
+	edges := []Edge{{0, 1}, {0, 2}, {1, 2}}
+	deg := OutDegrees(3, edges)
+	w := PageRankWeights(edges, deg)
+	if w[0] != 0.5 || w[1] != 0.5 || w[2] != 1 {
+		t.Fatalf("weights = %v", w)
+	}
+}
+
+func TestCSRDegrees(t *testing.T) {
+	csr := NewCSR(4, []Edge{{0, 1}, {2, 1}, {3, 0}}, nil)
+	deg := csr.Degrees()
+	if deg[1] != 2 || deg[0] != 1 || deg[2] != 0 {
+		t.Fatalf("degrees = %v", deg)
+	}
+}
+
+func TestDensityOfPartition(t *testing.T) {
+	// One partition touching half the vertices.
+	parts := [][]Edge{{{0, 1}, {2, 3}}}
+	d := DensityOfPartition(8, parts)
+	if d != 0.5 {
+		t.Fatalf("density = %f, want 0.5", d)
+	}
+	if DensityOfPartition(8, nil) != 0 {
+		t.Fatal("empty partition density should be 0")
+	}
+}
+
+func TestDensityShrinksWithMoreParts(t *testing.T) {
+	// More partitions -> sparser per-partition vertex sets: the effect
+	// that makes Kylix's lower layers cheap.
+	rng := rand.New(rand.NewSource(5))
+	n := int64(5000)
+	edges := GenPowerLaw(rng, n, 40000, 0.8, 0.8)
+	d4 := DensityOfPartition(n, PartitionEdges(rng, edges, 4))
+	d64 := DensityOfPartition(n, PartitionEdges(rng, edges, 64))
+	if d64 >= d4 {
+		t.Fatalf("density did not shrink: 4-way %f vs 64-way %f", d4, d64)
+	}
+}
+
+func TestSortEdges(t *testing.T) {
+	e := []Edge{{2, 1}, {1, 9}, {1, 2}}
+	SortEdges(e)
+	if e[0] != (Edge{1, 2}) || e[2] != (Edge{2, 1}) {
+		t.Fatalf("sorted = %v", e)
+	}
+}
+
+func TestShardSetsAreSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	edges := GenPowerLaw(rng, 500, 300, 1, 1)
+	s, err := BuildShard(edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.In.IsSorted() || !s.Out.IsSorted() {
+		t.Fatal("shard sets must be sorted key sets")
+	}
+	_ = sparse.Set(s.In)
+}

@@ -1,0 +1,170 @@
+// Package mapreduce is a miniature MapReduce engine standing in for the
+// Hadoop/Pegasus comparator of the paper's Figure 8. It executes map,
+// sort-based shuffle and reduce faithfully in memory while metering the
+// byte volumes a Hadoop deployment would push through serialization,
+// disk and network; internal/netsim converts those volumes into modelled
+// seconds. The orders-of-magnitude gap the paper reports (~500x) comes
+// from exactly the costs metered here: per-iteration materialization of
+// all intermediate data, sort-based grouping, and job startup overhead.
+package mapreduce
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"kylix/internal/netsim"
+)
+
+// Record is one key/value pair. Keys are vertex/feature ids; values are
+// float32 like the rest of the system.
+type Record struct {
+	Key int32
+	Val float32
+}
+
+// recordWire is the serialized size of a Record (4-byte key + 4-byte
+// value), the unit all byte metering uses.
+const recordWire = 8
+
+// MapFn consumes one input record and emits zero or more intermediate
+// records.
+type MapFn func(in Record, emit func(Record))
+
+// ReduceFn consumes one key's gathered values and emits output records.
+type ReduceFn func(key int32, vals []float32, emit func(Record))
+
+// Stats meters the I/O volumes of one job.
+type Stats struct {
+	// InputBytes is the map-side read volume (input splits plus any
+	// side-loaded files).
+	InputBytes int64
+	// MapOutBytes is the serialized intermediate volume: written to
+	// local disk at map side, read back for shuffle.
+	MapOutBytes int64
+	// ShuffleBytes crosses the network from mappers to reducers.
+	ShuffleBytes int64
+	// OutputBytes is written to the DFS by reducers.
+	OutputBytes int64
+	// Records counts intermediate records (one sort comparison unit).
+	Records int64
+}
+
+// Add accumulates another job's stats (for multi-iteration workloads).
+func (s *Stats) Add(o Stats) {
+	s.InputBytes += o.InputBytes
+	s.MapOutBytes += o.MapOutBytes
+	s.ShuffleBytes += o.ShuffleBytes
+	s.OutputBytes += o.OutputBytes
+	s.Records += o.Records
+}
+
+// Engine runs jobs over a simulated cluster of Machines workers.
+type Engine struct {
+	// Machines is the worker count the modelled times divide over.
+	Machines int
+	// Reducers is the reduce-task count (defaults to Machines).
+	Reducers int
+}
+
+// Run executes one MapReduce job over the input splits and returns the
+// reducer outputs (sorted by key) and the metered stats. SideBytes
+// charges map-side auxiliary input (e.g. the rank vector each PageRank
+// mapper loads) to the input volume.
+func (e *Engine) Run(splits [][]Record, sideBytes int64, mapFn MapFn, reduceFn ReduceFn) ([]Record, Stats, error) {
+	if e.Machines < 1 {
+		return nil, Stats{}, fmt.Errorf("mapreduce: engine needs >= 1 machine")
+	}
+	reducers := e.Reducers
+	if reducers == 0 {
+		reducers = e.Machines
+	}
+	var stats Stats
+	stats.InputBytes = sideBytes * int64(len(splits))
+
+	// Map phase: emit into per-reducer partitions, metering the
+	// serialized spill exactly as a map-side sort-and-spill would.
+	parts := make([][]Record, reducers)
+	var spill []byte
+	for _, split := range splits {
+		stats.InputBytes += int64(len(split)) * recordWire
+		for _, in := range split {
+			mapFn(in, func(r Record) {
+				p := partitionOf(r.Key, reducers)
+				parts[p] = append(parts[p], r)
+				spill = appendRecord(spill[:0], r)
+				stats.MapOutBytes += int64(len(spill))
+				stats.Records++
+			})
+		}
+	}
+	stats.ShuffleBytes = stats.MapOutBytes
+
+	// Reduce phase: sort each partition by key (the merge sort Hadoop
+	// performs), group, reduce, and meter the DFS write.
+	var out []Record
+	for _, part := range parts {
+		sort.Slice(part, func(a, b int) bool { return part[a].Key < part[b].Key })
+		i := 0
+		for i < len(part) {
+			j := i
+			vals := make([]float32, 0, 4)
+			for j < len(part) && part[j].Key == part[i].Key {
+				vals = append(vals, part[j].Val)
+				j++
+			}
+			reduceFn(part[i].Key, vals, func(r Record) {
+				out = append(out, r)
+				stats.OutputBytes += recordWire
+			})
+			i = j
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
+	return out, stats, nil
+}
+
+// partitionOf hashes a key to a reducer.
+func partitionOf(key int32, reducers int) int {
+	h := uint32(key) * 0x9E3779B1
+	return int(h % uint32(reducers))
+}
+
+func appendRecord(buf []byte, r Record) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Key))
+	return binary.LittleEndian.AppendUint32(buf, math.Float32bits(r.Val))
+}
+
+// JobOverheadSec is the fixed per-job cost of a Hadoop-era deployment:
+// JVM spin-up, task scheduling, heartbeat latencies. Pegasus pays it on
+// every PageRank iteration (one or more jobs per iteration).
+const JobOverheadSec = 20.0
+
+// ModelTime converts a job's metered volumes into modelled seconds on an
+// m-machine Hadoop cluster under the netsim cost model:
+//
+//   - every intermediate byte is serialized twice (write+read) at Java
+//     reflection speed,
+//   - map output is spilled to disk and read back, reducer output is
+//     written with 3x DFS replication,
+//   - shuffle crosses the network in reducer-count-squared streams whose
+//     packets are tiny (the direct all-to-all failure mode),
+//   - plus the fixed job overhead.
+func ModelTime(stats Stats, model netsim.Model, machines int) float64 {
+	if machines < 1 {
+		machines = 1
+	}
+	m := float64(machines)
+	diskBytes := float64(stats.InputBytes) + 2*float64(stats.MapOutBytes) + 3*float64(stats.OutputBytes)
+	serBytes := 2*float64(stats.MapOutBytes) + float64(stats.OutputBytes) + float64(stats.InputBytes)
+	disk := diskBytes / m / model.DiskBps
+	ser := serBytes / m / model.SerializeBps
+	var net float64
+	if stats.ShuffleBytes > 0 {
+		streams := m * m
+		pkt := float64(stats.ShuffleBytes) / streams
+		net = float64(stats.ShuffleBytes) / m / model.Goodput(pkt)
+	}
+	return JobOverheadSec + disk + ser + net
+}

@@ -1,0 +1,138 @@
+package mapreduce
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kylix/internal/apps/pagerank"
+	"kylix/internal/graph"
+	"kylix/internal/netsim"
+)
+
+func TestWordCountStyleJob(t *testing.T) {
+	e := &Engine{Machines: 4}
+	splits := [][]Record{
+		{{Key: 1, Val: 1}, {Key: 2, Val: 1}},
+		{{Key: 1, Val: 1}, {Key: 3, Val: 1}},
+	}
+	out, stats, err := e.Run(splits, 0,
+		func(in Record, emit func(Record)) { emit(in) },
+		func(key int32, vals []float32, emit func(Record)) {
+			var sum float32
+			for _, v := range vals {
+				sum += v
+			}
+			emit(Record{Key: key, Val: sum})
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int32]float32{1: 2, 2: 1, 3: 1}
+	if len(out) != 3 {
+		t.Fatalf("out = %v", out)
+	}
+	for _, r := range out {
+		if want[r.Key] != r.Val {
+			t.Fatalf("key %d = %f, want %f", r.Key, r.Val, want[r.Key])
+		}
+	}
+	// Output must be key-sorted.
+	for i := 1; i < len(out); i++ {
+		if out[i].Key < out[i-1].Key {
+			t.Fatal("output not sorted")
+		}
+	}
+	if stats.Records != 4 || stats.InputBytes != 4*recordWire {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.MapOutBytes != 4*recordWire || stats.ShuffleBytes != stats.MapOutBytes {
+		t.Fatalf("intermediate accounting wrong: %+v", stats)
+	}
+	if stats.OutputBytes != 3*recordWire {
+		t.Fatalf("output accounting wrong: %+v", stats)
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	e := &Engine{}
+	if _, _, err := e.Run(nil, 0, nil, nil); err == nil {
+		t.Fatal("accepted zero machines")
+	}
+}
+
+func TestSideBytesChargedPerSplit(t *testing.T) {
+	e := &Engine{Machines: 2}
+	splits := [][]Record{{}, {}, {}}
+	_, stats, err := e.Run(splits, 100,
+		func(in Record, emit func(Record)) {},
+		func(key int32, vals []float32, emit func(Record)) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.InputBytes != 300 {
+		t.Fatalf("side input charged %d, want 300", stats.InputBytes)
+	}
+}
+
+func TestPartitionOfStable(t *testing.T) {
+	for key := int32(0); key < 1000; key++ {
+		p := partitionOf(key, 7)
+		if p < 0 || p >= 7 {
+			t.Fatalf("partition %d out of range", p)
+		}
+		if p != partitionOf(key, 7) {
+			t.Fatal("partition not deterministic")
+		}
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{InputBytes: 1, MapOutBytes: 2, ShuffleBytes: 3, OutputBytes: 4, Records: 5}
+	b := a
+	a.Add(b)
+	if a.InputBytes != 2 || a.Records != 10 {
+		t.Fatalf("Add broken: %+v", a)
+	}
+}
+
+func TestMapReducePageRankMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := int32(200)
+	edges := graph.GenPowerLaw(rng, int64(n), 1500, 1, 1)
+	parts := graph.PartitionEdges(rng, edges, 4)
+
+	e := &Engine{Machines: 4}
+	got, stats, perIter, err := PageRank(e, n, parts, 5, pagerank.Damping, netsim.EC2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pagerank.Sequential(n, edges, 5)
+	for v := int32(0); v < n; v++ {
+		if math.Abs(float64(got[v]-want[v])) > 1e-5+1e-4*math.Abs(float64(want[v])) {
+			t.Fatalf("vertex %d: MR %g vs sequential %g", v, got[v], want[v])
+		}
+	}
+	if stats.Records == 0 || perIter <= JobOverheadSec {
+		t.Fatalf("stats %+v perIter %f look wrong", stats, perIter)
+	}
+}
+
+func TestModelTimeDominatedByOverheadForTinyJobs(t *testing.T) {
+	sec := ModelTime(Stats{InputBytes: 100, MapOutBytes: 100, ShuffleBytes: 100, OutputBytes: 100}, netsim.EC2(), 64)
+	if sec < JobOverheadSec || sec > JobOverheadSec+1 {
+		t.Fatalf("tiny job modelled at %f", sec)
+	}
+}
+
+func TestModelTimeScalesWithVolume(t *testing.T) {
+	m := netsim.EC2()
+	small := ModelTime(Stats{MapOutBytes: 1 << 20, ShuffleBytes: 1 << 20}, m, 4)
+	big := ModelTime(Stats{MapOutBytes: 1 << 30, ShuffleBytes: 1 << 30}, m, 4)
+	if big <= small {
+		t.Fatal("model not monotone in volume")
+	}
+	if ModelTime(Stats{}, m, 0) < JobOverheadSec {
+		t.Fatal("zero-machine guard broken")
+	}
+}

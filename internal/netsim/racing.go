@@ -1,0 +1,56 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RacingModel quantifies §V-B's packet-racing claim: on networks with
+// high latency variance, replication lets every receive take the
+// *fastest* replica's copy, turning the tail of the latency distribution
+// from an adversary into an ally. A phase that must hear from d peers
+// completes at the maximum over d draws; with s-way replication each
+// draw is the minimum of s independent copies.
+type RacingModel struct {
+	// BaseLatency is the median per-message latency.
+	BaseLatency float64
+	// Sigma is the log-normal spread of latencies (0 = deterministic;
+	// ~0.5 is a loaded multi-tenant cloud; EC2 studies report heavy
+	// tails).
+	Sigma float64
+}
+
+// PhaseLatency estimates, by Monte Carlo, the expected completion
+// latency of a phase that waits for d peer messages, each replicated s
+// ways, under log-normal message latencies. rng keeps it deterministic
+// for tests and tables.
+func (rm RacingModel) PhaseLatency(rng *rand.Rand, d, s, trials int) float64 {
+	if d < 1 || s < 1 || trials < 1 {
+		return 0
+	}
+	total := 0.0
+	for t := 0; t < trials; t++ {
+		worst := 0.0
+		for peer := 0; peer < d; peer++ {
+			best := rm.draw(rng)
+			for replica := 1; replica < s; replica++ {
+				if v := rm.draw(rng); v < best {
+					best = v
+				}
+			}
+			if best > worst {
+				worst = best
+			}
+		}
+		total += worst
+	}
+	return total / float64(trials)
+}
+
+// draw samples one log-normal latency with median BaseLatency.
+func (rm RacingModel) draw(rng *rand.Rand) float64 {
+	if rm.Sigma == 0 {
+		return rm.BaseLatency
+	}
+	return rm.BaseLatency * math.Exp(rm.Sigma*rng.NormFloat64())
+}

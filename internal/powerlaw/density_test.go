@@ -1,0 +1,137 @@
+package powerlaw
+
+import (
+	"math"
+	"testing"
+)
+
+// bruteDensity is the O(n) literal evaluation of Equation 7.
+func bruteDensity(n int64, alpha, lambda float64) float64 {
+	sum := 0.0
+	for r := int64(1); r <= n; r++ {
+		sum += 1 - math.Exp(-lambda*math.Pow(float64(r), -alpha))
+	}
+	return sum / float64(n)
+}
+
+func TestDensityMatchesBruteForce(t *testing.T) {
+	for _, n := range []int64{1, 10, 1000, 60000} {
+		for _, alpha := range []float64{0.5, 1.0, 2.0} {
+			for _, lambda := range []float64{0.01, 1, 100, 1e5} {
+				got := Density(n, alpha, lambda)
+				want := bruteDensity(n, alpha, lambda)
+				if math.Abs(got-want) > 1e-9+1e-6*want {
+					t.Errorf("Density(%d,%g,%g) = %g, brute = %g", n, alpha, lambda, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDensityHybridAccuracy(t *testing.T) {
+	// Above exactLimit the hybrid integral path engages; compare with
+	// brute force at a size just over the limit.
+	n := int64(exactLimit + 50000)
+	for _, alpha := range []float64{0.7, 1.3} {
+		for _, lambda := range []float64{0.5, 50} {
+			got := Density(n, alpha, lambda)
+			want := bruteDensity(n, alpha, lambda)
+			if math.Abs(got-want) > 1e-4*want+1e-9 {
+				t.Errorf("hybrid Density(%d,%g,%g) = %g, brute = %g (rel err %g)",
+					n, alpha, lambda, got, want, math.Abs(got-want)/want)
+			}
+		}
+	}
+}
+
+func TestDensityMonotoneInLambda(t *testing.T) {
+	prev := 0.0
+	for _, lambda := range []float64{0.001, 0.01, 0.1, 1, 10, 100, 1000} {
+		d := Density(1e6, 1.0, lambda)
+		if d < prev {
+			t.Fatalf("density decreased: f(%g) = %g < %g", lambda, d, prev)
+		}
+		if d < 0 || d > 1 {
+			t.Fatalf("density %g out of [0,1]", d)
+		}
+		prev = d
+	}
+}
+
+func TestDensityEdgeCases(t *testing.T) {
+	if d := Density(100, 1.0, 0); d != 0 {
+		t.Errorf("Density(λ=0) = %g, want 0", d)
+	}
+	// Huge λ saturates: every feature present.
+	if d := Density(1000, 0.5, 1e12); d < 0.999 {
+		t.Errorf("Density(λ=1e12) = %g, want ~1", d)
+	}
+}
+
+func TestDensityPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for n=0")
+		}
+	}()
+	Density(0, 1, 1)
+}
+
+func TestSolveLambdaRoundTrip(t *testing.T) {
+	for _, n := range []int64{1000, 1 << 16} {
+		for _, alpha := range []float64{0.5, 1.0, 2.0} {
+			for _, target := range []float64{0.035, 0.21, 0.5, 0.9} {
+				lambda, err := SolveLambda(n, alpha, target)
+				if err != nil {
+					t.Fatalf("SolveLambda(%d,%g,%g): %v", n, alpha, target, err)
+				}
+				got := Density(n, alpha, lambda)
+				if math.Abs(got-target) > 1e-6 {
+					t.Errorf("round trip n=%d alpha=%g: density(λ=%g) = %g, want %g",
+						n, alpha, lambda, got, target)
+				}
+			}
+		}
+	}
+}
+
+func TestSolveLambdaRejectsBadDensity(t *testing.T) {
+	for _, d := range []float64{0, 1, -0.5, 2} {
+		if _, err := SolveLambda(1000, 1, d); err == nil {
+			t.Errorf("SolveLambda accepted density %g", d)
+		}
+	}
+}
+
+// Figure 4's qualitative claim: the density curve has only a modest
+// dependence on alpha once λ is normalized by λ_0.9 (where f(λ_0.9)=0.9).
+func TestFigure4AlphaInsensitivity(t *testing.T) {
+	n := int64(1 << 15)
+	norm := map[float64]float64{}
+	for _, alpha := range []float64{0.5, 1.0, 2.0} {
+		l9, err := SolveLambda(n, alpha, 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		norm[alpha] = l9
+	}
+	// At the same normalized λ/λ_0.9, densities across alphas should be
+	// within a modest band of each other.
+	for _, frac := range []float64{0.01, 0.1, 0.5, 1.0} {
+		var lo, hi float64 = 2, -1
+		for alpha, l9 := range norm {
+			d := Density(n, alpha, frac*l9)
+			_ = alpha
+			if d < lo {
+				lo = d
+			}
+			if d > hi {
+				hi = d
+			}
+		}
+		if hi-lo > 0.35 {
+			t.Errorf("normalized λ fraction %g: density spread %g too wide (lo=%g hi=%g)",
+				frac, hi-lo, lo, hi)
+		}
+	}
+}

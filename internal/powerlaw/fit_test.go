@@ -1,0 +1,125 @@
+package powerlaw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPoissonMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, rate := range []float64{0.1, 1, 4} {
+		sum := 0
+		const trials = 20000
+		for i := 0; i < trials; i++ {
+			sum += poisson(rng, rate)
+		}
+		mean := float64(sum) / trials
+		if math.Abs(mean-rate) > 0.05*rate+0.02 {
+			t.Errorf("poisson(%g) mean %g", rate, mean)
+		}
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Error("non-positive rates should give 0")
+	}
+}
+
+func TestOccurrencesMatchDensity(t *testing.T) {
+	n := int64(1 << 14)
+	gen, err := NewGeneratorForDensity(n, 1.0, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	occ := gen.Occurrences(rng)
+	d := distinctDensity(occ, n)
+	if math.Abs(d-0.15) > 0.03 {
+		t.Fatalf("occurrence sample density %g, want ~0.15", d)
+	}
+	// Head features occur with multiplicity; tail mostly once.
+	counts := map[int32]int{}
+	for _, o := range occ {
+		if o < 0 || int64(o) >= n {
+			t.Fatalf("occurrence %d out of range", o)
+		}
+		counts[o]++
+	}
+	if counts[0] < 2 {
+		t.Errorf("head feature multiplicity %d, expected repeated hits", counts[0])
+	}
+}
+
+func TestFitRecoversAlpha(t *testing.T) {
+	n := int64(1 << 14)
+	for _, trueAlpha := range []float64{0.6, 1.0, 1.6} {
+		lambda0, err := SolveLambda(n, trueAlpha, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := &Generator{N: n, Alpha: trueAlpha, Lambda0: lambda0}
+		rng := rand.New(rand.NewSource(7))
+		occ := gen.Occurrences(rng)
+		gotAlpha, gotLambda, err := Fit(rng, occ, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(gotAlpha-trueAlpha) > 0.25 {
+			t.Errorf("true alpha %g: fitted %g (lambda %g)", trueAlpha, gotAlpha, gotLambda)
+		}
+		// The fitted model reproduces the sample's density.
+		if d := Density(n, gotAlpha, gotLambda); math.Abs(d-distinctDensity(occ, n)) > 0.01 {
+			t.Errorf("fitted model density %g vs sample %g", d, distinctDensity(occ, n))
+		}
+	}
+}
+
+func TestFitRejectsDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, _, err := Fit(rng, []int32{1, 2, 3}, 100); err == nil {
+		t.Error("accepted tiny sample")
+	}
+	// Fully dense sample: density 1 is degenerate.
+	occ := make([]int32, 64)
+	for i := range occ {
+		occ[i] = int32(i % 4)
+	}
+	if _, _, err := Fit(rng, occ, 4); err == nil {
+		t.Error("accepted density-1 sample")
+	}
+}
+
+func TestDesignFromSamplePipeline(t *testing.T) {
+	// Generate a Twitter-profile partition sample at reduced n, run the
+	// measure-fit-design pipeline, and check the designed network has
+	// the expected heterogeneous, decreasing shape with product m.
+	n := int64(1 << 14)
+	lambda0, err := SolveLambda(n, 0.8, 0.21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := &Generator{N: n, Alpha: 0.8, Lambda0: lambda0}
+	rng := rand.New(rand.NewSource(3))
+	occ := gen.Occurrences(rng)
+
+	minPacket := 0.21 * float64(n) * 4 / 10 // admits ~degree-10 top layer
+	degrees, alpha, _, err := DesignFromSample(rng, occ, n, 64, 4, minPacket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alpha-0.8) > 0.3 {
+		t.Errorf("fitted alpha %g far from 0.8", alpha)
+	}
+	prod := 1
+	for _, d := range degrees {
+		prod *= d
+	}
+	if prod != 64 {
+		t.Fatalf("degrees %v do not multiply to 64", degrees)
+	}
+	if len(degrees) < 2 || degrees[0] < degrees[len(degrees)-1] {
+		t.Fatalf("expected heterogeneous decreasing degrees, got %v", degrees)
+	}
+	if degrees[0] != 8 {
+		t.Errorf("top degree %d, expected 8 under the scaled floor (got %v)", degrees[0], degrees)
+	}
+}

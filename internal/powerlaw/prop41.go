@@ -1,0 +1,87 @@
+package powerlaw
+
+import "fmt"
+
+// LayerStat is the Proposition 4.1 prediction for one node layer of a
+// nested butterfly over power-law data.
+type LayerStat struct {
+	// Layer is the node-layer number, 0 (top, initial partition) to l
+	// (bottom, fully reduced).
+	Layer int
+	// Aggregated is the number of original per-node partitions whose sum
+	// a node at this layer holds (the K of Proposition 4.1; 1 at the top,
+	// m at the bottom).
+	Aggregated int64
+	// Density is the expected fraction of nonzero features within the
+	// node's hash range: f(K·λ0).
+	Density float64
+	// RangeLen is the length of the node's index range, n / K.
+	RangeLen float64
+	// ElemsPerNode is the expected nonzero count per node:
+	// Density * RangeLen (the P_i of Equation 5, in elements).
+	ElemsPerNode float64
+}
+
+// Predict evaluates Proposition 4.1 for every node layer of a butterfly
+// with the given degrees. n is the total feature count, alpha the
+// power-law exponent and lambda0 the Poisson scaling factor of the
+// initial per-node partition.
+func Predict(n int64, alpha, lambda0 float64, degrees []int) []LayerStat {
+	stats := make([]LayerStat, 0, len(degrees)+1)
+	k := int64(1)
+	for i := 0; i <= len(degrees); i++ {
+		d := Density(n, alpha, float64(k)*lambda0)
+		rangeLen := float64(n) / float64(k)
+		stats = append(stats, LayerStat{
+			Layer:        i,
+			Aggregated:   k,
+			Density:      d,
+			RangeLen:     rangeLen,
+			ElemsPerNode: d * rangeLen,
+		})
+		if i < len(degrees) {
+			k *= int64(degrees[i])
+		}
+	}
+	return stats
+}
+
+// CommLayer is the predicted traffic of one communication layer.
+type CommLayer struct {
+	// Layer is the communication-layer number, 1..l.
+	Layer int
+	// Degree is the butterfly degree d_i of this layer.
+	Degree int
+	// MsgElems is the expected per-message element count: a node at
+	// layer i-1 splits its data d_i ways.
+	MsgElems float64
+	// TotalElems is the network-wide element volume of the downward pass
+	// at this layer (m nodes each sending their whole layer-(i-1)
+	// holdings, counting local "self" packets as the paper's Figure 5
+	// does).
+	TotalElems float64
+}
+
+// PredictTraffic derives per-communication-layer message sizes and total
+// volumes from Proposition 4.1. m must equal the product of degrees.
+func PredictTraffic(n int64, alpha, lambda0 float64, degrees []int) ([]CommLayer, error) {
+	m := 1
+	for _, d := range degrees {
+		if d < 1 {
+			return nil, fmt.Errorf("powerlaw: invalid degree %d", d)
+		}
+		m *= d
+	}
+	stats := Predict(n, alpha, lambda0, degrees)
+	layers := make([]CommLayer, len(degrees))
+	for i, d := range degrees {
+		per := stats[i].ElemsPerNode
+		layers[i] = CommLayer{
+			Layer:      i + 1,
+			Degree:     d,
+			MsgElems:   per / float64(d),
+			TotalElems: float64(m) * per,
+		}
+	}
+	return layers, nil
+}

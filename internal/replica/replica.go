@@ -1,0 +1,100 @@
+// Package replica implements Kylix's fault tolerance (paper §V): the
+// data and every protocol message are replicated by a factor s, and
+// receivers race the replica copies, taking the first to arrive and
+// cancelling the rest. A cluster of m physical machines presents m/s
+// logical machines; machine i plays logical rank i mod m/s, and the
+// logical messages to rank q are physically sent to q, q+m/s, ...,
+// q+(s-1)m/s. The protocol completes as long as at least one replica in
+// every group survives; by the birthday paradox a factor-2 network
+// survives about sqrt(pi*m/2) random failures in expectation.
+package replica
+
+import (
+	"fmt"
+	"math"
+
+	"kylix/internal/comm"
+)
+
+// Wrap presents a physical endpoint as a logical endpoint of a cluster
+// replicated s ways. The physical cluster size must be divisible by s.
+// Wrapping with s=1 returns the endpoint unchanged.
+func Wrap(ep comm.Endpoint, s int) (comm.Endpoint, error) {
+	if s < 1 {
+		return nil, fmt.Errorf("replica: replication factor %d must be >= 1", s)
+	}
+	if s == 1 {
+		return ep, nil
+	}
+	if ep.Size()%s != 0 {
+		return nil, fmt.Errorf("replica: cluster size %d not divisible by replication factor %d", ep.Size(), s)
+	}
+	return &endpoint{phys: ep, s: s, logical: ep.Size() / s}, nil
+}
+
+// LogicalRank maps a physical rank to the logical rank it plays in an
+// s-replicated cluster of physical size m.
+func LogicalRank(physRank, m, s int) int { return physRank % (m / s) }
+
+// Replicas lists the physical machines playing logical rank q in an
+// s-replicated cluster of physical size m, primary first.
+func Replicas(q, m, s int) []int {
+	logical := m / s
+	out := make([]int, s)
+	for j := 0; j < s; j++ {
+		out[j] = q + j*logical
+	}
+	return out
+}
+
+// BirthdayBound estimates the expected number of uniformly random
+// machine failures a factor-2 replicated m-machine network absorbs
+// before some replica group is entirely dead — the sqrt(m)-ish bound the
+// paper cites from the birthday paradox. (~sqrt(pi*m/2) for s=2.)
+func BirthdayBound(m int) float64 { return math.Sqrt(math.Pi * float64(m) / 2) }
+
+type endpoint struct {
+	phys    comm.Endpoint
+	s       int
+	logical int
+}
+
+func (e *endpoint) Rank() int { return e.phys.Rank() % e.logical }
+func (e *endpoint) Size() int { return e.logical }
+
+// Send duplicates the message to every replica of the logical target.
+// Transports drop the copies aimed at dead machines; live replicas race.
+func (e *endpoint) Send(to int, tag comm.Tag, p comm.Payload) error {
+	if to < 0 || to >= e.logical {
+		return fmt.Errorf("replica: logical rank %d out of [0,%d)", to, e.logical)
+	}
+	for j := 0; j < e.s; j++ {
+		if err := e.phys.Send(to+j*e.logical, tag, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recv races the replica copies of the logical sender: the first
+// physical arrival wins and the transport cancels the rest (§V-B).
+func (e *endpoint) Recv(from int, tag comm.Tag) (comm.Payload, error) {
+	_, p, err := e.phys.RecvAny(Replicas(from, e.phys.Size(), e.s), tag)
+	return p, err
+}
+
+// RecvAny races across all replicas of all listed logical senders and
+// reports the logical winner.
+func (e *endpoint) RecvAny(froms []int, tag comm.Tag) (int, comm.Payload, error) {
+	phys := make([]int, 0, len(froms)*e.s)
+	for _, q := range froms {
+		phys = append(phys, Replicas(q, e.phys.Size(), e.s)...)
+	}
+	winner, p, err := e.phys.RecvAny(phys, tag)
+	if err != nil {
+		return 0, nil, err
+	}
+	return winner % e.logical, p, nil
+}
+
+func (e *endpoint) Close() error { return e.phys.Close() }

@@ -1,0 +1,258 @@
+package replica
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kylix/internal/comm"
+	"kylix/internal/core"
+	"kylix/internal/memnet"
+	"kylix/internal/sparse"
+	"kylix/internal/topo"
+)
+
+func TestWrapValidation(t *testing.T) {
+	n := memnet.New(6)
+	defer n.Close()
+	if _, err := Wrap(n.Endpoint(0), 0); err == nil {
+		t.Error("accepted s=0")
+	}
+	if _, err := Wrap(n.Endpoint(0), 4); err == nil {
+		t.Error("accepted non-divisible factor")
+	}
+	ep, err := Wrap(n.Endpoint(0), 1)
+	if err != nil || ep != n.Endpoint(0).(comm.Endpoint) && ep.Size() != 6 {
+		t.Error("s=1 should be a pass-through")
+	}
+	ep2, err := Wrap(n.Endpoint(4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep2.Size() != 3 || ep2.Rank() != 1 {
+		t.Fatalf("logical size=%d rank=%d", ep2.Size(), ep2.Rank())
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if LogicalRank(5, 6, 2) != 2 || LogicalRank(2, 6, 2) != 2 {
+		t.Error("LogicalRank wrong")
+	}
+	r := Replicas(1, 6, 2)
+	if len(r) != 2 || r[0] != 1 || r[1] != 4 {
+		t.Errorf("Replicas = %v", r)
+	}
+	if b := BirthdayBound(64); math.Abs(b-10.03) > 0.1 {
+		t.Errorf("BirthdayBound(64) = %g", b)
+	}
+}
+
+func TestReplicatedSendReachesAllReplicas(t *testing.T) {
+	n := memnet.New(4)
+	defer n.Close()
+	ep0, _ := Wrap(n.Endpoint(0), 2)
+	tag := comm.MakeTag(comm.KindApp, 0, 0)
+	if err := ep0.Send(1, tag, &comm.Bytes{Data: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	// Both physical replicas of logical 1 (machines 1 and 3) got a copy.
+	for _, phys := range []int{1, 3} {
+		if _, err := n.Endpoint(phys).Recv(0, tag); err != nil {
+			t.Fatalf("replica %d missed the message: %v", phys, err)
+		}
+	}
+}
+
+func TestSendRejectsBadLogicalRank(t *testing.T) {
+	n := memnet.New(4)
+	defer n.Close()
+	ep, _ := Wrap(n.Endpoint(0), 2)
+	if err := ep.Send(2, comm.MakeTag(comm.KindApp, 0, 0), &comm.Bytes{}); err == nil {
+		t.Fatal("accepted out-of-range logical rank")
+	}
+}
+
+func TestRecvRacesReplicas(t *testing.T) {
+	n := memnet.New(4)
+	defer n.Close()
+	tag := comm.MakeTag(comm.KindApp, 0, 1)
+	// Only the twin (machine 3) of logical sender 1 delivers.
+	if err := n.Endpoint(3).Send(0, tag, &comm.Bytes{Data: []byte("twin")}); err != nil {
+		t.Fatal(err)
+	}
+	ep0, _ := Wrap(n.Endpoint(0), 2)
+	p, err := ep0.Recv(1, tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p.(*comm.Bytes).Data) != "twin" {
+		t.Fatal("wrong payload")
+	}
+}
+
+func TestRecvAnyMapsWinnerToLogical(t *testing.T) {
+	n := memnet.New(4)
+	defer n.Close()
+	tag := comm.MakeTag(comm.KindApp, 0, 2)
+	if err := n.Endpoint(2).Send(1, tag, &comm.Bytes{}); err != nil { // phys 2 = logical 0's twin
+		t.Fatal(err)
+	}
+	ep, _ := Wrap(n.Endpoint(1), 2)
+	from, _, err := ep.RecvAny([]int{0, 1}, tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != 0 {
+		t.Fatalf("winner reported as logical %d, want 0", from)
+	}
+}
+
+// replicatedAllreduce runs the full Kylix protocol on a replicated
+// cluster with the given dead physical machines and returns per-logical
+// results (from whichever replica survived).
+func replicatedAllreduce(t *testing.T, degrees []int, s int, dead []int) ([][]float32, [][]float32) {
+	t.Helper()
+	bf := topo.MustNew(degrees)
+	logical := bf.M()
+	phys := logical * s
+	rng := rand.New(rand.NewSource(77))
+
+	ins := make([]sparse.Set, logical)
+	outs := make([]sparse.Set, logical)
+	vals := make([][]float32, logical)
+	for q := 0; q < logical; q++ {
+		inIdx := make([]int32, 40)
+		outIdx := make([]int32, 40)
+		for i := range inIdx {
+			inIdx[i] = int32(rng.Intn(200))
+			outIdx[i] = int32(rng.Intn(200))
+		}
+		outIdx = append(outIdx, inIdx...)
+		ins[q] = sparse.MustNewSet(inIdx)
+		outs[q] = sparse.MustNewSet(outIdx)
+		vals[q] = make([]float32, len(outs[q]))
+		for i := range vals[q] {
+			vals[q][i] = float32(rng.Intn(50))
+		}
+	}
+
+	// Brute-force reference.
+	totals := map[sparse.Key]float32{}
+	for q := 0; q < logical; q++ {
+		for i, k := range outs[q] {
+			totals[k] += vals[q][i]
+		}
+	}
+	want := make([][]float32, logical)
+	for q := 0; q < logical; q++ {
+		want[q] = make([]float32, len(ins[q]))
+		for i, k := range ins[q] {
+			want[q][i] = totals[k]
+		}
+	}
+
+	n := memnet.New(phys)
+	defer n.Close()
+	for _, d := range dead {
+		n.Kill(d)
+	}
+	results := make([][]float32, phys)
+	err := memnet.Run(n, func(pep comm.Endpoint) error {
+		ep, err := Wrap(pep, s)
+		if err != nil {
+			return err
+		}
+		q := ep.Rank()
+		m, err := core.NewMachine(ep, bf, core.Options{})
+		if err != nil {
+			return err
+		}
+		cfg, err := m.Configure(ins[q], outs[q])
+		if err != nil {
+			return err
+		}
+		res, err := cfg.Reduce(vals[q])
+		if err != nil {
+			return err
+		}
+		results[pep.Rank()] = res
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collapse physical results to logical: any surviving replica's
+	// output counts.
+	out := make([][]float32, logical)
+	for p := 0; p < phys; p++ {
+		if results[p] != nil {
+			out[p%logical] = results[p]
+		}
+	}
+	return out, want
+}
+
+func checkAllClose(t *testing.T, got, want [][]float32) {
+	t.Helper()
+	for q := range want {
+		if got[q] == nil {
+			t.Fatalf("logical rank %d produced no result", q)
+		}
+		for i := range want[q] {
+			if math.Abs(float64(got[q][i]-want[q][i])) > 1e-3 {
+				t.Fatalf("logical %d slot %d: got %f want %f", q, i, got[q][i], want[q][i])
+			}
+		}
+	}
+}
+
+func TestReplicatedAllreduceNoFailures(t *testing.T) {
+	got, want := replicatedAllreduce(t, []int{4, 2}, 2, nil)
+	checkAllClose(t, got, want)
+}
+
+func TestReplicatedAllreduceSurvivesFailures(t *testing.T) {
+	// Table I's scenario: an 8x4-style replicated network with 1, 2 and
+	// 3 dead machines still completes with identical results.
+	for _, dead := range [][]int{{3}, {3, 9}, {3, 9, 12}} {
+		got, want := replicatedAllreduce(t, []int{4, 2}, 2, dead)
+		checkAllClose(t, got, want)
+	}
+}
+
+func TestReplicationFactor3(t *testing.T) {
+	// With s=3, two dead replicas of the same logical rank are fine.
+	got, want := replicatedAllreduce(t, []int{4}, 3, []int{1, 5}) // logical 1's replicas are 1,5,9
+	checkAllClose(t, got, want)
+}
+
+func TestWholeGroupDeadFails(t *testing.T) {
+	// Killing every replica of one logical rank must break the protocol
+	// (timeout), not hang forever or silently succeed.
+	bf := topo.MustNew([]int{4})
+	phys := 8
+	n := memnet.New(phys, memnet.WithRecvTimeout(300*1000*1000)) // 300ms
+	defer n.Close()
+	n.Kill(2)
+	n.Kill(6) // both replicas of logical 2
+	err := memnet.Run(n, func(pep comm.Endpoint) error {
+		ep, err := Wrap(pep, 2)
+		if err != nil {
+			return err
+		}
+		m, err := core.NewMachine(ep, bf, core.Options{})
+		if err != nil {
+			return err
+		}
+		set := sparse.MustNewSet([]int32{1, 2, 3})
+		cfg, err := m.Configure(set, set)
+		if err != nil {
+			return err
+		}
+		_, err = cfg.Reduce([]float32{1, 1, 1})
+		return err
+	})
+	if err == nil {
+		t.Fatal("protocol succeeded with an entire replica group dead")
+	}
+}

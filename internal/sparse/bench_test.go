@@ -1,0 +1,70 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Package-level micro-benchmarks of the protocol's hot kernels.
+
+func benchSets(n int) []Set {
+	rng := rand.New(rand.NewSource(1))
+	sets := make([]Set, 8)
+	for i := range sets {
+		sets[i] = randomSet(rng, int32(n), int32(n*4))
+	}
+	return sets
+}
+
+func BenchmarkUnionWithMaps(b *testing.B) {
+	sets := benchSets(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		UnionWithMaps(sets)
+	}
+}
+
+func BenchmarkCombineIntoSum(b *testing.B) {
+	sets := benchSets(8192)
+	union, maps := UnionWithMaps(sets)
+	acc := make([]float32, len(union))
+	src := make([]float32, len(sets[0]))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CombineInto(Sum, acc, maps[0], src, 1)
+	}
+}
+
+func BenchmarkGatherInto(b *testing.B) {
+	sets := benchSets(8192)
+	union, maps := UnionWithMaps(sets)
+	src := make([]float32, len(union))
+	dst := make([]float32, len(sets[0]))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GatherInto(dst, maps[0], src, 1, 0)
+	}
+}
+
+func BenchmarkSplitOffsets(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	s := randomSet(rng, 1<<16, 1<<22)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SplitOffsets(s, FullRange(), 8)
+	}
+}
+
+func BenchmarkNewSet(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	idx := make([]int32, 1<<14)
+	for i := range idx {
+		idx[i] = rng.Int31n(1 << 20)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := NewSet(idx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package sparse
+
+import "sort"
+
+// HashUnion computes the union of many Sets using a hash table followed
+// by a sort. It is the baseline that Kylix §VI-A reports being ~5x slower
+// than the tree merge because of random-memory-access constants; it is
+// retained here for the corresponding ablation benchmark and as a
+// correctness oracle for TreeUnion.
+func HashUnion(sets []Set) Set {
+	total := 0
+	for _, s := range sets {
+		total += len(s)
+	}
+	seen := make(map[Key]struct{}, total)
+	for _, s := range sets {
+		for _, k := range s {
+			seen[k] = struct{}{}
+		}
+	}
+	out := make(Set, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// HashUnionWithMaps is the hash-table counterpart of UnionWithMaps,
+// building per-input position maps through hash lookups.
+func HashUnionWithMaps(sets []Set) (Set, [][]int32) {
+	union := HashUnion(sets)
+	pos := make(map[Key]int32, len(union))
+	for i, k := range union {
+		pos[k] = int32(i)
+	}
+	maps := make([][]int32, len(sets))
+	for i, s := range sets {
+		m := make([]int32, len(s))
+		for j, k := range s {
+			m[j] = pos[k]
+		}
+		maps[i] = m
+	}
+	return union, maps
+}

@@ -1,0 +1,84 @@
+// Package sparse provides the sparse index-set and value-vector machinery
+// underlying the Kylix sparse allreduce: hash-ordered keys, sorted index
+// sets, merges that produce position maps (the f and g maps of the paper's
+// Section III-A), tree merging (Section VI-A), hash-range partitioning,
+// and strided value kernels (gather, scatter, sum-into).
+//
+// Feature indices are carried as Keys: the upper 32 bits hold a strong
+// hash of the index and the lower 32 bits hold the index itself. Sets are
+// kept sorted by Key. This gives three properties the protocol relies on:
+//
+//  1. Equal indices are adjacent, so duplicate collapse falls out of a
+//     linear merge.
+//  2. Splitting a sorted set at hash boundaries partitions the feature
+//     space into statistically balanced ranges even for power-law data
+//     ("the original indices are hashed to the values used for
+//     partitioning" — Kylix §III-A).
+//  3. The pieces a node receives from its butterfly neighbours arrive
+//     pre-sorted and span the same hash range, so unions are linear
+//     merges rather than hash-table inserts.
+package sparse
+
+// Key packs hash32(index) in the upper 32 bits and the index in the lower
+// 32 bits. Keys compare first by hash, then by index; two Keys are equal
+// exactly when their indices are equal.
+type Key uint64
+
+// MakeKey builds the Key for a feature index. Indices must be
+// non-negative and fit in 32 bits.
+func MakeKey(index int32) Key {
+	return Key(uint64(hash32(uint32(index)))<<32 | uint64(uint32(index)))
+}
+
+// Index recovers the feature index from a Key.
+func (k Key) Index() int32 { return int32(uint32(k)) }
+
+// Hash returns the 32-bit hash half of the Key.
+func (k Key) Hash() uint32 { return uint32(k >> 32) }
+
+// hash32 is a 32-bit finalizer-style mixer (Murmur3 fmix32). It is a
+// bijection on uint32, so distinct indices never collide into the same
+// Key even when their hashes collide (the index low bits disambiguate).
+func hash32(x uint32) uint32 {
+	x ^= x >> 16
+	x *= 0x85ebca6b
+	x ^= x >> 13
+	x *= 0xc2b2ae35
+	x ^= x >> 16
+	return x
+}
+
+// Range is a half-open interval [Lo, Hi) over the full Key space.
+// Partitioning is always done on hash boundaries: a boundary at hash h
+// corresponds to Key(h)<<32.
+type Range struct {
+	Lo, Hi Key
+}
+
+// fullHi is the exclusive upper bound of the key space. The true
+// supremum 2^64 is not representable in a Key, but the largest Key a
+// non-negative int32 index can produce is 0xFFFFFFFF_7FFFFFFF, so the
+// maximum uint64 value is a safe exclusive bound.
+const fullHi = Key(^uint64(0))
+
+// FullRange covers the entire key space.
+func FullRange() Range { return Range{0, fullHi} }
+
+// Contains reports whether k lies in r.
+func (r Range) Contains(k Key) bool { return k >= r.Lo && k < r.Hi }
+
+// Sub splits r into d equal sub-ranges on hash boundaries and returns the
+// t-th (0-based). Boundaries are computed in the 2^32 hash space scaled
+// to keys, matching the equal-size index ranges of §III-A.
+func (r Range) Sub(d, t int) Range {
+	if d <= 0 || t < 0 || t >= d {
+		panic("sparse: Range.Sub out of bounds")
+	}
+	span := uint64(r.Hi-r.Lo) / uint64(d)
+	lo := r.Lo + Key(span*uint64(t))
+	hi := r.Lo + Key(span*uint64(t+1))
+	if t == d-1 {
+		hi = r.Hi
+	}
+	return Range{lo, hi}
+}

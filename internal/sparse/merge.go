@@ -1,0 +1,115 @@
+package sparse
+
+import "fmt"
+
+// Merge2 returns the sorted, deduplicated union of two Sets.
+func Merge2(a, b Set) Set {
+	out := make(Set, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// TreeUnion computes the union of many Sets by recursively merging
+// siblings in a balanced binary tree (Kylix §VI-A). Pairwise merging
+// keeps both operands of every merge approximately equal in length,
+// which is what makes merge-based unions beat hash tables: the cost of
+// a merge is the length of the longer sequence.
+func TreeUnion(sets []Set) Set {
+	switch len(sets) {
+	case 0:
+		return nil
+	case 1:
+		return sets[0].Clone()
+	}
+	// Bottom-up rounds: merge neighbours until one set remains. Each
+	// round halves the count, so inputs of similar size meet inputs of
+	// similar size.
+	cur := make([]Set, len(sets))
+	copy(cur, sets)
+	for len(cur) > 1 {
+		next := cur[:0]
+		for i := 0; i+1 < len(cur); i += 2 {
+			next = append(next, Merge2(cur[i], cur[i+1]))
+		}
+		if len(cur)%2 == 1 {
+			next = append(next, cur[len(cur)-1])
+		}
+		cur = next
+	}
+	return cur[0]
+}
+
+// PositionMap returns, for each key of sub, its position in union. Both
+// Sets must be sorted. These are the f and g maps of Kylix §III-A: they
+// let the reduction pass add incoming values into the union accumulator,
+// and the allgather pass extract outgoing values, in constant time per
+// element. An error is returned if sub contains a key missing from union.
+func PositionMap(sub, union Set) ([]int32, error) {
+	m := make([]int32, len(sub))
+	j := 0
+	for i, k := range sub {
+		for j < len(union) && union[j] < k {
+			j++
+		}
+		if j >= len(union) || union[j] != k {
+			return nil, fmt.Errorf("sparse: key %d (index %d) not present in union", uint64(k), k.Index())
+		}
+		m[i] = int32(j)
+	}
+	return m, nil
+}
+
+// PartialPositionMap is PositionMap for the case where sub may contain
+// keys absent from union; absent keys map to -1. The second return value
+// counts the missing keys.
+func PartialPositionMap(sub, union Set) ([]int32, int) {
+	m := make([]int32, len(sub))
+	missing := 0
+	j := 0
+	for i, k := range sub {
+		for j < len(union) && union[j] < k {
+			j++
+		}
+		if j < len(union) && union[j] == k {
+			m[i] = int32(j)
+		} else {
+			m[i] = -1
+			missing++
+		}
+	}
+	return m, missing
+}
+
+// UnionWithMaps computes the tree union of the inputs and a position map
+// from each input into the union. This is the workhorse of the Kylix
+// configuration pass: a node unions the index sets received from its
+// layer neighbours and keeps one map per neighbour for later reduction.
+func UnionWithMaps(sets []Set) (Set, [][]int32) {
+	union := TreeUnion(sets)
+	maps := make([][]int32, len(sets))
+	for i, s := range sets {
+		m, err := PositionMap(s, union)
+		if err != nil {
+			// Impossible: union contains every input by construction.
+			panic("sparse: UnionWithMaps lost a key: " + err.Error())
+		}
+		maps[i] = m
+	}
+	return union, maps
+}

@@ -1,0 +1,42 @@
+package sparse
+
+import "fmt"
+
+// SplitOffsets partitions a sorted Set, known to lie within Range r, into
+// d contiguous pieces at equal hash boundaries (Kylix §III-A: "partitioning
+// is done into equal-size ranges of indices ... the original indices are
+// hashed to the values used for partitioning"). The returned slice has
+// d+1 entries: piece t is s[offsets[t]:offsets[t+1]].
+//
+// Because every Set is sorted by hashed key, each piece is itself a
+// sorted Set spanning sub-range r.Sub(d, t), and the pieces collected by
+// a receiving node all lie in the same sub-range, maximizing overlap in
+// the union below.
+func SplitOffsets(s Set, r Range, d int) []int32 {
+	offsets := make([]int32, d+1)
+	for t := 1; t < d; t++ {
+		sub := r.Sub(d, t)
+		offsets[t] = int32(s.LowerBound(sub.Lo))
+	}
+	offsets[d] = int32(len(s))
+	return offsets
+}
+
+// CheckInRange verifies that every key of s lies within r. The protocol
+// uses it to assert the nested-range invariant: after layer i, a node's
+// sets lie entirely within its refined hash range.
+func CheckInRange(s Set, r Range) error {
+	if len(s) == 0 {
+		return nil
+	}
+	if s[0] < r.Lo || s[len(s)-1] >= r.Hi {
+		return fmt.Errorf("sparse: set [%x,%x] escapes range [%x,%x)",
+			uint64(s[0]), uint64(s[len(s)-1]), uint64(r.Lo), uint64(r.Hi))
+	}
+	return nil
+}
+
+// Piece returns piece t of a set previously split with SplitOffsets.
+func Piece(s Set, offsets []int32, t int) Set {
+	return s[offsets[t]:offsets[t+1]]
+}

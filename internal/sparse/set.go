@@ -1,0 +1,126 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Set is a deduplicated slice of Keys in ascending order. The zero value
+// is an empty, usable Set.
+type Set []Key
+
+// NewSet builds a Set from raw feature indices. Duplicate indices are
+// collapsed. The second return value maps each input position to the
+// position of its key in the resulting Set, so callers can translate
+// between their original index order and the protocol's sorted order.
+func NewSet(indices []int32) (Set, []int32, error) {
+	type tagged struct {
+		key Key
+		pos int32
+	}
+	tmp := make([]tagged, len(indices))
+	for i, idx := range indices {
+		if idx < 0 {
+			return nil, nil, fmt.Errorf("sparse: negative feature index %d at position %d", idx, i)
+		}
+		tmp[i] = tagged{MakeKey(idx), int32(i)}
+	}
+	sort.Slice(tmp, func(a, b int) bool { return tmp[a].key < tmp[b].key })
+
+	set := make(Set, 0, len(tmp))
+	perm := make([]int32, len(indices))
+	for i := 0; i < len(tmp); {
+		k := tmp[i].key
+		set = append(set, k)
+		slot := int32(len(set) - 1)
+		for ; i < len(tmp) && tmp[i].key == k; i++ {
+			perm[tmp[i].pos] = slot
+		}
+	}
+	return set, perm, nil
+}
+
+// MustNewSet is NewSet for inputs known to be valid; it panics on error.
+// It is intended for tests and examples.
+func MustNewSet(indices []int32) Set {
+	s, _, err := NewSet(indices)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Indices returns the feature indices of the Set in key order.
+func (s Set) Indices() []int32 {
+	out := make([]int32, len(s))
+	for i, k := range s {
+		out[i] = k.Index()
+	}
+	return out
+}
+
+// IsSorted reports whether s is strictly ascending (sorted and
+// duplicate-free), the invariant all Sets must maintain.
+func (s Set) IsSorted() bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] >= s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether key k is present, by binary search.
+func (s Set) Contains(k Key) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= k })
+	return i < len(s) && s[i] == k
+}
+
+// Position returns the slot of key k in s and whether it is present.
+func (s Set) Position(k Key) (int, bool) {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= k })
+	if i < len(s) && s[i] == k {
+		return i, true
+	}
+	return -1, false
+}
+
+// LowerBound returns the first slot whose key is >= k.
+func (s Set) LowerBound(k Key) int {
+	return sort.Search(len(s), func(i int) bool { return s[i] >= k })
+}
+
+// Clone returns a copy of s.
+func (s Set) Clone() Set {
+	out := make(Set, len(s))
+	copy(out, s)
+	return out
+}
+
+// Equal reports whether two Sets hold exactly the same keys.
+func (s Set) Equal(t Set) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Subset reports whether every key of s is present in t. Both must be
+// sorted; the check is a linear merge-join.
+func (s Set) Subset(t Set) bool {
+	j := 0
+	for _, k := range s {
+		for j < len(t) && t[j] < k {
+			j++
+		}
+		if j >= len(t) || t[j] != k {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,226 @@
+package sparse
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeKeyRoundTrip(t *testing.T) {
+	for _, idx := range []int32{0, 1, 7, 1 << 20, 1<<31 - 1} {
+		k := MakeKey(idx)
+		if k.Index() != idx {
+			t.Errorf("MakeKey(%d).Index() = %d", idx, k.Index())
+		}
+		if k.Hash() != hash32(uint32(idx)) {
+			t.Errorf("hash half mismatch for %d", idx)
+		}
+	}
+}
+
+func TestHash32Bijective(t *testing.T) {
+	// Spot-check injectivity on a window; fmix32 is a bijection by
+	// construction (xorshift and odd-multiply steps are invertible).
+	seen := make(map[uint32]uint32)
+	for i := uint32(0); i < 100000; i++ {
+		h := hash32(i)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("hash32 collision: %d and %d -> %d", prev, i, h)
+		}
+		seen[h] = i
+	}
+}
+
+func TestKeyOrderFollowsHash(t *testing.T) {
+	a, b := MakeKey(3), MakeKey(4)
+	if (a < b) != (a.Hash() < b.Hash() || (a.Hash() == b.Hash() && a.Index() < b.Index())) {
+		t.Error("key order does not follow (hash, index) order")
+	}
+}
+
+func TestNewSetDedupAndPerm(t *testing.T) {
+	in := []int32{5, 3, 5, 9, 3, 3}
+	set, perm, err := NewSet(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 3 {
+		t.Fatalf("want 3 unique keys, got %d", len(set))
+	}
+	if !set.IsSorted() {
+		t.Fatal("set not sorted")
+	}
+	for i, idx := range in {
+		if set[perm[i]].Index() != idx {
+			t.Errorf("perm[%d] points at index %d, want %d", i, set[perm[i]].Index(), idx)
+		}
+	}
+}
+
+func TestNewSetRejectsNegative(t *testing.T) {
+	if _, _, err := NewSet([]int32{1, -2, 3}); err == nil {
+		t.Fatal("want error for negative index")
+	}
+}
+
+func TestNewSetEmpty(t *testing.T) {
+	set, perm, err := NewSet(nil)
+	if err != nil || len(set) != 0 || len(perm) != 0 {
+		t.Fatalf("empty input: set=%v perm=%v err=%v", set, perm, err)
+	}
+}
+
+func TestSetContainsPosition(t *testing.T) {
+	set := MustNewSet([]int32{10, 20, 30, 40})
+	for _, idx := range []int32{10, 20, 30, 40} {
+		k := MakeKey(idx)
+		if !set.Contains(k) {
+			t.Errorf("Contains(%d) = false", idx)
+		}
+		p, ok := set.Position(k)
+		if !ok || set[p] != k {
+			t.Errorf("Position(%d) = %d,%v", idx, p, ok)
+		}
+	}
+	if set.Contains(MakeKey(11)) {
+		t.Error("Contains(11) = true")
+	}
+	if _, ok := set.Position(MakeKey(11)); ok {
+		t.Error("Position(11) found")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	a := MustNewSet([]int32{1, 3, 5})
+	b := MustNewSet([]int32{0, 1, 2, 3, 4, 5})
+	if !a.Subset(b) {
+		t.Error("a should be subset of b")
+	}
+	if b.Subset(a) {
+		t.Error("b should not be subset of a")
+	}
+	if !Set(nil).Subset(a) {
+		t.Error("empty set is a subset of anything")
+	}
+}
+
+func TestSetEqualClone(t *testing.T) {
+	a := MustNewSet([]int32{1, 2, 3})
+	c := a.Clone()
+	if !a.Equal(c) {
+		t.Error("clone not equal")
+	}
+	c[0] = MakeKey(99)
+	if a.Equal(c) {
+		t.Error("mutating clone affected original comparison")
+	}
+	if a.Equal(a[:2]) {
+		t.Error("prefix compared equal")
+	}
+}
+
+// Property: NewSet output is always sorted, deduplicated, and the
+// permutation always points each input at its own key.
+func TestNewSetProperties(t *testing.T) {
+	f := func(raw []uint16) bool {
+		in := make([]int32, len(raw))
+		for i, r := range raw {
+			in[i] = int32(r)
+		}
+		set, perm, err := NewSet(in)
+		if err != nil {
+			return false
+		}
+		if !set.IsSorted() {
+			return false
+		}
+		for i, idx := range in {
+			if set[perm[i]].Index() != idx {
+				return false
+			}
+		}
+		uniq := make(map[int32]bool)
+		for _, idx := range in {
+			uniq[idx] = true
+		}
+		return len(set) == len(uniq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeSubCoversAndNests(t *testing.T) {
+	r := FullRange()
+	for _, d := range []int{1, 2, 3, 7, 64} {
+		var prev Key
+		for tt := 0; tt < d; tt++ {
+			sub := r.Sub(d, tt)
+			if tt == 0 && sub.Lo != r.Lo {
+				t.Errorf("d=%d first sub does not start at range lo", d)
+			}
+			if tt > 0 && sub.Lo != prev {
+				t.Errorf("d=%d sub %d not contiguous", d, tt)
+			}
+			if sub.Lo >= sub.Hi {
+				t.Errorf("d=%d sub %d empty or inverted", d, tt)
+			}
+			prev = sub.Hi
+		}
+		if prev != r.Hi {
+			t.Errorf("d=%d subs do not cover range", d)
+		}
+	}
+}
+
+func TestRangeSubPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for out-of-bounds Sub")
+		}
+	}()
+	FullRange().Sub(4, 4)
+}
+
+// Property: every key lands in exactly one sub-range.
+func TestRangeSubPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	r := FullRange()
+	for trial := 0; trial < 500; trial++ {
+		k := MakeKey(rng.Int31())
+		d := 1 + rng.Intn(16)
+		count := 0
+		for tt := 0; tt < d; tt++ {
+			if r.Sub(d, tt).Contains(k) {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Fatalf("key %x in %d sub-ranges of %d", uint64(k), count, d)
+		}
+	}
+}
+
+func TestIndicesRoundTrip(t *testing.T) {
+	in := []int32{8, 1, 99, 4}
+	set := MustNewSet(in)
+	got := set.Indices()
+	sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+	want := []int32{1, 4, 8, 99}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	set := MustNewSet([]int32{10, 20, 30})
+	if lb := set.LowerBound(set[0]); lb != 0 {
+		t.Errorf("LowerBound(first) = %d", lb)
+	}
+	if lb := set.LowerBound(set[2] + 1); lb != 3 {
+		t.Errorf("LowerBound(past-end) = %d", lb)
+	}
+}

@@ -1,0 +1,421 @@
+// Package tcpnet is the TCP sockets transport: the Go analogue of the
+// paper's pure-Java-sockets networking layer (§VI-C). Every ordered pair
+// of machines gets its own connection, dialed lazily with retry so
+// processes can start in any order; sends are enqueued to a per-peer
+// writer goroutine (asynchronous, opportunistic — §VI-B) and a reader
+// goroutine per inbound connection demultiplexes frames into the same
+// matched-receive mailbox the in-memory transport uses. It works both
+// in-process (loopback, for tests and benchmarks) and across real
+// processes (cmd/kylix-node).
+package tcpnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"kylix/internal/comm"
+)
+
+const (
+	// magic guards against cross-protocol connections.
+	magic = 0x4b594c58 // "KYLX"
+	// maxFrame bounds a frame to 1 GiB to fail fast on corruption.
+	maxFrame = 1 << 30
+)
+
+// Options configure a Node.
+type Options struct {
+	// RecvTimeout bounds blocking receives (0 = forever; default 30s).
+	RecvTimeout time.Duration
+	// DialTimeout bounds how long to keep retrying a peer dial
+	// (default 10s).
+	DialTimeout time.Duration
+	// Recorder observes sends for traffic accounting.
+	Recorder comm.Recorder
+}
+
+func (o Options) withDefaults() Options {
+	if o.RecvTimeout == 0 {
+		o.RecvTimeout = 30 * time.Second
+	}
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 10 * time.Second
+	}
+	if o.Recorder == nil {
+		o.Recorder = comm.NopRecorder{}
+	}
+	return o
+}
+
+// Node is one machine of a TCP cluster. It implements comm.Endpoint.
+type Node struct {
+	rank  int
+	addrs []string
+	opts  Options
+	box   *comm.Mailbox
+	ln    net.Listener
+
+	mu      sync.Mutex
+	peers   map[int]*peer
+	inbound []net.Conn
+	closed  bool
+	done    chan struct{}
+	wg      sync.WaitGroup
+	writers sync.WaitGroup
+}
+
+type peer struct {
+	queue chan frame
+	conn  net.Conn // set once dialed; closed by Node.Close to unblock writes
+	err   error
+}
+
+type frame struct {
+	tag  comm.Tag
+	data []byte
+}
+
+// Listen creates the node for `rank` and starts accepting on
+// addrs[rank]. The address may use port 0; Addr() reports the bound
+// address for the caller to distribute.
+func Listen(rank int, addrs []string, opts Options) (*Node, error) {
+	if rank < 0 || rank >= len(addrs) {
+		return nil, fmt.Errorf("tcpnet: rank %d out of [0,%d)", rank, len(addrs))
+	}
+	opts = opts.withDefaults()
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: rank %d listen: %w", rank, err)
+	}
+	n := &Node{
+		rank:  rank,
+		addrs: append([]string(nil), addrs...),
+		opts:  opts,
+		box:   comm.NewMailbox(opts.RecvTimeout),
+		ln:    ln,
+		peers: make(map[int]*peer),
+		done:  make(chan struct{}),
+	}
+	n.addrs[rank] = ln.Addr().String()
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the node's bound listen address.
+func (n *Node) Addr() string { return n.addrs[n.rank] }
+
+// Rank implements comm.Endpoint.
+func (n *Node) Rank() int { return n.rank }
+
+// Size implements comm.Endpoint.
+func (n *Node) Size() int { return len(n.addrs) }
+
+// Send implements comm.Endpoint: it encodes the payload and enqueues it
+// on the peer's writer, never blocking on the network.
+func (n *Node) Send(to int, tag comm.Tag, p comm.Payload) error {
+	if to < 0 || to >= len(n.addrs) {
+		return fmt.Errorf("tcpnet: send to rank %d out of [0,%d)", to, len(n.addrs))
+	}
+	n.opts.Recorder.Record(n.rank, to, tag, p.WireSize())
+	if to == n.rank {
+		// Loopback without the kernel round-trip, mirroring the paper's
+		// treatment of a node's own packets.
+		n.box.Deliver(n.rank, tag, p)
+		return nil
+	}
+	pr, err := n.peerFor(to)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, p.WireSize())
+	select {
+	case pr.queue <- frame{tag: tag, data: p.AppendTo(buf)}:
+		return nil
+	default:
+		// The queue is sized far beyond any protocol burst; hitting the
+		// limit means the peer stopped draining for a long time.
+		return fmt.Errorf("tcpnet: rank %d -> %d writer queue overflow", n.rank, to)
+	}
+}
+
+// Recv implements comm.Endpoint.
+func (n *Node) Recv(from int, tag comm.Tag) (comm.Payload, error) {
+	return n.box.Recv(from, tag)
+}
+
+// RecvAny implements comm.Endpoint.
+func (n *Node) RecvAny(froms []int, tag comm.Tag) (int, comm.Payload, error) {
+	return n.box.RecvAny(froms, tag)
+}
+
+// Close shuts the node down in two phases: first it signals writers to
+// flush their queued frames (a rank finishing a collective early must
+// not strand its final messages) and grants them a short grace period,
+// then it force-closes every connection so parked reader/writer
+// goroutines unblock — without the force-close, two nodes closing in
+// sequence deadlock waiting on each other's streams.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	close(n.done)
+	_ = n.ln.Close()
+	n.mu.Unlock()
+
+	flushed := make(chan struct{})
+	go func() {
+		n.writers.Wait()
+		close(flushed)
+	}()
+	select {
+	case <-flushed:
+	case <-time.After(2 * time.Second):
+	}
+
+	n.mu.Lock()
+	for _, pr := range n.peers {
+		if pr.conn != nil {
+			_ = pr.conn.Close()
+		}
+	}
+	for _, c := range n.inbound {
+		_ = c.Close()
+	}
+	n.mu.Unlock()
+
+	n.box.Close()
+	n.wg.Wait()
+	return nil
+}
+
+// peerFor returns (starting if necessary) the writer for a peer.
+func (n *Node) peerFor(to int) (*peer, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, comm.ErrClosed
+	}
+	if pr, ok := n.peers[to]; ok {
+		return pr, nil
+	}
+	pr := &peer{queue: make(chan frame, 65536)}
+	n.peers[to] = pr
+	n.wg.Add(1)
+	n.writers.Add(1)
+	go n.writeLoop(to, pr)
+	return pr, nil
+}
+
+// writeLoop dials the peer (with retry, so process start order does not
+// matter) and streams frames.
+func (n *Node) writeLoop(to int, pr *peer) {
+	defer n.wg.Done()
+	defer n.writers.Done()
+	conn, err := n.dial(to)
+	if err != nil {
+		// The peer is unreachable (dead machine). Park until shutdown,
+		// silently dropping traffic; the replication layer is
+		// responsible for masking dead peers.
+		pr.err = err
+		<-n.done
+		return
+	}
+	defer conn.Close()
+	n.mu.Lock()
+	if !n.closed {
+		// Register for force-close; when Close already ran, this conn is
+		// ours alone to flush and close, and the done branch below fires
+		// immediately.
+		pr.conn = conn
+	}
+	n.mu.Unlock()
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[:4], magic)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(n.rank))
+	if _, err := conn.Write(hdr[:8]); err != nil {
+		pr.err = err
+		<-n.done
+		return
+	}
+	for {
+		select {
+		case <-n.done:
+			// Graceful shutdown: flush frames already queued (a rank
+			// that finishes a collective early must not strand its last
+			// messages), then stop. The deadline bounds the flush if the
+			// peer has stopped reading.
+			_ = conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+			for {
+				select {
+				case f := <-pr.queue:
+					if !writeFrame(conn, &hdr, f) {
+						return
+					}
+				default:
+					return
+				}
+			}
+		case f := <-pr.queue:
+			if !writeFrame(conn, &hdr, f) {
+				pr.err = errWrite
+				<-n.done
+				return
+			}
+		}
+	}
+}
+
+// errWrite marks a failed stream; subsequent frames to the peer drop.
+var errWrite = fmt.Errorf("tcpnet: stream write failed")
+
+// writeFrame sends one length-prefixed frame with a CRC32-C payload
+// checksum; false on stream failure. The checksum guards against the
+// payload corruption the paper flags as a risk of large message counts
+// (§II-A2): a corrupted frame is detected and the stream dropped rather
+// than silently reducing wrong values.
+func writeFrame(conn net.Conn, hdr *[16]byte, f frame) bool {
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(f.data)))
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(f.tag))
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.Checksum(f.data, castagnoli))
+	if _, err := conn.Write(hdr[:16]); err != nil {
+		return false
+	}
+	_, err := conn.Write(f.data)
+	return err == nil
+}
+
+// castagnoli is the CRC32-C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// dial connects to a peer, retrying with backoff until DialTimeout.
+func (n *Node) dial(to int) (net.Conn, error) {
+	deadline := time.Now().Add(n.opts.DialTimeout)
+	backoff := 5 * time.Millisecond
+	for {
+		conn, err := net.DialTimeout("tcp", n.addrs[to], time.Until(deadline))
+		if err == nil {
+			if tc, ok := conn.(*net.TCPConn); ok {
+				_ = tc.SetNoDelay(true)
+			}
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("tcpnet: rank %d dial %d (%s): %w", n.rank, to, n.addrs[to], err)
+		}
+		time.Sleep(backoff)
+		if backoff < 200*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// acceptLoop admits inbound connections and spawns a reader per peer.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		n.inbound = append(n.inbound, conn)
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+// readLoop validates the handshake and demuxes frames into the mailbox.
+func (n *Node) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer conn.Close()
+	var hdr [16]byte
+	if _, err := io.ReadFull(conn, hdr[:8]); err != nil {
+		return
+	}
+	if binary.LittleEndian.Uint32(hdr[:4]) != magic {
+		return
+	}
+	from := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	if from < 0 || from >= len(n.addrs) {
+		return
+	}
+	for {
+		if _, err := io.ReadFull(conn, hdr[:16]); err != nil {
+			return
+		}
+		size := binary.LittleEndian.Uint32(hdr[:4])
+		if size > maxFrame {
+			return
+		}
+		tag := comm.Tag(binary.LittleEndian.Uint64(hdr[4:12]))
+		sum := binary.LittleEndian.Uint32(hdr[12:16])
+		data := make([]byte, size)
+		if _, err := io.ReadFull(conn, data); err != nil {
+			return
+		}
+		if crc32.Checksum(data, castagnoli) != sum {
+			// Corrupted frame: drop the stream; the replication layer
+			// (or the receive timeout) surfaces the loss.
+			return
+		}
+		p, err := comm.DecodePayload(data)
+		if err != nil {
+			return
+		}
+		n.box.Deliver(from, tag, p)
+	}
+}
+
+// LocalCluster spins up m nodes on loopback ephemeral ports within this
+// process and returns them fully wired. It is the harness used by tests,
+// benchmarks and the quickstart example; cross-process deployments use
+// Listen directly with a shared host file.
+func LocalCluster(m int, opts Options) ([]*Node, error) {
+	// Bind every listener first so the address table is complete before
+	// anyone dials.
+	nodes := make([]*Node, m)
+	addrs := make([]string, m)
+	for i := range addrs {
+		addrs[i] = "127.0.0.1:0"
+	}
+	for i := 0; i < m; i++ {
+		node, err := Listen(i, addrs, opts)
+		if err != nil {
+			for _, prev := range nodes[:i] {
+				_ = prev.Close()
+			}
+			return nil, err
+		}
+		nodes[i] = node
+		// Propagate the bound address to the remaining nodes' tables.
+		addrs[i] = node.Addr()
+		for j := 0; j < i; j++ {
+			nodes[j].addrs[i] = node.Addr()
+		}
+	}
+	return nodes, nil
+}
+
+// CloseAll closes every node of a local cluster.
+func CloseAll(nodes []*Node) {
+	for _, n := range nodes {
+		if n != nil {
+			_ = n.Close()
+		}
+	}
+}

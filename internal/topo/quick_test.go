@@ -1,0 +1,81 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kylix/internal/sparse"
+)
+
+// TestTopologyPropertiesQuick drives the mixed-radix invariants with
+// randomized degree vectors: digits reconstruct ranks, groups partition
+// each layer, group members share parent ranges, and bottom ranges tile
+// the key space.
+func TestTopologyPropertiesQuick(t *testing.T) {
+	type input struct {
+		Seed uint16
+	}
+	f := func(in input) bool {
+		rng := rand.New(rand.NewSource(int64(in.Seed)))
+		layers := 1 + rng.Intn(4)
+		degrees := make([]int, layers)
+		for i := range degrees {
+			degrees[i] = 1 + rng.Intn(5)
+		}
+		b, err := New(degrees)
+		if err != nil {
+			return false
+		}
+		for rank := 0; rank < b.M(); rank++ {
+			// Digits reconstruct the rank.
+			r := 0
+			for layer := 1; layer <= b.Layers(); layer++ {
+				r = r*b.Degree(layer) + b.Digit(rank, layer)
+			}
+			if r != rank {
+				return false
+			}
+			// Group membership is reflexive and position-consistent.
+			for layer := 1; layer <= b.Layers(); layer++ {
+				g := b.Group(rank, layer)
+				if g[b.Digit(rank, layer)] != rank {
+					return false
+				}
+				parent := b.RangeAt(rank, layer-1)
+				for tt, member := range g {
+					if b.RangeAt(member, layer-1) != parent {
+						return false
+					}
+					if b.RangeAt(member, layer) != parent.Sub(b.Degree(layer), tt) {
+						return false
+					}
+				}
+			}
+		}
+		// Bottom ranges tile the space: sum of spans equals the full
+		// span and no two overlap (checked via sorted lows).
+		lows := make([]sparse.Key, 0, b.M())
+		var span uint64
+		for rank := 0; rank < b.M(); rank++ {
+			rg := b.RangeAt(rank, b.Layers())
+			lows = append(lows, rg.Lo)
+			span += uint64(rg.Hi - rg.Lo)
+		}
+		full := sparse.FullRange()
+		if span != uint64(full.Hi-full.Lo) {
+			return false
+		}
+		seen := map[sparse.Key]bool{}
+		for _, lo := range lows {
+			if seen[lo] {
+				return false
+			}
+			seen[lo] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

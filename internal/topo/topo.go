@@ -1,0 +1,179 @@
+// Package topo provides the mixed-radix topology arithmetic of the
+// nested heterogeneous-degree butterfly. Machines 0..m-1 are laid out on
+// a hyper-rectangle of shape d_1 x d_2 x ... x d_l (m = prod d_i); at
+// communication layer i a machine exchanges with the d_i machines that
+// share all its coordinates except the i-th (its layer group). Layer
+// groups at layer i all share the same refined hash range, which is what
+// makes the network *nested*: the upward allgather retraces the downward
+// scatter-reduce through the same groups.
+package topo
+
+import (
+	"fmt"
+
+	"kylix/internal/sparse"
+)
+
+// Butterfly is an immutable nested butterfly over m = prod(Degrees)
+// machines. Layer numbering is 1-based to match the paper; node layers
+// run 0 (top) to Layers() (bottom).
+type Butterfly struct {
+	degrees []int
+	strides []int // strides[i] = prod of degrees[i+1:], so digit i varies in blocks of strides[i]
+	m       int
+}
+
+// New validates the degree vector and builds the topology. Every degree
+// must be >= 1; a degree-1 layer is legal but pointless (it is produced
+// only by the m=1 design).
+func New(degrees []int) (*Butterfly, error) {
+	if len(degrees) == 0 {
+		return nil, fmt.Errorf("topo: empty degree vector")
+	}
+	m := 1
+	for i, d := range degrees {
+		if d < 1 {
+			return nil, fmt.Errorf("topo: degree %d at layer %d must be >= 1", d, i+1)
+		}
+		if m > (1<<30)/d {
+			return nil, fmt.Errorf("topo: machine count overflow")
+		}
+		m *= d
+	}
+	b := &Butterfly{degrees: append([]int(nil), degrees...), m: m}
+	b.strides = make([]int, len(degrees))
+	s := 1
+	for i := len(degrees) - 1; i >= 0; i-- {
+		b.strides[i] = s
+		s *= degrees[i]
+	}
+	return b, nil
+}
+
+// MustNew is New for known-good degree vectors; it panics on error.
+func MustNew(degrees []int) *Butterfly {
+	b, err := New(degrees)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Direct returns the degree vector of the 1-layer direct all-to-all
+// network over m machines (the PowerGraph-style pattern of §II-A2).
+func Direct(m int) []int { return []int{m} }
+
+// Binary returns the degree vector of the log2(m)-layer binary butterfly.
+// m must be a power of two.
+func Binary(m int) ([]int, error) {
+	if m < 1 || m&(m-1) != 0 {
+		return nil, fmt.Errorf("topo: binary butterfly needs a power-of-two machine count, got %d", m)
+	}
+	if m == 1 {
+		return []int{1}, nil
+	}
+	var degrees []int
+	for v := m; v > 1; v >>= 1 {
+		degrees = append(degrees, 2)
+	}
+	return degrees, nil
+}
+
+// M returns the machine count.
+func (b *Butterfly) M() int { return b.m }
+
+// Layers returns the number of communication layers l.
+func (b *Butterfly) Layers() int { return len(b.degrees) }
+
+// Degree returns d_i for the 1-based communication layer i.
+func (b *Butterfly) Degree(layer int) int { return b.degrees[layer-1] }
+
+// Degrees returns a copy of the degree vector.
+func (b *Butterfly) Degrees() []int { return append([]int(nil), b.degrees...) }
+
+// Digit returns the layer-i coordinate of a machine (0-based, in
+// [0, d_i)). It determines which hash sub-range the machine owns after
+// layer i's scatter.
+func (b *Butterfly) Digit(rank, layer int) int {
+	return rank / b.strides[layer-1] % b.degrees[layer-1]
+}
+
+// Group returns the ordered layer-i group of a machine: the d_i machines
+// (including rank itself) sharing every coordinate except the i-th. The
+// t-th entry is the member whose layer-i digit is t, i.e. the member
+// that owns sub-range t after this layer.
+func (b *Butterfly) Group(rank, layer int) []int {
+	d := b.degrees[layer-1]
+	s := b.strides[layer-1]
+	base := rank - b.Digit(rank, layer)*s
+	out := make([]int, d)
+	for t := 0; t < d; t++ {
+		out[t] = base + t*s
+	}
+	return out
+}
+
+// RangeAt returns the hash range a machine owns after communication
+// layers 1..layer have run (layer 0 = the full space). Ranges nest:
+// RangeAt(r, i) is sub-range Digit(r, i) of RangeAt(r, i-1), and all
+// members of a layer-i group share RangeAt(., i-1).
+func (b *Butterfly) RangeAt(rank, layer int) sparse.Range {
+	r := sparse.FullRange()
+	for i := 1; i <= layer; i++ {
+		r = r.Sub(b.degrees[i-1], b.Digit(rank, i))
+	}
+	return r
+}
+
+// String implements fmt.Stringer, e.g. "8x4x2".
+func (b *Butterfly) String() string {
+	s := ""
+	for i, d := range b.degrees {
+		if i > 0 {
+			s += "x"
+		}
+		s += fmt.Sprintf("%d", d)
+	}
+	return s
+}
+
+// Describe renders the nested structure for small networks — the view
+// the paper's Figure 3 illustrates: every communication layer with its
+// groups and each machine's refined hash-range ownership (as the
+// fraction of the space it covers). Intended for documentation and the
+// design CLI; networks wider than 64 machines are summarized per layer
+// without group listings.
+func (b *Butterfly) Describe() string {
+	var sb []byte
+	add := func(format string, args ...interface{}) {
+		sb = append(sb, fmt.Sprintf(format, args...)...)
+	}
+	add("nested butterfly %s over %d machines, %d layers\n", b, b.m, b.Layers())
+	for layer := 1; layer <= b.Layers(); layer++ {
+		d := b.Degree(layer)
+		add("layer %d: degree %d, %d groups, each machine owns 1/%d of the key space after it\n",
+			layer, d, b.m/d, groupProduct(b, layer))
+		if b.m > 64 {
+			continue
+		}
+		seen := make(map[int]bool, b.m)
+		for rank := 0; rank < b.m; rank++ {
+			leader := b.Group(rank, layer)[0]
+			if seen[leader] {
+				continue
+			}
+			seen[leader] = true
+			add("  group %v\n", b.Group(rank, layer))
+		}
+	}
+	return string(sb)
+}
+
+// groupProduct is the number of partitions refined through layer l.
+func groupProduct(b *Butterfly, layer int) int {
+	p := 1
+	for i := 1; i <= layer; i++ {
+		p *= b.Degree(i)
+	}
+	return p
+}

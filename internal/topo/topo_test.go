@@ -1,0 +1,248 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+
+	"kylix/internal/sparse"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("accepted empty degrees")
+	}
+	if _, err := New([]int{4, 0}); err == nil {
+		t.Error("accepted zero degree")
+	}
+	if _, err := New([]int{1 << 16, 1 << 16}); err == nil {
+		t.Error("accepted overflowing machine count")
+	}
+	b, err := New([]int{8, 4, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.M() != 64 || b.Layers() != 3 {
+		t.Fatalf("M=%d Layers=%d", b.M(), b.Layers())
+	}
+	if b.Degree(1) != 8 || b.Degree(3) != 2 {
+		t.Fatal("Degree() wrong")
+	}
+	if b.String() != "8x4x2" {
+		t.Fatalf("String() = %q", b.String())
+	}
+}
+
+func TestDegreesIsCopy(t *testing.T) {
+	b := MustNew([]int{4, 2})
+	d := b.Degrees()
+	d[0] = 99
+	if b.Degree(1) != 4 {
+		t.Fatal("Degrees() aliases internal state")
+	}
+}
+
+func TestDirectAndBinary(t *testing.T) {
+	if d := Direct(16); len(d) != 1 || d[0] != 16 {
+		t.Fatalf("Direct(16) = %v", d)
+	}
+	bin, err := Binary(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bin) != 4 {
+		t.Fatalf("Binary(16) = %v", bin)
+	}
+	if _, err := Binary(12); err == nil {
+		t.Error("Binary accepted non-power-of-two")
+	}
+	one, err := Binary(1)
+	if err != nil || len(one) != 1 || one[0] != 1 {
+		t.Errorf("Binary(1) = %v, %v", one, err)
+	}
+}
+
+func TestDigitsReconstructRank(t *testing.T) {
+	b := MustNew([]int{3, 4, 2})
+	for rank := 0; rank < b.M(); rank++ {
+		r := 0
+		for layer := 1; layer <= b.Layers(); layer++ {
+			r = r*b.Degree(layer) + b.Digit(rank, layer)
+		}
+		if r != rank {
+			t.Fatalf("digits of %d reconstruct %d", rank, r)
+		}
+	}
+}
+
+func TestGroupStructure(t *testing.T) {
+	b := MustNew([]int{4, 3, 2})
+	for rank := 0; rank < b.M(); rank++ {
+		for layer := 1; layer <= b.Layers(); layer++ {
+			g := b.Group(rank, layer)
+			if len(g) != b.Degree(layer) {
+				t.Fatalf("group size %d", len(g))
+			}
+			// t-th member has digit t and rank is a member.
+			found := false
+			for tt, member := range g {
+				if b.Digit(member, layer) != tt {
+					t.Fatalf("member %d of group(%d,%d) has digit %d, want %d",
+						member, rank, layer, b.Digit(member, layer), tt)
+				}
+				if member == rank {
+					found = true
+				}
+				// All other digits match rank's.
+				for other := 1; other <= b.Layers(); other++ {
+					if other != layer && b.Digit(member, other) != b.Digit(rank, other) {
+						t.Fatalf("group member %d differs from %d at layer %d", member, rank, other)
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("rank %d not in its own group", rank)
+			}
+		}
+	}
+}
+
+func TestGroupSymmetry(t *testing.T) {
+	b := MustNew([]int{2, 3, 4})
+	for rank := 0; rank < b.M(); rank++ {
+		for layer := 1; layer <= b.Layers(); layer++ {
+			for _, member := range b.Group(rank, layer) {
+				mg := b.Group(member, layer)
+				ok := false
+				for _, x := range mg {
+					if x == rank {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Fatalf("group relation not symmetric at (%d,%d)", rank, layer)
+				}
+			}
+		}
+	}
+}
+
+func TestGroupsPartitionLayer(t *testing.T) {
+	// At each layer the groups partition the machine set.
+	b := MustNew([]int{4, 4})
+	for layer := 1; layer <= 2; layer++ {
+		seen := make(map[int]int)
+		for rank := 0; rank < b.M(); rank++ {
+			for _, member := range b.Group(rank, layer) {
+				_ = member
+			}
+			// Count rank once via its canonical group leader.
+			leader := b.Group(rank, layer)[0]
+			seen[leader]++
+		}
+		for leader, count := range seen {
+			if count != b.Degree(layer) {
+				t.Fatalf("layer %d group of %d has %d members counted", layer, leader, count)
+			}
+		}
+		if len(seen) != b.M()/b.Degree(layer) {
+			t.Fatalf("layer %d has %d groups", layer, len(seen))
+		}
+	}
+}
+
+func TestRangesNestAndShare(t *testing.T) {
+	b := MustNew([]int{3, 2, 2})
+	for rank := 0; rank < b.M(); rank++ {
+		prev := sparse.FullRange()
+		for layer := 1; layer <= b.Layers(); layer++ {
+			r := b.RangeAt(rank, layer)
+			if r.Lo < prev.Lo || r.Hi > prev.Hi {
+				t.Fatalf("range at layer %d not nested in layer %d", layer, layer-1)
+			}
+			// All group members share the parent range.
+			for _, member := range b.Group(rank, layer) {
+				if b.RangeAt(member, layer-1) != prev {
+					t.Fatalf("group member %d does not share layer-%d range with %d", member, layer-1, rank)
+				}
+			}
+			// Member t owns sub-range t of the parent.
+			g := b.Group(rank, layer)
+			for tt, member := range g {
+				if b.RangeAt(member, layer) != prev.Sub(b.Degree(layer), tt) {
+					t.Fatalf("member %d does not own sub-range %d", member, tt)
+				}
+			}
+			prev = r
+		}
+	}
+}
+
+func TestBottomRangesPartitionSpace(t *testing.T) {
+	b := MustNew([]int{2, 2, 2})
+	full := sparse.FullRange()
+	covered := full.Lo
+	// Bottom ranges, ordered by rank in digit order, tile the space.
+	type rr struct {
+		lo, hi sparse.Key
+	}
+	ranges := make([]rr, b.M())
+	for rank := 0; rank < b.M(); rank++ {
+		r := b.RangeAt(rank, b.Layers())
+		ranges[rank] = rr{r.Lo, r.Hi}
+	}
+	// Sort by lo and verify tiling.
+	for i := 0; i < len(ranges); i++ {
+		for j := i + 1; j < len(ranges); j++ {
+			if ranges[j].lo < ranges[i].lo {
+				ranges[i], ranges[j] = ranges[j], ranges[i]
+			}
+		}
+	}
+	for _, r := range ranges {
+		if r.lo != covered {
+			t.Fatalf("gap or overlap at %x", uint64(covered))
+		}
+		covered = r.hi
+	}
+	if covered != full.Hi {
+		t.Fatal("bottom ranges do not cover the space")
+	}
+}
+
+func TestDirectTopologyGroupIsEveryone(t *testing.T) {
+	b := MustNew(Direct(8))
+	g := b.Group(3, 1)
+	if len(g) != 8 {
+		t.Fatalf("direct group size %d", len(g))
+	}
+	for i, member := range g {
+		if member != i {
+			t.Fatalf("direct group = %v", g)
+		}
+	}
+}
+
+func TestSingleMachineTopology(t *testing.T) {
+	b := MustNew([]int{1})
+	if b.M() != 1 || b.Digit(0, 1) != 0 || len(b.Group(0, 1)) != 1 {
+		t.Fatal("degenerate single-machine topology broken")
+	}
+	if b.RangeAt(0, 1) != sparse.FullRange() {
+		t.Fatal("single machine should own the full range")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	b := MustNew([]int{3, 2})
+	s := b.Describe()
+	for _, want := range []string{"3x2 over 6 machines", "layer 1: degree 3", "layer 2: degree 2", "group [0 2 4]", "1/6 of the key space"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Describe missing %q:\n%s", want, s)
+		}
+	}
+	// Wide networks summarize without group listings.
+	wide := MustNew([]int{128})
+	if s := wide.Describe(); strings.Contains(s, "group [") {
+		t.Fatal("wide network should not list groups")
+	}
+}

@@ -1,0 +1,153 @@
+// Package trace accumulates per-phase, per-layer traffic statistics from
+// transport sends. The collected volumes regenerate Figure 5 (the
+// "Kylix" per-layer communication profile) directly and feed the netsim
+// cost model that converts traffic into modelled cluster time for
+// Figures 6-9 and Table I.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"kylix/internal/comm"
+)
+
+// LayerTraffic aggregates every message of one (kind, layer) cell.
+type LayerTraffic struct {
+	// Kind is the protocol phase (config, reduce, gather, ...).
+	Kind comm.Kind
+	// Layer is the communication layer the messages belong to.
+	Layer int
+	// Msgs and Bytes are network-wide totals, self-sends included (the
+	// paper's Figure 5 counts "packets to its own").
+	Msgs  int64
+	Bytes int64
+	// SelfMsgs/SelfBytes count the self-send subset, so callers can also
+	// report pure wire traffic.
+	SelfMsgs  int64
+	SelfBytes int64
+	// MaxNodeBytes/MaxNodeMsgs are the largest per-sender totals; phase
+	// completion time is governed by the busiest node.
+	MaxNodeBytes int64
+	MaxNodeMsgs  int64
+}
+
+type cellKey struct {
+	kind  comm.Kind
+	layer int
+}
+
+type cell struct {
+	msgs, bytes         int64
+	selfMsgs, selfBytes int64
+	perNodeBytes        []int64
+	perNodeMsgs         []int64
+}
+
+// Collector implements comm.Recorder. It is safe for concurrent use.
+type Collector struct {
+	m     int
+	mu    sync.Mutex
+	cells map[cellKey]*cell
+}
+
+// NewCollector creates a Collector for an m-machine cluster.
+func NewCollector(m int) *Collector {
+	return &Collector{m: m, cells: make(map[cellKey]*cell)}
+}
+
+// Record implements comm.Recorder.
+func (c *Collector) Record(from, to int, tag comm.Tag, bytes int) {
+	k := cellKey{tag.Kind(), tag.Layer()}
+	c.mu.Lock()
+	cl := c.cells[k]
+	if cl == nil {
+		cl = &cell{perNodeBytes: make([]int64, c.m), perNodeMsgs: make([]int64, c.m)}
+		c.cells[k] = cl
+	}
+	cl.msgs++
+	cl.bytes += int64(bytes)
+	if from == to {
+		cl.selfMsgs++
+		cl.selfBytes += int64(bytes)
+	}
+	if from >= 0 && from < c.m {
+		cl.perNodeBytes[from] += int64(bytes)
+		cl.perNodeMsgs[from]++
+	}
+	c.mu.Unlock()
+}
+
+// Layers returns the aggregated traffic, sorted by kind then layer.
+func (c *Collector) Layers() []LayerTraffic {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]LayerTraffic, 0, len(c.cells))
+	for k, cl := range c.cells {
+		lt := LayerTraffic{
+			Kind: k.kind, Layer: k.layer,
+			Msgs: cl.msgs, Bytes: cl.bytes,
+			SelfMsgs: cl.selfMsgs, SelfBytes: cl.selfBytes,
+		}
+		for i := 0; i < c.m; i++ {
+			if cl.perNodeBytes[i] > lt.MaxNodeBytes {
+				lt.MaxNodeBytes = cl.perNodeBytes[i]
+			}
+			if cl.perNodeMsgs[i] > lt.MaxNodeMsgs {
+				lt.MaxNodeMsgs = cl.perNodeMsgs[i]
+			}
+		}
+		out = append(out, lt)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Kind != out[b].Kind {
+			return out[a].Kind < out[b].Kind
+		}
+		return out[a].Layer < out[b].Layer
+	})
+	return out
+}
+
+// KindLayers returns only the cells of one kind, sorted by layer.
+func (c *Collector) KindLayers(kind comm.Kind) []LayerTraffic {
+	all := c.Layers()
+	out := all[:0:0]
+	for _, lt := range all {
+		if lt.Kind == kind {
+			out = append(out, lt)
+		}
+	}
+	return out
+}
+
+// TotalBytes sums the byte volume across all layers of a kind.
+func (c *Collector) TotalBytes(kind comm.Kind) int64 {
+	var total int64
+	for _, lt := range c.KindLayers(kind) {
+		total += lt.Bytes
+	}
+	return total
+}
+
+// Machines returns the cluster size the collector was built for.
+func (c *Collector) Machines() int { return c.m }
+
+// Reset clears all cells (e.g. between the configure and reduce timings
+// of an experiment).
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.cells = make(map[cellKey]*cell)
+	c.mu.Unlock()
+}
+
+// String renders a compact per-layer table for logs.
+func (c *Collector) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %5s %10s %14s %14s\n", "kind", "layer", "msgs", "bytes", "maxNodeBytes")
+	for _, lt := range c.Layers() {
+		fmt.Fprintf(&b, "%-14s %5d %10d %14d %14d\n", lt.Kind, lt.Layer, lt.Msgs, lt.Bytes, lt.MaxNodeBytes)
+	}
+	return b.String()
+}

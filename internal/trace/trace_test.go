@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"kylix/internal/comm"
+)
+
+func TestCollectorAggregates(t *testing.T) {
+	c := NewCollector(4)
+	tag1 := comm.MakeTag(comm.KindConfig, 1, 0)
+	tag2 := comm.MakeTag(comm.KindConfig, 2, 0)
+	c.Record(0, 1, tag1, 100)
+	c.Record(0, 0, tag1, 50) // self send
+	c.Record(1, 2, tag1, 100)
+	c.Record(2, 3, tag2, 10)
+
+	layers := c.KindLayers(comm.KindConfig)
+	if len(layers) != 2 {
+		t.Fatalf("want 2 layers, got %d", len(layers))
+	}
+	l1 := layers[0]
+	if l1.Layer != 1 || l1.Msgs != 3 || l1.Bytes != 250 {
+		t.Fatalf("layer1 = %+v", l1)
+	}
+	if l1.SelfMsgs != 1 || l1.SelfBytes != 50 {
+		t.Fatalf("self accounting wrong: %+v", l1)
+	}
+	if l1.MaxNodeBytes != 150 || l1.MaxNodeMsgs != 2 {
+		t.Fatalf("max-node accounting wrong: %+v", l1)
+	}
+	if c.TotalBytes(comm.KindConfig) != 260 {
+		t.Fatalf("total = %d", c.TotalBytes(comm.KindConfig))
+	}
+	if c.TotalBytes(comm.KindReduce) != 0 {
+		t.Fatal("unexpected reduce traffic")
+	}
+}
+
+func TestCollectorLayersSorted(t *testing.T) {
+	c := NewCollector(2)
+	c.Record(0, 1, comm.MakeTag(comm.KindReduce, 3, 0), 1)
+	c.Record(0, 1, comm.MakeTag(comm.KindConfig, 2, 0), 1)
+	c.Record(0, 1, comm.MakeTag(comm.KindConfig, 1, 0), 1)
+	layers := c.Layers()
+	if len(layers) != 3 {
+		t.Fatalf("want 3 cells, got %d", len(layers))
+	}
+	if layers[0].Kind != comm.KindConfig || layers[0].Layer != 1 ||
+		layers[1].Layer != 2 || layers[2].Kind != comm.KindReduce {
+		t.Fatalf("not sorted: %+v", layers)
+	}
+}
+
+func TestCollectorReset(t *testing.T) {
+	c := NewCollector(2)
+	c.Record(0, 1, comm.MakeTag(comm.KindConfig, 1, 0), 9)
+	c.Reset()
+	if len(c.Layers()) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestCollectorMachines(t *testing.T) {
+	if NewCollector(7).Machines() != 7 {
+		t.Fatal("Machines() wrong")
+	}
+}
+
+func TestCollectorString(t *testing.T) {
+	c := NewCollector(2)
+	c.Record(0, 1, comm.MakeTag(comm.KindGather, 1, 0), 42)
+	s := c.String()
+	if !strings.Contains(s, "gather") || !strings.Contains(s, "42") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Record(g, (g+1)%8, comm.MakeTag(comm.KindReduce, 1, 0), 10)
+			}
+		}(g)
+	}
+	wg.Wait()
+	layers := c.KindLayers(comm.KindReduce)
+	if len(layers) != 1 || layers[0].Msgs != 8000 || layers[0].Bytes != 80000 {
+		t.Fatalf("lost samples: %+v", layers)
+	}
+}

@@ -1,0 +1,151 @@
+package kylix
+
+import (
+	"math/rand"
+	"time"
+
+	"kylix/internal/powerlaw"
+	"kylix/internal/sparse"
+)
+
+// Reducer combines the values of a feature contributed by different
+// machines. See Sum, Max, Min and Or.
+type Reducer = sparse.Reducer
+
+// Built-in reducers.
+var (
+	// Sum adds contributions (the default; PageRank, gradients).
+	Sum = sparse.Sum
+	// Max keeps the elementwise maximum.
+	Max = sparse.Max
+	// Min keeps the elementwise minimum (label propagation).
+	Min = sparse.Min
+	// Or treats each float32 as a 32-bit mask and unions them
+	// (Flajolet-Martin sketches).
+	Or = sparse.Or
+)
+
+// Transport selects how cluster machines exchange messages.
+type Transport int
+
+const (
+	// TransportMemory runs machines as goroutines with in-memory
+	// mailboxes: fastest, supports failure injection. The default.
+	TransportMemory Transport = iota
+	// TransportTCP runs machines as goroutines connected through real
+	// loopback TCP sockets, exercising the full wire path.
+	TransportTCP
+)
+
+type config struct {
+	degrees     []int
+	binary      bool
+	transport   Transport
+	replication int
+	width       int
+	reducer     Reducer
+	strict      bool
+	recvTimeout time.Duration
+	channel     uint8
+	trace       bool
+}
+
+func defaultConfig() config {
+	return config{
+		transport:   TransportMemory,
+		replication: 1,
+		width:       1,
+		reducer:     Sum,
+		recvTimeout: 30 * time.Second,
+	}
+}
+
+// Option customizes a Cluster or a listening Node.
+type Option func(*config)
+
+// WithDegrees fixes the butterfly layer degrees d_1, ..., d_l. Their
+// product must equal the (logical) machine count. Without this option
+// the cluster uses the direct (single-layer) topology.
+func WithDegrees(degrees ...int) Option {
+	return func(c *config) { c.degrees = append([]int(nil), degrees...) }
+}
+
+// WithBinaryButterfly selects the log2(m)-layer degree-2 topology. The
+// (logical) machine count must be a power of two.
+func WithBinaryButterfly() Option {
+	return func(c *config) { c.binary = true }
+}
+
+// WithTransport selects the message transport.
+func WithTransport(t Transport) Option {
+	return func(c *config) { c.transport = t }
+}
+
+// WithReplication enables the paper's §V fault tolerance: data and
+// messages are replicated s ways, receivers race the copies, and the
+// protocol survives any failures that leave one live replica per group.
+// The machine count must be divisible by s; the topology then spans the
+// m/s logical machines.
+func WithReplication(s int) Option {
+	return func(c *config) { c.replication = s }
+}
+
+// WithWidth sets the number of float32 values carried per feature
+// (default 1).
+func WithWidth(w int) Option {
+	return func(c *config) { c.width = w }
+}
+
+// WithReducer sets the combining operation (default Sum).
+func WithReducer(r Reducer) Option {
+	return func(c *config) { c.reducer = r }
+}
+
+// WithStrict makes configuration fail when a requested in-index has no
+// contributor anywhere (instead of gathering the reducer's identity).
+func WithStrict() Option {
+	return func(c *config) { c.strict = true }
+}
+
+// WithRecvTimeout bounds blocking receives so dead unreplicated peers
+// surface as errors rather than hangs (default 30s; 0 waits forever).
+func WithRecvTimeout(d time.Duration) Option {
+	return func(c *config) { c.recvTimeout = d }
+}
+
+// WithChannel namespaces the node's message tags so several independent
+// allreduce networks can share the same cluster (e.g. a main reduction
+// plus a convergence counter).
+func WithChannel(ch uint8) Option {
+	return func(c *config) { c.channel = ch }
+}
+
+// WithTrace enables traffic recording; see Cluster.Traffic.
+func WithTrace() Option {
+	return func(c *config) { c.trace = true }
+}
+
+// DesignInput parameterizes DesignDegrees; see the package
+// documentation of the design workflow (paper §IV).
+type DesignInput = powerlaw.DesignInput
+
+// DesignDegrees runs the paper's §IV workflow: given the feature count,
+// the power-law exponent, the measured density of the initial per-node
+// partition, the machine count and the network's minimum efficient
+// packet size, it returns the optimal butterfly degrees (largest degree
+// per layer that keeps packets at or above the floor, product equal to
+// the machine count).
+func DesignDegrees(in DesignInput) ([]int, error) {
+	return powerlaw.Design(in)
+}
+
+// DesignFromSample runs the measure-then-design pipeline for datasets
+// whose power-law exponent is unknown (§IV's empirical-curve variant):
+// it fits (alpha, lambda) to a sample of raw feature occurrences (with
+// multiplicity, e.g. all edge endpoints of one machine's partition) and
+// returns the optimal degrees plus the fitted exponent.
+func DesignFromSample(seed int64, occurrences []int32, n int64, machines, elemBytes int, minPacket float64) (degrees []int, alpha float64, err error) {
+	rng := rand.New(rand.NewSource(seed))
+	degrees, alpha, _, err = powerlaw.DesignFromSample(rng, occurrences, n, machines, elemBytes, minPacket)
+	return degrees, alpha, err
+}

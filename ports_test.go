@@ -1,0 +1,25 @@
+package kylix_test
+
+import "net"
+
+// reservePorts finds n free loopback TCP ports by binding and releasing
+// listeners. There is a small race window before the real listeners
+// rebind, which is acceptable for tests.
+func reservePorts(n int) ([]string, error) {
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range listeners {
+			_ = ln.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		listeners = append(listeners, ln)
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs, nil
+}

@@ -1,0 +1,106 @@
+package kylix
+
+import (
+	"fmt"
+	"strings"
+
+	"kylix/internal/comm"
+	"kylix/internal/netsim"
+	"kylix/internal/trace"
+)
+
+// Phase identifies which protocol pass a traffic row belongs to.
+type Phase string
+
+// Protocol phases.
+const (
+	PhaseConfig       Phase = "config"
+	PhaseReduce       Phase = "reduce"
+	PhaseGather       Phase = "gather"
+	PhaseConfigReduce Phase = "config+reduce"
+	PhaseApplication  Phase = "app"
+)
+
+// LayerTraffic is one (phase, layer) cell of recorded traffic.
+type LayerTraffic struct {
+	Phase Phase
+	Layer int
+	// Msgs and Bytes include self-sends, the paper's Figure 5
+	// convention; WireBytes excludes them.
+	Msgs      int64
+	Bytes     int64
+	WireBytes int64
+	// ModelSec is the layer's modelled duration on the paper's EC2
+	// cluster.
+	ModelSec float64
+}
+
+// TrafficReport summarizes recorded traffic and its modelled timing.
+type TrafficReport struct {
+	Layers []LayerTraffic
+	// ConfigSec / ReduceSec are the modelled phase times of Figure 6 and
+	// Table I (reduce includes the gather pass).
+	ConfigSec float64
+	ReduceSec float64
+}
+
+// TotalSec is the modelled end-to-end allreduce time.
+func (r *TrafficReport) TotalSec() float64 { return r.ConfigSec + r.ReduceSec }
+
+// TotalBytes sums traffic (self included) over all layers, optionally
+// filtered by phase ("" = all).
+func (r *TrafficReport) TotalBytes(phase Phase) int64 {
+	var total int64
+	for _, lt := range r.Layers {
+		if phase == "" || lt.Phase == phase {
+			total += lt.Bytes
+		}
+	}
+	return total
+}
+
+// String renders a per-layer table.
+func (r *TrafficReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %5s %12s %14s %14s %10s\n", "phase", "layer", "msgs", "bytes", "wireBytes", "modelSec")
+	for _, lt := range r.Layers {
+		fmt.Fprintf(&b, "%-14s %5d %12d %14d %14d %10.4f\n",
+			lt.Phase, lt.Layer, lt.Msgs, lt.Bytes, lt.WireBytes, lt.ModelSec)
+	}
+	fmt.Fprintf(&b, "modelled: config %.4fs, reduce %.4fs\n", r.ConfigSec, r.ReduceSec)
+	return b.String()
+}
+
+func phaseOf(kind comm.Kind) Phase {
+	switch kind {
+	case comm.KindConfig:
+		return PhaseConfig
+	case comm.KindReduce:
+		return PhaseReduce
+	case comm.KindGather:
+		return PhaseGather
+	case comm.KindConfigReduce:
+		return PhaseConfigReduce
+	default:
+		return PhaseApplication
+	}
+}
+
+func buildTrafficReport(col *trace.Collector, model netsim.Model, threads int) *TrafficReport {
+	rep := netsim.Estimate(col, model, threads)
+	out := &TrafficReport{ConfigSec: rep.ConfigSec, ReduceSec: rep.ReduceSec}
+	// Join the raw layer volumes with the modelled times (both are
+	// sorted by kind then layer).
+	raw := col.Layers()
+	for i, lt := range raw {
+		row := LayerTraffic{
+			Phase: phaseOf(lt.Kind), Layer: lt.Layer,
+			Msgs: lt.Msgs, Bytes: lt.Bytes, WireBytes: lt.Bytes - lt.SelfBytes,
+		}
+		if i < len(rep.Layers) {
+			row.ModelSec = rep.Layers[i].Seconds
+		}
+		out.Layers = append(out.Layers, row)
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+# Developer entry points. `make check` is the full gate a PR must pass:
+# vet, build, the whole test suite, and the race lane over the packages
+# with the heaviest concurrency (transports, fault fabric, replication).
+
+GO ?= go
+
+.PHONY: check vet build test race fuzz
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Short-mode race lane: the concurrency-critical packages under the race
+# detector. Short mode keeps it minutes, not tens of minutes.
+race:
+	$(GO) test -race -short ./internal/faultnet/... ./internal/tcpnet/... ./internal/replica/...
+
+# A quick pass over the fault fabric's determinism fuzzer.
+fuzz:
+	$(GO) test -run FuzzDecide -fuzz FuzzDecide -fuzztime 10s ./internal/faultnet/

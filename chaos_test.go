@@ -1,0 +1,244 @@
+package kylix_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"kylix"
+)
+
+// The chaos soak is the acceptance test for the fault fabric: an s=2
+// replicated 16-machine cluster runs multi-round allreduces while a
+// seeded schedule drops, duplicates, delays and reorders messages and
+// crash-stops one replica mid-round, every round — and every surviving
+// machine's results must be bit-identical to a fault-free run. Faults
+// are confined to the upper replica half, the regime the paper's §V
+// replication guarantees to survive (each group keeps its lower
+// survivor).
+
+const (
+	soakPhys    = 16
+	soakLogical = 8
+	soakRounds  = 6
+)
+
+var soakVictims = []int{9, 11, 13, 15, 10} // killed mid-round in rounds 1..5
+
+func soakOpts(transport kylix.Transport, plan kylix.FaultPlan) []kylix.Option {
+	return []kylix.Option{
+		kylix.WithTransport(transport),
+		kylix.WithReplication(2),
+		kylix.WithDegrees(4, 2),
+		kylix.WithRecvTimeout(15 * time.Second),
+		kylix.WithFaults(plan),
+	}
+}
+
+// soakRound is one allreduce: logical rank q contributes round- and
+// rank-dependent non-trivial floats to two shared features and one
+// private feature, and gathers the shared ones plus a neighbour's
+// private feature. Bit-exactness of the results is meaningful because
+// float addition order matters and the protocol fixes it.
+func soakRound(node *kylix.Node, round int) ([]float32, error) {
+	q := node.Rank()
+	neighbour := int32(100 + (q+1)%soakLogical)
+	out := []int32{0, 1, int32(100 + q)}
+	in := []int32{0, 1, neighbour}
+	red, err := node.Configure(in, out)
+	if err != nil {
+		return nil, err
+	}
+	vals := []float32{
+		float32(q+1) * 0.1 * float32(round+1),
+		1.0 / float32(q+2),
+		float32(q*100 + round),
+	}
+	return red.Reduce(vals)
+}
+
+// runSoak runs `rounds` rounds on a fresh cluster, returning per-round
+// per-physical-rank results (nil entries for crash-stopped machines)
+// and the cumulative per-rank fabric send counts after each round (the
+// logical clock kill schedules are written against).
+func runSoak(t *testing.T, transport kylix.Transport, plan kylix.FaultPlan, rounds int) (results [][][]float32, snaps [][]int64, cluster *kylix.Cluster) {
+	t.Helper()
+	cluster, err := kylix.NewCluster(soakPhys, soakOpts(transport, plan)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	fab := cluster.Faults()
+	for r := 0; r < rounds; r++ {
+		res := make([][]float32, soakPhys)
+		var mu sync.Mutex
+		err := cluster.Run(func(node *kylix.Node) error {
+			v, err := soakRound(node, r)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			res[node.PhysicalRank()] = v
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%v round %d: %v", transport, r, err)
+		}
+		snap := make([]int64, soakPhys)
+		for p := 0; p < soakPhys; p++ {
+			snap[p] = fab.Sends(p)
+		}
+		results = append(results, res)
+		snaps = append(snaps, snap)
+	}
+	return results, snaps, cluster
+}
+
+func bitsEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func testChaosSoak(t *testing.T, transport kylix.Transport) {
+	// Pass 1 — fault-free probe: establishes the ground-truth results
+	// and measures each rank's per-round send counts, which are
+	// identical in the chaos pass (counting precedes fault decisions).
+	baseline, snaps, _ := runSoak(t, transport, kylix.FaultPlan{Seed: 42}, soakRounds)
+	for r := 0; r < soakRounds; r++ {
+		for p := 0; p < soakPhys; p++ {
+			if baseline[r][p] == nil {
+				t.Fatalf("baseline round %d rank %d produced no result", r, p)
+			}
+			if tw := baseline[r][p%soakLogical]; !bitsEqual(baseline[r][p], tw) {
+				t.Fatalf("baseline round %d: replicas of logical %d disagree", r, p%soakLogical)
+			}
+		}
+	}
+
+	// Schedule each kill halfway through its round's send window so the
+	// victim dies mid-scatter, not between rounds.
+	kills := make([]kylix.FaultKill, len(soakVictims))
+	for i, v := range soakVictims {
+		r := i + 1
+		prev, cur := snaps[r-1][v], snaps[r][v]
+		if cur-prev < 2 {
+			t.Fatalf("victim %d sends only %d frames in round %d; cannot land a mid-round kill", v, cur-prev, r)
+		}
+		kills[i] = kylix.FaultKill{Rank: v, AfterSends: int(prev + (cur-prev)/2)}
+	}
+	plan := kylix.FaultPlan{
+		Seed:      42,
+		Faulty:    []int{8, 9, 10, 11, 12, 13, 14, 15}, // upper replicas only: §V's survivable regime
+		Drop:      0.10,
+		Duplicate: 0.15,
+		Delay:     0.25,
+		MaxDelay:  2 * time.Millisecond,
+		Reorder:   0.08,
+		Kills:     kills,
+	}
+
+	// Pass 2 — chaos: same workload under the full fault schedule.
+	chaos, _, cluster := runSoak(t, transport, plan, soakRounds)
+	fab := cluster.Faults()
+
+	deadAsOf := map[int]int{} // victim -> round it dies in
+	for i, v := range soakVictims {
+		deadAsOf[v] = i + 1
+	}
+	for r := 0; r < soakRounds; r++ {
+		for p := 0; p < soakPhys; p++ {
+			dieRound, dies := deadAsOf[p]
+			if dies && r >= dieRound {
+				if chaos[r][p] != nil && r > dieRound {
+					t.Fatalf("round %d: rank %d produced a result after dying in round %d", r, p, dieRound)
+				}
+				continue
+			}
+			if chaos[r][p] == nil {
+				t.Fatalf("round %d: surviving rank %d produced no result", r, p)
+			}
+			if !bitsEqual(chaos[r][p], baseline[r][p]) {
+				t.Fatalf("round %d rank %d: chaos result %v differs from fault-free %v",
+					r, p, chaos[r][p], baseline[r][p])
+			}
+		}
+	}
+
+	// The schedule must actually have fired: every victim dead at its
+	// exact send threshold, and every message-level fault class engaged.
+	for i, v := range soakVictims {
+		if !fab.Killed(v) {
+			t.Fatalf("victim %d was never killed", v)
+		}
+		if got := fab.Sends(v); got != int64(kills[i].AfterSends)+1 {
+			t.Fatalf("victim %d attempted %d sends, want crash on attempt %d", v, got, kills[i].AfterSends+1)
+		}
+	}
+	st := fab.Stats()
+	if st.Dropped == 0 || st.Duplicated == 0 || st.Delayed == 0 || st.Reordered == 0 {
+		t.Fatalf("chaos schedule never engaged: %+v", st)
+	}
+	t.Logf("%v soak: %d rounds, %d kills, stats %+v", transport, soakRounds, len(soakVictims), st)
+}
+
+func TestChaosSoakMemory(t *testing.T) { testChaosSoak(t, kylix.TransportMemory) }
+
+func TestChaosSoakTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP soak skipped in -short")
+	}
+	testChaosSoak(t, kylix.TransportTCP)
+}
+
+// TestClusterKillWorksOnTCPWithFaults: Cluster.Kill historically
+// required the memory transport; with a fault fabric it now works over
+// TCP too (manual kill between rounds, survivors keep the results).
+func TestClusterKillWorksOnTCPWithFaults(t *testing.T) {
+	cluster, err := kylix.NewCluster(8, kylix.WithTransport(kylix.TransportTCP),
+		kylix.WithReplication(2), kylix.WithDegrees(2, 2),
+		kylix.WithRecvTimeout(10*time.Second),
+		kylix.WithFaults(kylix.FaultPlan{Seed: 7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.Kill(5); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	got := map[int]float32{}
+	err = cluster.Run(func(node *kylix.Node) error {
+		red, err := node.Configure([]int32{3}, []int32{3})
+		if err != nil {
+			return err
+		}
+		res, err := red.Reduce([]float32{2})
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		got[node.PhysicalRank()] = res[0]
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 7 {
+		t.Fatalf("%d survivors finished, want 7", len(got))
+	}
+	for p, v := range got {
+		if v != 8 { // 4 logical ranks x 2
+			t.Fatalf("rank %d: %f, want 8", p, v)
+		}
+	}
+}

@@ -2,9 +2,11 @@ package kylix
 
 import (
 	"fmt"
+	"io"
 	"sync/atomic"
 
 	"kylix/internal/comm"
+	"kylix/internal/faultnet"
 	"kylix/internal/memnet"
 	"kylix/internal/netsim"
 	"kylix/internal/replica"
@@ -22,6 +24,7 @@ type Cluster struct {
 	phys      int
 	mem       *memnet.Network
 	tcp       []*tcpnet.Node
+	fabric    *faultnet.Fabric
 	collector *trace.Collector
 	// roundBase is where the next Run's tag sequence starts; successive
 	// runs over the same transports must never reuse tags (stale
@@ -50,6 +53,14 @@ func NewCluster(m int, opts ...Option) (*Cluster, error) {
 	}
 
 	c := &Cluster{cfg: cfg, bf: bf, phys: m}
+	if cfg.faults != nil {
+		fab, err := faultnet.New(*cfg.faults)
+		if err != nil {
+			return nil, err
+		}
+		fab.InitSize(m)
+		c.fabric = fab
+	}
 	var rec comm.Recorder = comm.NopRecorder{}
 	if cfg.trace {
 		c.collector = trace.NewCollector(m)
@@ -102,17 +113,30 @@ func (c *Cluster) LogicalSize() int { return c.bf.M() }
 // Degrees returns the butterfly degrees in use.
 func (c *Cluster) Degrees() []int { return c.bf.Degrees() }
 
-// Kill marks a physical machine dead before (or between) runs. Only the
-// in-memory transport supports failure injection; a replicated cluster
-// keeps functioning as long as every replica group retains a live
-// member.
+// Kill marks a physical machine dead — at any point, including
+// mid-round. With WithFaults the kill goes through the fault fabric and
+// works on both transports; otherwise it requires TransportMemory. A
+// replicated cluster keeps functioning as long as every replica group
+// retains a live member.
 func (c *Cluster) Kill(rank int) error {
+	if c.fabric != nil {
+		c.fabric.Kill(rank)
+		if c.mem != nil {
+			c.mem.Kill(rank)
+		}
+		return nil
+	}
 	if c.mem == nil {
-		return fmt.Errorf("kylix: failure injection requires TransportMemory")
+		return fmt.Errorf("kylix: failure injection without WithFaults requires TransportMemory")
 	}
 	c.mem.Kill(rank)
 	return nil
 }
+
+// Faults returns the live fault controller of a cluster built with
+// WithFaults (nil otherwise): manual kills, partitions, per-rank send
+// counts and Flush.
+func (c *Cluster) Faults() *FaultInjector { return c.fabric }
 
 // Run executes fn concurrently on every live machine and waits for all
 // of them. Each machine's fn receives its own Node; returning an error
@@ -123,11 +147,21 @@ func (c *Cluster) Run(fn func(*Node) error) error {
 	base := c.roundBase.Load()
 	var maxUsed atomic.Uint32
 	body := func(ep comm.Endpoint) error {
+		physRank := ep.Rank()
+		if c.fabric != nil {
+			ep = c.fabric.Wrap(ep)
+		}
 		node, err := newNode(ep, c.bf, c.cfg, base)
 		if err != nil {
 			return err
 		}
 		err = fn(node)
+		if err != nil && c.fabric != nil && c.fabric.Killed(physRank) {
+			// The machine crash-stopped under the fault plan: its own
+			// failed operations are the injected fault, not a program
+			// error. Survivors' results are what the run is judged on.
+			err = nil
+		}
 		for {
 			used := node.roundsUsed()
 			cur := maxUsed.Load()
@@ -173,8 +207,12 @@ func (c *Cluster) ResetTraffic() {
 	}
 }
 
-// Close releases all transports.
+// Close releases all transports (flushing any in-flight injected
+// faults first).
 func (c *Cluster) Close() {
+	if c.fabric != nil {
+		c.fabric.Close()
+	}
 	if c.mem != nil {
 		c.mem.Close()
 	}
@@ -201,13 +239,39 @@ func ListenNode(rank int, addrs []string, opts ...Option) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	node, err := newNode(tn, bf, cfg, 0)
+	var ep comm.Endpoint = tn
+	var closer io.Closer = tn
+	if cfg.faults != nil {
+		// Cross-process fault injection: every process builds its own
+		// fabric from the shared plan; decisions are seed-derived, so
+		// the fabrics agree without coordination.
+		fab, ferr := faultnet.New(*cfg.faults)
+		if ferr != nil {
+			_ = tn.Close()
+			return nil, ferr
+		}
+		ep = fab.Wrap(tn)
+		closer = &fabricCloser{fab: fab, under: tn}
+	}
+	node, err := newNode(ep, bf, cfg, 0)
 	if err != nil {
 		_ = tn.Close()
 		return nil, err
 	}
-	node.closer = tn
+	node.closer = closer
 	return node, nil
+}
+
+// fabricCloser flushes a node's fault fabric before closing its
+// transport so decided-but-delayed messages are not stranded.
+type fabricCloser struct {
+	fab   *faultnet.Fabric
+	under io.Closer
+}
+
+func (f *fabricCloser) Close() error {
+	f.fab.Close()
+	return f.under.Close()
 }
 
 // wrapReplication applies the replica layer when configured.

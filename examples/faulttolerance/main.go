@@ -3,6 +3,11 @@
 // between rounds. Messages race to both replicas of every logical rank;
 // receivers take the first copy, so a dead replica is simply never the
 // winner.
+//
+// The second half turns on the deterministic chaos fabric (WithFaults):
+// the same cluster shape runs with seeded message drops, duplicates,
+// delays and a scheduled mid-round crash-stop confined to the upper
+// replica half — and still produces the exact same sums.
 package main
 
 import (
@@ -77,6 +82,63 @@ func main() {
 		fmt.Printf("killed physical machine %d (replica of logical %d)\n", dead, dead%logical)
 	}
 	round("round 2 (3 dead machines)")
+
+	// --- Chaos fabric: scripted faults, identical results ---
+	//
+	// A fresh cluster under a seeded fault plan: 10% of upper-half
+	// messages dropped, 15% duplicated, 25% delayed, and machine 11
+	// crash-stopped after its 60th send — mid-round. Because faults are
+	// confined to one replica half, every group keeps a clean survivor
+	// (§V's condition) and the sums stay exactly 8.
+	chaotic, err := kylix.NewCluster(physical,
+		kylix.WithReplication(2),
+		kylix.WithDegrees(4, 2),
+		kylix.WithRecvTimeout(10*time.Second),
+		kylix.WithFaults(kylix.FaultPlan{
+			Seed:      2026,
+			Faulty:    []int{8, 9, 10, 11, 12, 13, 14, 15},
+			Drop:      0.10,
+			Duplicate: 0.15,
+			Delay:     0.25,
+			MaxDelay:  2 * time.Millisecond,
+			Kills:     []kylix.FaultKill{{Rank: 11, AfterSends: 60}},
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer chaotic.Close()
+
+	for r := 1; r <= 3; r++ {
+		var mu sync.Mutex
+		sums := map[int]float32{}
+		err := chaotic.Run(func(node *kylix.Node) error {
+			out := []int32{7, 1000 + int32(node.Rank())}
+			red, err := node.Configure([]int32{7}, out)
+			if err != nil {
+				return err
+			}
+			got, err := red.Reduce([]float32{1, 1})
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			sums[node.Rank()] = got[0]
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			log.Fatalf("chaos round %d: %v", r, err)
+		}
+		for rank, v := range sums {
+			if v != logical {
+				log.Fatalf("chaos round %d: logical rank %d saw sum %v, want %d", r, rank, v, logical)
+			}
+		}
+		st := chaotic.Faults().Stats()
+		fmt.Printf("chaos round %d: exact sums under faults (dropped %d, duplicated %d, delayed %d, killed 11: %v)\n",
+			r, st.Dropped, st.Duplicated, st.Delayed, chaotic.Faults().Killed(11))
+	}
 
 	fmt.Println("faulttolerance OK")
 }

@@ -13,6 +13,7 @@ package comm
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Kind classifies a message's role within the protocol.
@@ -86,8 +87,34 @@ var (
 	ErrClosed = errors.New("comm: endpoint closed")
 	// ErrTimeout is returned when a receive's deadline expires, which in
 	// an unreplicated network means a peer died or the protocol hung.
+	// Transports return it wrapped in a *TimeoutError carrying the tag,
+	// the expected senders and the elapsed wait, so a hung soak test is
+	// diagnosable from the error string alone; match it with
+	// errors.Is(err, ErrTimeout).
 	ErrTimeout = errors.New("comm: receive timed out")
 )
+
+// TimeoutError is the structured form of ErrTimeout: it records which
+// receive expired so callers (and humans reading soak-test logs) can
+// tell "peer slow" from "peer dead" and see exactly which protocol step
+// stalled. errors.Is(err, ErrTimeout) matches it.
+type TimeoutError struct {
+	// Tag is the matched-receive signature that never arrived.
+	Tag Tag
+	// From lists the sender ranks the receive was waiting on (one for
+	// Recv, several for a RecvAny replica race).
+	From []int
+	// Elapsed is how long the receiver actually waited.
+	Elapsed time.Duration
+}
+
+// Error implements error.
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("comm: receive %s from %v timed out after %v", e.Tag, e.From, e.Elapsed.Round(time.Millisecond))
+}
+
+// Is makes errors.Is(err, ErrTimeout) match a *TimeoutError.
+func (e *TimeoutError) Is(target error) bool { return target == ErrTimeout }
 
 // Endpoint is one machine's connection to the cluster. Send is
 // asynchronous (it never waits for the receiver) and safe for concurrent

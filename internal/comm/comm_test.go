@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
@@ -178,12 +179,25 @@ func TestMailboxBlocksUntilDelivery(t *testing.T) {
 func TestMailboxTimeout(t *testing.T) {
 	mb := NewMailbox(50 * time.Millisecond)
 	start := time.Now()
-	_, err := mb.Recv(0, MakeTag(KindConfig, 0, 0))
-	if err != ErrTimeout {
+	tag := MakeTag(KindConfig, 0, 0)
+	_, err := mb.Recv(0, tag)
+	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout", err)
 	}
 	if time.Since(start) > 2*time.Second {
 		t.Fatal("timeout far too late")
+	}
+	// The error carries the context a hung soak test needs: which tag,
+	// which senders, how long the receiver waited.
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("err %T is not a *TimeoutError", err)
+	}
+	if te.Tag != tag || len(te.From) != 1 || te.From[0] != 0 {
+		t.Fatalf("timeout context = %+v, want tag %v from [0]", te, tag)
+	}
+	if te.Elapsed < 50*time.Millisecond {
+		t.Fatalf("elapsed %v below the 50ms deadline", te.Elapsed)
 	}
 }
 

@@ -67,7 +67,7 @@ func (m *Mailbox) Recv(from int, tag Tag) (Payload, error) {
 // slots for this tag are marked for discard so late duplicates do not
 // accumulate. Returns the winning sender.
 func (m *Mailbox) RecvAny(froms []int, tag Tag) (int, Payload, error) {
-	var deadline time.Time
+	var deadline, start time.Time
 	var stop chan struct{}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -80,7 +80,8 @@ func (m *Mailbox) RecvAny(froms []int, tag Tag) (int, Payload, error) {
 		}
 		if m.timeout > 0 {
 			if deadline.IsZero() {
-				deadline = time.Now().Add(m.timeout)
+				start = time.Now()
+				deadline = start.Add(m.timeout)
 				// A waiter exists now: wake sleepers periodically so the
 				// deadline is observed even with no traffic. Started
 				// lazily so the common non-blocking receive pays nothing.
@@ -99,7 +100,11 @@ func (m *Mailbox) RecvAny(froms []int, tag Tag) (int, Payload, error) {
 					}
 				}()
 			} else if time.Now().After(deadline) {
-				return 0, nil, ErrTimeout
+				return 0, nil, &TimeoutError{
+					Tag:     tag,
+					From:    append([]int(nil), froms...),
+					Elapsed: time.Since(start),
+				}
 			}
 		}
 		m.cond.Wait()

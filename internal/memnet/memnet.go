@@ -7,6 +7,7 @@
 package memnet
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -58,6 +59,11 @@ func (n *Network) Size() int { return n.size }
 
 // Kill marks a machine dead: its inbound messages are dropped and its
 // endpoint operations fail. Used by the fault-tolerance experiments.
+// Kill is safe at any point, including while the victim is mid-round:
+// its blocked receives fail with ErrClosed immediately (crash-stop),
+// peers' sends to it become silent drops, and Run treats the victim's
+// resulting transport errors as the injected failure rather than a
+// program error.
 func (n *Network) Kill(rank int) {
 	n.dead[rank].Store(true)
 	n.boxes[rank].Close()
@@ -149,6 +155,14 @@ func Run(n *Network, fn func(ep comm.Endpoint) error, ranks ...int) error {
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
+			// A machine killed mid-round fails its own in-flight
+			// operations with ErrClosed (or times out waiting on traffic
+			// that will never come). That is the injected crash-stop, not
+			// a program error: survivors' results are what the run is
+			// judged on.
+			if n.Dead(ranks[i]) && (errors.Is(err, comm.ErrClosed) || errors.Is(err, comm.ErrTimeout)) {
+				continue
+			}
 			return fmt.Errorf("rank %d: %w", ranks[i], err)
 		}
 	}

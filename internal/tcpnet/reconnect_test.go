@@ -1,0 +1,286 @@
+package tcpnet
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"kylix/internal/comm"
+)
+
+// flakyProxy sits between a sender and a real node's listener,
+// forwarding bytes until told to sever every live connection — the
+// mid-stream fault the reconnect/replay machinery must absorb.
+type flakyProxy struct {
+	ln      net.Listener
+	backend string
+
+	mu    sync.Mutex
+	conns []net.Conn
+	down  bool
+}
+
+func newFlakyProxy(t *testing.T, backend string) *flakyProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &flakyProxy{ln: ln, backend: backend}
+	go p.acceptLoop()
+	t.Cleanup(p.close)
+	return p
+}
+
+func (p *flakyProxy) addr() string { return p.ln.Addr().String() }
+
+func (p *flakyProxy) acceptLoop() {
+	for {
+		in, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.down {
+			p.mu.Unlock()
+			_ = in.Close()
+			continue
+		}
+		out, err := net.Dial("tcp", p.backend)
+		if err != nil {
+			p.mu.Unlock()
+			_ = in.Close()
+			continue
+		}
+		p.conns = append(p.conns, in, out)
+		p.mu.Unlock()
+		go func() { _, _ = io.Copy(out, in); _ = out.Close() }()
+		go func() { _, _ = io.Copy(in, out); _ = in.Close() }()
+	}
+}
+
+// breakNow severs every live connection. New connections keep working.
+func (p *flakyProxy) breakNow() {
+	p.mu.Lock()
+	for _, c := range p.conns {
+		_ = c.Close()
+	}
+	p.conns = nil
+	p.mu.Unlock()
+}
+
+func (p *flakyProxy) close() {
+	p.mu.Lock()
+	p.down = true
+	p.mu.Unlock()
+	_ = p.ln.Close()
+	p.breakNow()
+}
+
+// TestReconnectRedeliversAcrossBreaks is the transport-hardening
+// centrepiece: a stream severed twice mid-burst must lose nothing and
+// duplicate nothing — the writer reconnects and replays its ring, the
+// receiver dedups by sequence number.
+func TestReconnectRedeliversAcrossBreaks(t *testing.T) {
+	recv, err := Listen(1, []string{"127.0.0.1:0", "127.0.0.1:0"}, Options{RecvTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	proxy := newFlakyProxy(t, recv.Addr())
+	send, err := Listen(0, []string{"127.0.0.1:0", proxy.addr()}, Options{
+		RecvTimeout:      10 * time.Second,
+		ReconnectTimeout: 8 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+
+	const total = 150
+	for i := 0; i < total; i++ {
+		tag := comm.MakeTag(comm.KindApp, 0, uint32(i))
+		if err := send.Send(1, tag, &comm.Floats{Vals: []float32{float32(i)}}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		if i == total/3 || i == 2*total/3 {
+			// Let some frames reach the wire, then cut it mid-burst.
+			time.Sleep(10 * time.Millisecond)
+			proxy.breakNow()
+			time.Sleep(20 * time.Millisecond) // let the RST land so the next write fails
+		}
+	}
+
+	for i := 0; i < total; i++ {
+		tag := comm.MakeTag(comm.KindApp, 0, uint32(i))
+		p, err := recv.Recv(0, tag)
+		if err != nil {
+			t.Fatalf("frame %d never redelivered: %v", i, err)
+		}
+		if got := p.(*comm.Floats).Vals[0]; got != float32(i) {
+			t.Fatalf("frame %d: payload %v", i, got)
+		}
+	}
+	// Replay duplicates must have been deduped before the mailbox, and
+	// any straggler replay is <= the max delivered seq, so nothing else
+	// may show up.
+	time.Sleep(50 * time.Millisecond)
+	if n := recv.box.Pending(); n != 0 {
+		t.Fatalf("%d duplicate frames reached the mailbox", n)
+	}
+}
+
+// TestReceiverDedupBySequence drives the receiver directly with a
+// hand-rolled stream: replayed sequence numbers are dropped, seq 0
+// (unsequenced) frames always pass.
+func TestReceiverDedupBySequence(t *testing.T) {
+	recv, err := Listen(1, []string{"127.0.0.1:0", "127.0.0.1:0"}, Options{RecvTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	conn, err := net.Dial("tcp", recv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	var hs [8]byte
+	binary.LittleEndian.PutUint32(hs[:4], magic)
+	binary.LittleEndian.PutUint32(hs[4:8], 0)
+	if _, err := conn.Write(hs[:]); err != nil {
+		t.Fatal(err)
+	}
+	writeSeq := func(seq uint64, tagSeq uint32, val float32) {
+		t.Helper()
+		data := (&comm.Floats{Vals: []float32{val}}).AppendTo(nil)
+		var hdr [hdrSize]byte
+		binary.LittleEndian.PutUint32(hdr[:4], uint32(len(data)))
+		binary.LittleEndian.PutUint64(hdr[4:12], uint64(comm.MakeTag(comm.KindApp, 0, tagSeq)))
+		binary.LittleEndian.PutUint32(hdr[12:16], crc32.Checksum(data, castagnoli))
+		binary.LittleEndian.PutUint64(hdr[16:24], seq)
+		if _, err := conn.Write(hdr[:]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	writeSeq(1, 0, 10) // delivered
+	writeSeq(1, 0, 11) // replay of seq 1: dropped
+	writeSeq(2, 1, 12) // delivered
+	writeSeq(2, 1, 13) // replay of seq 2: dropped
+	writeSeq(0, 2, 14) // unsequenced: delivered
+	writeSeq(0, 2, 15) // unsequenced: delivered again
+
+	if p, err := recv.Recv(0, comm.MakeTag(comm.KindApp, 0, 0)); err != nil || p.(*comm.Floats).Vals[0] != 10 {
+		t.Fatalf("seq 1 first copy: %v %v", p, err)
+	}
+	if p, err := recv.Recv(0, comm.MakeTag(comm.KindApp, 0, 1)); err != nil || p.(*comm.Floats).Vals[0] != 12 {
+		t.Fatalf("seq 2 first copy: %v %v", p, err)
+	}
+	if p, err := recv.Recv(0, comm.MakeTag(comm.KindApp, 0, 2)); err != nil || p.(*comm.Floats).Vals[0] != 14 {
+		t.Fatalf("unsequenced 1st: %v %v", p, err)
+	}
+	if p, err := recv.Recv(0, comm.MakeTag(comm.KindApp, 0, 2)); err != nil || p.(*comm.Floats).Vals[0] != 15 {
+		t.Fatalf("unsequenced 2nd: %v %v", p, err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if n := recv.box.Pending(); n != 0 {
+		t.Fatalf("%d deduped frames leaked into the mailbox", n)
+	}
+}
+
+// deadAddr returns a loopback address that refuses connections.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}
+
+// TestPeerErrorSurfacesOnClose: a terminally lost stream no longer
+// disappears into peer.err — Close reports it.
+func TestPeerErrorSurfacesOnClose(t *testing.T) {
+	n, err := Listen(0, []string{"127.0.0.1:0", deadAddr(t)}, Options{
+		DialTimeout:      200 * time.Millisecond,
+		ReconnectTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(1, comm.MakeTag(comm.KindApp, 0, 0), &comm.Bytes{Data: []byte("x")}); err != nil {
+		t.Fatalf("async send should not fail inline: %v", err)
+	}
+	time.Sleep(time.Second) // let the dial budget expire and the error stick
+	cerr := n.Close()
+	if cerr == nil {
+		t.Fatal("Close swallowed the dead-peer stream error")
+	}
+	if !strings.Contains(cerr.Error(), "stream lost") {
+		t.Fatalf("Close error lacks stream context: %v", cerr)
+	}
+}
+
+// TestFailFastSurfacesPeerErrorOnSend: with FailFast, Send itself
+// reports the sticky stream error once the reconnect budget is gone.
+func TestFailFastSurfacesPeerErrorOnSend(t *testing.T) {
+	n, err := Listen(0, []string{"127.0.0.1:0", deadAddr(t)}, Options{
+		DialTimeout:      150 * time.Millisecond,
+		ReconnectTimeout: 150 * time.Millisecond,
+		FailFast:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	tag := comm.MakeTag(comm.KindApp, 0, 0)
+	if err := n.Send(1, tag, &comm.Bytes{Data: []byte("x")}); err != nil {
+		t.Fatalf("first send should enqueue cleanly: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := n.Send(1, tag, &comm.Bytes{Data: []byte("y")})
+		if err != nil {
+			if !strings.Contains(err.Error(), "stream lost") {
+				t.Fatalf("FailFast send error lacks stream context: %v", err)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("FailFast send never surfaced the dead-peer error")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestHealthyClusterCloseReportsNoError: the sticky-error path must not
+// produce false positives on a clean run.
+func TestHealthyClusterCloseReportsNoError(t *testing.T) {
+	nodes, err := LocalCluster(2, Options{RecvTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag := comm.MakeTag(comm.KindApp, 0, 7)
+	if err := nodes[0].Send(1, tag, &comm.Bytes{Data: []byte("ok")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nodes[1].Recv(0, tag); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		if err := n.Close(); err != nil {
+			t.Fatalf("healthy close returned %v", err)
+		}
+	}
+}

@@ -7,13 +7,27 @@
 // matched-receive mailbox the in-memory transport uses. It works both
 // in-process (loopback, for tests and benchmarks) and across real
 // processes (cmd/kylix-node).
+//
+// The transport survives mid-stream connection loss: every frame
+// carries a monotonic per-peer sequence number and the writer keeps a
+// bounded resend ring. When a stream breaks (write error, corrupted
+// frame dropped by the receiver, transient network fault) the writer
+// reconnects with exponential backoff plus jitter and replays the ring;
+// the receiver deduplicates by sequence number, so redelivery is
+// idempotent and a fault injected mid-round loses nothing. Only when
+// the reconnect budget is exhausted is the peer declared dead: the
+// error is recorded and surfaced on Close (and on Send with FailFast),
+// while frames keep draining silently — the §V replication layer, not
+// the transport, is responsible for masking dead machines.
 package tcpnet
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -26,15 +40,32 @@ const (
 	magic = 0x4b594c58 // "KYLX"
 	// maxFrame bounds a frame to 1 GiB to fail fast on corruption.
 	maxFrame = 1 << 30
+	// hdrSize is the per-frame header: size(4) tag(8) crc(4) seq(8).
+	hdrSize = 24
 )
 
 // Options configure a Node.
 type Options struct {
 	// RecvTimeout bounds blocking receives (0 = forever; default 30s).
 	RecvTimeout time.Duration
-	// DialTimeout bounds how long to keep retrying a peer dial
+	// DialTimeout bounds how long to keep retrying a peer's first dial
 	// (default 10s).
 	DialTimeout time.Duration
+	// ReconnectTimeout bounds how long a broken peer stream retries
+	// reconnecting (with exponential backoff + jitter) before the peer
+	// is declared dead (default 15s).
+	ReconnectTimeout time.Duration
+	// ResendBuffer is how many recent frames each peer stream retains
+	// for replay after a reconnect (default 4096). Frames older than
+	// the ring that were lost in flight are unrecoverable — the ring
+	// bounds memory, and is sized far beyond the in-flight window a
+	// broken socket can lose.
+	ResendBuffer int
+	// FailFast makes Send return a peer's recorded stream error instead
+	// of silently dropping. Leave it off under replication (§V requires
+	// survivors to keep streaming to dead peers without erroring); turn
+	// it on for unreplicated deployments that want prompt failure.
+	FailFast bool
 	// Recorder observes sends for traffic accounting.
 	Recorder comm.Recorder
 }
@@ -45,6 +76,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DialTimeout == 0 {
 		o.DialTimeout = 10 * time.Second
+	}
+	if o.ReconnectTimeout == 0 {
+		o.ReconnectTimeout = 15 * time.Second
+	}
+	if o.ResendBuffer == 0 {
+		o.ResendBuffer = 4096
 	}
 	if o.Recorder == nil {
 		o.Recorder = comm.NopRecorder{}
@@ -67,17 +104,79 @@ type Node struct {
 	done    chan struct{}
 	wg      sync.WaitGroup
 	writers sync.WaitGroup
+
+	// recvSeq tracks the highest frame sequence delivered per sender so
+	// replayed frames after a sender's reconnect are dropped exactly
+	// once each. Guarded by recvMu (held across Deliver so competing
+	// old/new connections from one sender cannot interleave).
+	recvMu  sync.Mutex
+	recvSeq []uint64
 }
 
 type peer struct {
 	queue chan frame
 	conn  net.Conn // set once dialed; closed by Node.Close to unblock writes
-	err   error
+
+	mu  sync.Mutex
+	err error // sticky: set when the stream is terminally lost
+}
+
+// fail records the first terminal stream error; later Sends (FailFast)
+// and Close surface it.
+func (p *peer) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+func (p *peer) lastErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
 }
 
 type frame struct {
 	tag  comm.Tag
 	data []byte
+}
+
+// stamped is a frame with its stream sequence number, as kept in the
+// resend ring.
+type stamped struct {
+	seq uint64
+	f   frame
+}
+
+// ring is the bounded per-peer resend buffer: the most recent frames in
+// send order, replayed after a reconnect.
+type ring struct {
+	buf   []stamped
+	start int
+	n     int
+}
+
+func newRing(capacity int) *ring { return &ring{buf: make([]stamped, capacity)} }
+
+func (r *ring) push(s stamped) {
+	if r.n == len(r.buf) {
+		r.buf[r.start] = s
+		r.start = (r.start + 1) % len(r.buf)
+		return
+	}
+	r.buf[(r.start+r.n)%len(r.buf)] = s
+	r.n++
+}
+
+// each visits buffered frames oldest-first; stops on false.
+func (r *ring) each(fn func(stamped) bool) bool {
+	for i := 0; i < r.n; i++ {
+		if !fn(r.buf[(r.start+i)%len(r.buf)]) {
+			return false
+		}
+	}
+	return true
 }
 
 // Listen creates the node for `rank` and starts accepting on
@@ -93,13 +192,14 @@ func Listen(rank int, addrs []string, opts Options) (*Node, error) {
 		return nil, fmt.Errorf("tcpnet: rank %d listen: %w", rank, err)
 	}
 	n := &Node{
-		rank:  rank,
-		addrs: append([]string(nil), addrs...),
-		opts:  opts,
-		box:   comm.NewMailbox(opts.RecvTimeout),
-		ln:    ln,
-		peers: make(map[int]*peer),
-		done:  make(chan struct{}),
+		rank:    rank,
+		addrs:   append([]string(nil), addrs...),
+		opts:    opts,
+		box:     comm.NewMailbox(opts.RecvTimeout),
+		ln:      ln,
+		peers:   make(map[int]*peer),
+		done:    make(chan struct{}),
+		recvSeq: make([]uint64, len(addrs)),
 	}
 	n.addrs[rank] = ln.Addr().String()
 	n.wg.Add(1)
@@ -117,7 +217,10 @@ func (n *Node) Rank() int { return n.rank }
 func (n *Node) Size() int { return len(n.addrs) }
 
 // Send implements comm.Endpoint: it encodes the payload and enqueues it
-// on the peer's writer, never blocking on the network.
+// on the peer's writer, never blocking on the network. With FailFast, a
+// peer whose stream was terminally lost returns its recorded error;
+// otherwise dead-peer traffic drops silently (replication masks it) and
+// the error surfaces on Close.
 func (n *Node) Send(to int, tag comm.Tag, p comm.Payload) error {
 	if to < 0 || to >= len(n.addrs) {
 		return fmt.Errorf("tcpnet: send to rank %d out of [0,%d)", to, len(n.addrs))
@@ -132,6 +235,11 @@ func (n *Node) Send(to int, tag comm.Tag, p comm.Payload) error {
 	pr, err := n.peerFor(to)
 	if err != nil {
 		return err
+	}
+	if n.opts.FailFast {
+		if perr := pr.lastErr(); perr != nil {
+			return perr
+		}
 	}
 	buf := make([]byte, 0, p.WireSize())
 	select {
@@ -159,7 +267,9 @@ func (n *Node) RecvAny(froms []int, tag comm.Tag) (int, comm.Payload, error) {
 // not strand its final messages) and grants them a short grace period,
 // then it force-closes every connection so parked reader/writer
 // goroutines unblock — without the force-close, two nodes closing in
-// sequence deadlock waiting on each other's streams.
+// sequence deadlock waiting on each other's streams. It returns the
+// join of the peers' terminal stream errors (nil when every stream
+// stayed healthy), so a silently-degraded run is visible at teardown.
 func (n *Node) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -182,9 +292,13 @@ func (n *Node) Close() error {
 	}
 
 	n.mu.Lock()
+	var errs []error
 	for _, pr := range n.peers {
 		if pr.conn != nil {
 			_ = pr.conn.Close()
+		}
+		if err := pr.lastErr(); err != nil {
+			errs = append(errs, err)
 		}
 	}
 	for _, c := range n.inbound {
@@ -194,7 +308,7 @@ func (n *Node) Close() error {
 
 	n.box.Close()
 	n.wg.Wait()
-	return nil
+	return errors.Join(errs...)
 }
 
 // peerFor returns (starting if necessary) the writer for a peer.
@@ -215,58 +329,158 @@ func (n *Node) peerFor(to int) (*peer, error) {
 	return pr, nil
 }
 
-// writeLoop dials the peer (with retry, so process start order does not
-// matter) and streams frames.
+// writeLoop owns one peer stream: it stamps frames with monotonic
+// sequence numbers, keeps the resend ring, and transparently redials
+// (backoff + jitter) and replays the ring whenever the stream breaks.
 func (n *Node) writeLoop(to int, pr *peer) {
 	defer n.wg.Done()
 	defer n.writers.Done()
-	conn, err := n.dial(to)
-	if err != nil {
-		// The peer is unreachable (dead machine). Park until shutdown,
-		// silently dropping traffic; the replication layer is
-		// responsible for masking dead peers.
-		pr.err = err
-		<-n.done
-		return
+	var (
+		hdr    [hdrSize]byte
+		seq    uint64
+		buffer = newRing(n.opts.ResendBuffer)
+		conn   net.Conn
+		dialed bool // first connection established at least once
+	)
+	// Jitter source for reconnect backoff. Timing only — protocol
+	// decisions never depend on it.
+	rng := rand.New(rand.NewSource(int64(n.rank)<<20 ^ int64(to)))
+
+	disconnect := func() {
+		if conn == nil {
+			return
+		}
+		_ = conn.Close()
+		n.mu.Lock()
+		if pr.conn == conn {
+			pr.conn = nil
+		}
+		n.mu.Unlock()
+		conn = nil
 	}
-	defer conn.Close()
-	n.mu.Lock()
-	if !n.closed {
-		// Register for force-close; when Close already ran, this conn is
-		// ours alone to flush and close, and the done branch below fires
-		// immediately.
-		pr.conn = conn
+	defer disconnect()
+
+	// connect dials the peer until the budget expires, handshakes, and
+	// replays the resend ring (receiver-side dedup makes the replay
+	// idempotent). False means budget exhausted or shutting down.
+	connect := func(budget time.Duration) bool {
+		disconnect()
+		deadline := time.Now().Add(budget)
+		backoff := 5 * time.Millisecond
+		for {
+			select {
+			case <-n.done:
+				return false
+			default:
+			}
+			c, err := net.DialTimeout("tcp", n.addrs[to], time.Until(deadline))
+			if err == nil {
+				if tc, ok := c.(*net.TCPConn); ok {
+					_ = tc.SetNoDelay(true)
+				}
+				binary.LittleEndian.PutUint32(hdr[:4], magic)
+				binary.LittleEndian.PutUint32(hdr[4:8], uint32(n.rank))
+				if _, werr := c.Write(hdr[:8]); werr == nil &&
+					buffer.each(func(s stamped) bool { return writeFrame(c, &hdr, s) }) {
+					n.mu.Lock()
+					if !n.closed {
+						pr.conn = c
+					}
+					n.mu.Unlock()
+					conn = c
+					dialed = true
+					return true
+				}
+				_ = c.Close()
+			}
+			if time.Now().After(deadline) {
+				return false
+			}
+			// Exponential backoff with jitter so a rebooting peer is not
+			// hammered in lockstep by every survivor.
+			sleep := backoff/2 + time.Duration(rng.Int63n(int64(backoff)))
+			select {
+			case <-n.done:
+				return false
+			case <-time.After(sleep):
+			}
+			if backoff < 400*time.Millisecond {
+				backoff *= 2
+			}
+		}
 	}
-	n.mu.Unlock()
-	var hdr [16]byte
-	binary.LittleEndian.PutUint32(hdr[:4], magic)
-	binary.LittleEndian.PutUint32(hdr[4:8], uint32(n.rank))
-	if _, err := conn.Write(hdr[:8]); err != nil {
-		pr.err = err
-		<-n.done
-		return
+
+	// shutdownFlush drains frames still queued at Close time (a rank
+	// that finishes a collective early must not strand its last
+	// messages). If the stream was never established — Close can win the
+	// race against the lazy first dial — it makes one best-effort dial
+	// and replays the ring first. The write deadline bounds the flush if
+	// the peer has stopped reading; no reconnects during shutdown.
+	shutdownFlush := func() {
+		if conn == nil {
+			c, err := net.DialTimeout("tcp", n.addrs[to], time.Second)
+			if err != nil {
+				return
+			}
+			if tc, ok := c.(*net.TCPConn); ok {
+				_ = tc.SetNoDelay(true)
+			}
+			_ = c.SetWriteDeadline(time.Now().Add(2 * time.Second))
+			binary.LittleEndian.PutUint32(hdr[:4], magic)
+			binary.LittleEndian.PutUint32(hdr[4:8], uint32(n.rank))
+			conn = c // the deferred disconnect closes it
+			if _, werr := c.Write(hdr[:8]); werr != nil {
+				return
+			}
+			if !buffer.each(func(s stamped) bool { return writeFrame(c, &hdr, s) }) {
+				return
+			}
+		}
+		_ = conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		for {
+			select {
+			case f := <-pr.queue:
+				seq++
+				if !writeFrame(conn, &hdr, stamped{seq: seq, f: f}) {
+					return
+				}
+			default:
+				return
+			}
+		}
 	}
+
 	for {
 		select {
 		case <-n.done:
-			// Graceful shutdown: flush frames already queued (a rank
-			// that finishes a collective early must not strand its last
-			// messages), then stop. The deadline bounds the flush if the
-			// peer has stopped reading.
-			_ = conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
-			for {
-				select {
-				case f := <-pr.queue:
-					if !writeFrame(conn, &hdr, f) {
-						return
-					}
-				default:
-					return
-				}
-			}
+			shutdownFlush()
+			return
 		case f := <-pr.queue:
-			if !writeFrame(conn, &hdr, f) {
-				pr.err = errWrite
+			seq++
+			s := stamped{seq: seq, f: f}
+			buffer.push(s)
+			if conn != nil && writeFrame(conn, &hdr, s) {
+				continue
+			}
+			// Stream broken (or not yet dialed): rebuild it. connect
+			// replays the ring, which includes this frame.
+			budget := n.opts.ReconnectTimeout
+			if !dialed {
+				budget = n.opts.DialTimeout
+			}
+			if !connect(budget) {
+				select {
+				case <-n.done:
+					shutdownFlush() // clean shutdown, not a peer failure
+					return
+				default:
+				}
+				// The peer is unreachable (dead machine). Record the
+				// loss and park until shutdown, silently dropping
+				// traffic; the replication layer is responsible for
+				// masking dead peers.
+				pr.fail(fmt.Errorf("tcpnet: rank %d -> %d stream lost (%s): reconnect budget %v exhausted",
+					n.rank, to, n.addrs[to], budget))
 				<-n.done
 				return
 			}
@@ -274,49 +488,26 @@ func (n *Node) writeLoop(to int, pr *peer) {
 	}
 }
 
-// errWrite marks a failed stream; subsequent frames to the peer drop.
-var errWrite = fmt.Errorf("tcpnet: stream write failed")
-
 // writeFrame sends one length-prefixed frame with a CRC32-C payload
-// checksum; false on stream failure. The checksum guards against the
-// payload corruption the paper flags as a risk of large message counts
-// (§II-A2): a corrupted frame is detected and the stream dropped rather
-// than silently reducing wrong values.
-func writeFrame(conn net.Conn, hdr *[16]byte, f frame) bool {
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(f.data)))
-	binary.LittleEndian.PutUint64(hdr[4:12], uint64(f.tag))
-	binary.LittleEndian.PutUint32(hdr[12:16], crc32.Checksum(f.data, castagnoli))
-	if _, err := conn.Write(hdr[:16]); err != nil {
+// checksum and stream sequence number; false on stream failure. The
+// checksum guards against the payload corruption the paper flags as a
+// risk of large message counts (§II-A2): a corrupted frame is detected
+// and the stream dropped — which now triggers the sender's
+// reconnect-and-replay instead of silent loss.
+func writeFrame(conn net.Conn, hdr *[hdrSize]byte, s stamped) bool {
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(s.f.data)))
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(s.f.tag))
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.Checksum(s.f.data, castagnoli))
+	binary.LittleEndian.PutUint64(hdr[16:24], s.seq)
+	if _, err := conn.Write(hdr[:]); err != nil {
 		return false
 	}
-	_, err := conn.Write(f.data)
+	_, err := conn.Write(s.f.data)
 	return err == nil
 }
 
 // castagnoli is the CRC32-C table (hardware-accelerated on amd64/arm64).
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
-
-// dial connects to a peer, retrying with backoff until DialTimeout.
-func (n *Node) dial(to int) (net.Conn, error) {
-	deadline := time.Now().Add(n.opts.DialTimeout)
-	backoff := 5 * time.Millisecond
-	for {
-		conn, err := net.DialTimeout("tcp", n.addrs[to], time.Until(deadline))
-		if err == nil {
-			if tc, ok := conn.(*net.TCPConn); ok {
-				_ = tc.SetNoDelay(true)
-			}
-			return conn, nil
-		}
-		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("tcpnet: rank %d dial %d (%s): %w", n.rank, to, n.addrs[to], err)
-		}
-		time.Sleep(backoff)
-		if backoff < 200*time.Millisecond {
-			backoff *= 2
-		}
-	}
-}
 
 // acceptLoop admits inbound connections and spawns a reader per peer.
 func (n *Node) acceptLoop() {
@@ -339,11 +530,15 @@ func (n *Node) acceptLoop() {
 	}
 }
 
-// readLoop validates the handshake and demuxes frames into the mailbox.
+// readLoop validates the handshake and demuxes frames into the mailbox,
+// dropping frames already delivered on a previous connection from the
+// same sender (sequence-number dedup makes reconnect replays
+// idempotent). Sequence 0 marks an unsequenced frame (never deduped),
+// kept for protocol-version tolerance in hand-rolled test senders.
 func (n *Node) readLoop(conn net.Conn) {
 	defer n.wg.Done()
 	defer conn.Close()
-	var hdr [16]byte
+	var hdr [hdrSize]byte
 	if _, err := io.ReadFull(conn, hdr[:8]); err != nil {
 		return
 	}
@@ -355,7 +550,7 @@ func (n *Node) readLoop(conn net.Conn) {
 		return
 	}
 	for {
-		if _, err := io.ReadFull(conn, hdr[:16]); err != nil {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 			return
 		}
 		size := binary.LittleEndian.Uint32(hdr[:4])
@@ -364,20 +559,32 @@ func (n *Node) readLoop(conn net.Conn) {
 		}
 		tag := comm.Tag(binary.LittleEndian.Uint64(hdr[4:12]))
 		sum := binary.LittleEndian.Uint32(hdr[12:16])
+		seq := binary.LittleEndian.Uint64(hdr[16:24])
 		data := make([]byte, size)
 		if _, err := io.ReadFull(conn, data); err != nil {
 			return
 		}
 		if crc32.Checksum(data, castagnoli) != sum {
-			// Corrupted frame: drop the stream; the replication layer
-			// (or the receive timeout) surfaces the loss.
+			// Corrupted frame: drop the stream. Closing the connection
+			// surfaces a write error at the sender, whose reconnect
+			// replays the resend ring — the frame is redelivered intact
+			// instead of silently lost.
 			return
 		}
 		p, err := comm.DecodePayload(data)
 		if err != nil {
 			return
 		}
+		n.recvMu.Lock()
+		if seq != 0 && seq <= n.recvSeq[from] {
+			n.recvMu.Unlock()
+			continue // duplicate redelivery from a replayed ring
+		}
+		if seq != 0 {
+			n.recvSeq[from] = seq
+		}
 		n.box.Deliver(from, tag, p)
+		n.recvMu.Unlock()
 	}
 }
 

@@ -323,8 +323,10 @@ func TestCorruptFrameDropsStream(t *testing.T) {
 	}
 	good := comm.Payload(&comm.Floats{Vals: []float32{1, 2, 3}})
 	goodTag := comm.MakeTag(comm.KindApp, 0, 1)
-	var hdr [16]byte
+	var hdr [hdrSize]byte
+	var seq uint64
 	send := func(tag comm.Tag, data []byte, corrupt bool) {
+		seq++
 		binary.LittleEndian.PutUint32(hdr[:4], uint32(len(data)))
 		binary.LittleEndian.PutUint64(hdr[4:12], uint64(tag))
 		sum := crc32.Checksum(data, castagnoli)
@@ -332,6 +334,7 @@ func TestCorruptFrameDropsStream(t *testing.T) {
 			sum ^= 0xDEADBEEF
 		}
 		binary.LittleEndian.PutUint32(hdr[12:16], sum)
+		binary.LittleEndian.PutUint64(hdr[16:24], seq)
 		if _, err := conn.Write(hdr[:]); err != nil {
 			t.Fatal(err)
 		}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"time"
 
+	"kylix/internal/faultnet"
 	"kylix/internal/powerlaw"
 	"kylix/internal/sparse"
 )
@@ -48,6 +49,7 @@ type config struct {
 	recvTimeout time.Duration
 	channel     uint8
 	trace       bool
+	faults      *faultnet.Plan
 }
 
 func defaultConfig() config {
@@ -123,6 +125,55 @@ func WithChannel(ch uint8) Option {
 // WithTrace enables traffic recording; see Cluster.Traffic.
 func WithTrace() Option {
 	return func(c *config) { c.trace = true }
+}
+
+// FaultPlan scripts deterministic fault injection for WithFaults: a
+// seeded schedule of message drops, delays, duplicates, per-link
+// reorders, crash-stop kills at precise points mid-round, and rank-set
+// partitions. Every decision is a pure function of (Seed, sender,
+// receiver, tag) — no wall clock — so the same plan replays identically
+// on every run and both transports. See faultnet.Plan for field
+// semantics.
+type FaultPlan = faultnet.Plan
+
+// FaultKill crash-stops a rank after exactly AfterSends sends — the
+// deterministic way to land a failure mid-scatter or mid-gather.
+type FaultKill = faultnet.Kill
+
+// FaultPartition separates rank groups for a window of the sender's
+// send count.
+type FaultPartition = faultnet.Partition
+
+// FaultInjector is the live fault controller of a cluster built with
+// WithFaults: it exposes manual Kill/Partition/Heal, per-rank send
+// counts (the logical clock kill schedules use), and Flush for
+// releasing held messages between rounds.
+type FaultInjector = faultnet.Fabric
+
+// WithFaults interposes a deterministic chaos layer between the
+// protocol and the transport (memory or TCP): messages are dropped,
+// delayed, duplicated, reordered and partitioned, and machines crash-
+// stopped mid-round, exactly as the seeded plan dictates. Combined with
+// WithReplication(s) the §V guarantee applies: as long as the plan
+// leaves one live, un-dropped replica per group — e.g. by listing only
+// one replica half in plan.Faulty — every allreduce completes with
+// results bit-identical to a fault-free run. The live controller is
+// available as Cluster.Faults.
+//
+//	kylix.NewCluster(16,
+//		kylix.WithReplication(2),
+//		kylix.WithFaults(kylix.FaultPlan{
+//			Seed:   42,
+//			Faulty: []int{8, 9, 10, 11, 12, 13, 14, 15}, // upper replicas only
+//			Drop:   0.1, Duplicate: 0.15,
+//			Delay:  0.25, MaxDelay: 2 * time.Millisecond,
+//			Kills:  []kylix.FaultKill{{Rank: 9, AfterSends: 40}},
+//		}))
+func WithFaults(plan FaultPlan) Option {
+	return func(c *config) {
+		p := plan
+		c.faults = &p
+	}
 }
 
 // DesignInput parameterizes DesignDegrees; see the package

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# The full PR gate, for environments without make: vet, build, tests,
+# and the race lane over the concurrency-critical packages.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race -short (faultnet, tcpnet, replica)"
+go test -race -short ./internal/faultnet/... ./internal/tcpnet/... ./internal/replica/...
+
+echo "check OK"

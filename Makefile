@@ -1,12 +1,13 @@
 # Developer entry points. `make check` is the full gate a PR must pass:
-# vet, build, the whole test suite, and the race lane over the packages
-# with the heaviest concurrency (transports, fault fabric, replication).
+# vet, build, the whole test suite, the race lane over the packages with
+# the heaviest concurrency (transports, fault fabric, replication), and
+# the allocation gate on the warm reduction hot path.
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz
+.PHONY: check vet build test race benchgate bench profile fuzz
 
-check: vet build test race
+check: vet build test race benchgate
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +22,22 @@ test:
 # detector. Short mode keeps it minutes, not tens of minutes.
 race:
 	$(GO) test -race -short ./internal/faultnet/... ./internal/tcpnet/... ./internal/replica/...
+
+# Hot-path benchmarks with memory accounting; writes BENCH_reduce.json.
+bench:
+	scripts/bench.sh
+
+# The zero-allocation regression gate: fails if the warm Reduce
+# benchmark reports >0 allocs/op (the hot path regressed into the
+# allocator). Runs the full bench sweep as a side effect.
+benchgate:
+	scripts/bench.sh --gate
+
+# CPU + heap profiles of the paper-evaluation run at quick scale.
+# Inspect with: go tool pprof cpu.pprof (or mem.pprof).
+profile:
+	$(GO) run ./cmd/kylix-bench -scale quick -exp fig6,fig8 -cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "wrote cpu.pprof and mem.pprof; inspect with: go tool pprof cpu.pprof"
 
 # A quick pass over the fault fabric's determinism fuzzer.
 fuzz:

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -24,11 +26,42 @@ import (
 
 func main() {
 	var (
-		scaleName = flag.String("scale", "default", "experiment scale: default or quick")
-		exps      = flag.String("exp", "all", "comma-separated experiments: fig2,fig4,fig5,fig6,fig7,fig8,fig9,table1,ablation-design,ablation-fused,ablation-racing,ablation-jitter or all")
-		measured  = flag.Bool("measured", false, "also run the real loopback-TCP packet sweep for fig2")
+		scaleName  = flag.String("scale", "default", "experiment scale: default or quick")
+		exps       = flag.String("exp", "all", "comma-separated experiments: fig2,fig4,fig5,fig6,fig7,fig8,fig9,table1,ablation-design,ablation-fused,ablation-racing,ablation-jitter or all")
+		measured   = flag.Bool("measured", false, "also run the real loopback-TCP packet sweep for fig2")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken after the experiments to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kylix-bench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "kylix-bench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "kylix-bench: memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "kylix-bench: memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	var sc bench.Scale
 	switch *scaleName {

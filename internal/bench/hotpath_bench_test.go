@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"sync"
+	"testing"
+
+	"kylix/internal/core"
+	"kylix/internal/memnet"
+	"kylix/internal/topo"
+)
+
+// BenchmarkReduceWarmQuick is the hot-path gate benchmark: repeated
+// Config.Reduce rounds on a warm (already configured, arena-populated)
+// config at QuickScale — the paper's 64-machine optimal topology over a
+// twitter-like power-law workload. One op is one full collective round
+// across all machines. scripts/bench.sh fails the PR gate if this
+// benchmark reports any allocs/op: the steady-state reduction must run
+// entirely from the per-Config scratch arena.
+func BenchmarkReduceWarmQuick(b *testing.B) {
+	sc := QuickScale()
+	p := twitterProfile()
+	w, err := genWorkload(p, sc.N, sc.Machines, sc.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bf := topo.MustNew(scaleDegrees(p.degrees, sc.Machines))
+
+	net := memnet.New(sc.Machines)
+	defer net.Close()
+
+	var ready, done sync.WaitGroup
+	start := make(chan struct{})
+	ready.Add(sc.Machines)
+	done.Add(sc.Machines)
+	errs := make([]error, sc.Machines)
+	for q := 0; q < sc.Machines; q++ {
+		go func(q int) {
+			defer done.Done()
+			fail := func(err error) {
+				errs[q] = err
+				ready.Done()
+			}
+			m, err := core.NewMachine(net.Endpoint(q), bf, core.Options{})
+			if err != nil {
+				fail(err)
+				return
+			}
+			cfg, err := m.Configure(w.sets[q], w.sets[q])
+			if err != nil {
+				fail(err)
+				return
+			}
+			// Warm both scratch-arena generations before the timed loop.
+			for r := 0; r < 2; r++ {
+				if _, err := cfg.Reduce(w.vals[q]); err != nil {
+					fail(err)
+					return
+				}
+			}
+			ready.Done()
+			<-start
+			for i := 0; i < b.N; i++ {
+				if _, err := cfg.Reduce(w.vals[q]); err != nil {
+					errs[q] = err
+					return
+				}
+			}
+		}(q)
+	}
+	ready.Wait()
+	for _, err := range errs {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	close(start)
+	done.Wait()
+	b.StopTimer()
+	for _, err := range errs {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -138,6 +138,17 @@ type Endpoint interface {
 	// arrivals with the same tag from the losing senders are discarded
 	// by the transport (the §V-B packet race cancellation).
 	RecvAny(froms []int, tag Tag) (int, Payload, error)
+	// RecvGroup blocks until a message with the tag arrives from any
+	// sender in any of the groups, returning the winning sender's rank.
+	// A win cancels only the winner's own group — late copies from its
+	// co-members carried the same logical message (the §V-B replica
+	// race) and are discarded — while every other group remains fully
+	// deliverable. With singleton groups this is a pure any-source,
+	// arrival-order receive: the reduction hot path issues all of a
+	// layer's sends and then combines pieces as they land, instead of
+	// blocking head-of-line on a fixed member order. Implementations
+	// must not retain or mutate the groups slices.
+	RecvGroup(groups [][]int, tag Tag) (int, Payload, error)
 	// Close releases the endpoint; blocked receives return ErrClosed.
 	Close() error
 }

@@ -11,19 +11,41 @@ type mailKey struct {
 	tag  Tag
 }
 
+// maxFreeQueues bounds the recycled queue-slice pool. Steady-state
+// protocol traffic keeps at most a handful of (sender, tag) queues live
+// at once; the bound only matters after a pathological burst.
+const maxFreeQueues = 128
+
 // Mailbox is the matched-receive buffer shared by all transports: an
 // unbounded per-(sender, tag) queue with blocking consumers. Sends into
 // a Mailbox never block, which realizes the paper's requirement that
 // nodes communicate opportunistically and never stall on slow peers.
+//
+// The steady-state receive path is allocation-free: emptied queue
+// slices are recycled through a small free list, and the timeout
+// machinery is one lazily started watchdog goroutine per Mailbox (not
+// per blocked receive), so a warm reduction round allocates nothing
+// here.
 type Mailbox struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queues  map[mailKey][]Payload
-	closed  bool
-	timeout time.Duration
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[mailKey][]Payload
+	free   [][]Payload // recycled backing slices for emptied queues
+	// byTag indexes the senders that have at least one pending message
+	// under each tag, so any-source receives find an available message
+	// in O(1) instead of probing every sender's queue key (quadratic in
+	// the group degree) or walking the whole pending map.
+	byTag    map[Tag][]int
+	freeTags [][]int // recycled backing slices for emptied byTag lists
+	closed   bool
+	timeout  time.Duration
 	// discard marks (from, tag) pairs whose future deliveries should be
 	// dropped: the losers of a replica race (§V-B cancellation).
 	discard map[mailKey]struct{}
+	// watch is set once the watchdog goroutine (periodic broadcasts so
+	// deadlines are observed with no traffic) has been started.
+	watch bool
+	done  chan struct{} // closed by Close; stops the watchdog
 }
 
 // NewMailbox creates a Mailbox whose blocking receives fail with
@@ -31,8 +53,10 @@ type Mailbox struct {
 func NewMailbox(timeout time.Duration) *Mailbox {
 	m := &Mailbox{
 		queues:  make(map[mailKey][]Payload),
+		byTag:   make(map[Tag][]int),
 		discard: make(map[mailKey]struct{}),
 		timeout: timeout,
+		done:    make(chan struct{}),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	return m
@@ -51,15 +75,158 @@ func (m *Mailbox) Deliver(from int, tag Tag, p Payload) {
 		m.mu.Unlock()
 		return
 	}
-	m.queues[k] = append(m.queues[k], p)
+	q, ok := m.queues[k]
+	if !ok && len(m.free) > 0 {
+		q = m.free[len(m.free)-1]
+		m.free = m.free[:len(m.free)-1]
+	}
+	if len(q) == 0 {
+		m.indexTagLocked(k) // queue transitions empty -> pending
+	}
+	m.queues[k] = append(q, p)
 	m.mu.Unlock()
 	m.cond.Broadcast()
 }
 
+// indexTagLocked records that k.from now has pending messages under
+// k.tag. Caller holds m.mu.
+func (m *Mailbox) indexTagLocked(k mailKey) {
+	o, ok := m.byTag[k.tag]
+	if !ok && len(m.freeTags) > 0 {
+		o = m.freeTags[len(m.freeTags)-1]
+		m.freeTags = m.freeTags[:len(m.freeTags)-1]
+	}
+	m.byTag[k.tag] = append(o, k.from)
+}
+
+// unindexTagLocked removes k.from from k.tag's pending-sender list
+// (the sender's queue just emptied). Order is not preserved — receives
+// stage and fold canonically, so which pending message they see first
+// does not matter. Caller holds m.mu.
+func (m *Mailbox) unindexTagLocked(k mailKey) {
+	o := m.byTag[k.tag]
+	for i, f := range o {
+		if f == k.from {
+			o[i] = o[len(o)-1]
+			o = o[:len(o)-1]
+			break
+		}
+	}
+	if len(o) == 0 {
+		delete(m.byTag, k.tag)
+		if o != nil && len(m.freeTags) < maxFreeQueues {
+			m.freeTags = append(m.freeTags, o[:0])
+		}
+	} else {
+		m.byTag[k.tag] = o
+	}
+}
+
+// popLocked dequeues the head of (from, tag), recycling the backing
+// slice when the queue empties. Caller holds m.mu.
+func (m *Mailbox) popLocked(k mailKey) (Payload, bool) {
+	q := m.queues[k]
+	if len(q) == 0 {
+		return nil, false
+	}
+	p := q[0]
+	q[0] = nil // release the payload reference held by the slice
+	if len(q) == 1 {
+		delete(m.queues, k)
+		if len(m.free) < maxFreeQueues {
+			m.free = append(m.free, q[:0])
+		}
+		m.unindexTagLocked(k)
+	} else {
+		m.queues[k] = q[1:]
+	}
+	return p, true
+}
+
+// cancelLocked marks every listed sender except the winner for discard
+// under the tag and drops their queued messages. Caller holds m.mu.
+func (m *Mailbox) cancelLocked(froms []int, winner int, tag Tag) {
+	for _, other := range froms {
+		if other != winner {
+			ko := mailKey{other, tag}
+			m.discard[ko] = struct{}{}
+			if _, pending := m.queues[ko]; pending {
+				delete(m.queues, ko)
+				m.unindexTagLocked(ko)
+			}
+		}
+	}
+}
+
+// waitState tracks one blocked receive's deadline without allocating.
+type waitState struct {
+	deadline, start time.Time
+}
+
+// waitLocked arms the timeout machinery and parks the caller on the
+// condition variable; it returns false once the deadline has expired.
+// Caller holds m.mu.
+func (m *Mailbox) waitLocked(ws *waitState) bool {
+	if m.timeout > 0 {
+		now := time.Now()
+		if ws.deadline.IsZero() {
+			ws.start = now
+			ws.deadline = now.Add(m.timeout)
+			m.startWatchdogLocked()
+		} else if now.After(ws.deadline) {
+			return false
+		}
+	}
+	m.cond.Wait()
+	return true
+}
+
+// startWatchdogLocked launches the per-Mailbox watchdog that broadcasts
+// periodically so sleeping receivers observe their deadlines even with
+// no traffic. Started lazily on the first blocking wait — a mailbox
+// whose receives always find messages ready pays nothing — and exactly
+// once, so the hot path never spawns goroutines. Caller holds m.mu.
+func (m *Mailbox) startWatchdogLocked() {
+	if m.watch {
+		return
+	}
+	m.watch = true
+	interval := m.timeout / 4
+	done := m.done
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				m.cond.Broadcast()
+			}
+		}
+	}()
+}
+
 // Recv blocks until a message from (from, tag) is available.
 func (m *Mailbox) Recv(from int, tag Tag) (Payload, error) {
-	_, p, err := m.RecvAny([]int{from}, tag)
-	return p, err
+	var ws waitState
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.closed {
+			return nil, ErrClosed
+		}
+		if p, ok := m.popLocked(mailKey{from, tag}); ok {
+			return p, nil
+		}
+		if !m.waitLocked(&ws) {
+			return nil, &TimeoutError{
+				Tag:     tag,
+				From:    []int{from},
+				Elapsed: time.Since(ws.start),
+			}
+		}
+	}
 }
 
 // RecvAny blocks until a message with the tag arrives from any of the
@@ -67,81 +234,94 @@ func (m *Mailbox) Recv(from int, tag Tag) (Payload, error) {
 // slots for this tag are marked for discard so late duplicates do not
 // accumulate. Returns the winning sender.
 func (m *Mailbox) RecvAny(froms []int, tag Tag) (int, Payload, error) {
-	var deadline, start time.Time
-	var stop chan struct{}
+	var ws waitState
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
 		if m.closed {
 			return 0, nil, ErrClosed
 		}
-		if from, p, ok := m.takeLocked(froms, tag); ok {
-			return from, p, nil
-		}
-		if m.timeout > 0 {
-			if deadline.IsZero() {
-				start = time.Now()
-				deadline = start.Add(m.timeout)
-				// A waiter exists now: wake sleepers periodically so the
-				// deadline is observed even with no traffic. Started
-				// lazily so the common non-blocking receive pays nothing.
-				stop = make(chan struct{})
-				defer close(stop)
-				go func() {
-					t := time.NewTicker(m.timeout / 4)
-					defer t.Stop()
-					for {
-						select {
-						case <-stop:
-							return
-						case <-t.C:
-							m.cond.Broadcast()
-						}
-					}
-				}()
-			} else if time.Now().After(deadline) {
-				return 0, nil, &TimeoutError{
-					Tag:     tag,
-					From:    append([]int(nil), froms...),
-					Elapsed: time.Since(start),
-				}
+		for _, from := range froms {
+			if p, ok := m.popLocked(mailKey{from, tag}); ok {
+				m.cancelLocked(froms, from, tag)
+				return from, p, nil
 			}
 		}
-		m.cond.Wait()
+		if !m.waitLocked(&ws) {
+			return 0, nil, &TimeoutError{
+				Tag:     tag,
+				From:    append([]int(nil), froms...),
+				Elapsed: time.Since(ws.start),
+			}
+		}
 	}
 }
 
-// takeLocked scans the senders for a ready message; on a hit it dequeues
-// it and cancels the losing senders' slots. Caller holds m.mu.
-func (m *Mailbox) takeLocked(froms []int, tag Tag) (int, Payload, bool) {
-	for _, from := range froms {
-		k := mailKey{from, tag}
-		q := m.queues[k]
-		if len(q) == 0 {
-			continue
-		}
-		p := q[0]
-		if len(q) == 1 {
-			delete(m.queues, k)
-		} else {
-			m.queues[k] = q[1:]
-		}
-		for _, other := range froms {
-			if other != from {
-				ko := mailKey{other, tag}
-				m.discard[ko] = struct{}{}
-				delete(m.queues, ko)
+// popGroupLocked dequeues one available message from any listed sender,
+// reporting the winner's group index. It walks the tag's pending-sender
+// index — what has actually arrived — so the cost per receive is the
+// membership check of one sender, not a queue probe per possible
+// sender (which would be quadratic in the group degree over a layer).
+// Caller holds m.mu.
+func (m *Mailbox) popGroupLocked(groups [][]int, tag Tag) (gi, from int, p Payload, ok bool) {
+	for _, from := range m.byTag[tag] {
+		for gi, g := range groups {
+			for _, f := range g {
+				if f != from {
+					continue
+				}
+				if p, ok := m.popLocked(mailKey{from, tag}); ok {
+					return gi, from, p, true
+				}
+				return 0, 0, nil, false // index out of sync; cannot happen
 			}
 		}
-		return from, p, true
 	}
-	return 0, nil, false
+	return 0, 0, nil, false
+}
+
+// RecvGroup blocks until a message with the tag arrives from any sender
+// in any of the groups, returning the winner. The win cancels only the
+// winner's own group (its co-members carried replica copies of the same
+// logical message); other groups stay fully deliverable. Singleton
+// groups therefore make RecvGroup a pure arrival-order, any-source
+// receive with no cancellation — the reduction hot path's primitive —
+// and it allocates nothing outside the error paths.
+func (m *Mailbox) RecvGroup(groups [][]int, tag Tag) (int, Payload, error) {
+	var ws waitState
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.closed {
+			return 0, nil, ErrClosed
+		}
+		if gi, from, p, ok := m.popGroupLocked(groups, tag); ok {
+			if len(groups[gi]) > 1 {
+				m.cancelLocked(groups[gi], from, tag)
+			}
+			return from, p, nil
+		}
+		if !m.waitLocked(&ws) {
+			froms := make([]int, 0, len(groups))
+			for _, g := range groups {
+				froms = append(froms, g...)
+			}
+			return 0, nil, &TimeoutError{
+				Tag:     tag,
+				From:    froms,
+				Elapsed: time.Since(ws.start),
+			}
+		}
+	}
 }
 
 // Close wakes and fails all blocked receivers and drops queued messages.
 func (m *Mailbox) Close() {
 	m.mu.Lock()
-	m.closed = true
+	if !m.closed {
+		m.closed = true
+		close(m.done)
+	}
 	m.queues = nil
 	m.mu.Unlock()
 	m.cond.Broadcast()

@@ -17,6 +17,11 @@ type Payload interface {
 	WireSize() int
 	// AppendTo appends the wire encoding to buf and returns it.
 	AppendTo(buf []byte) []byte
+	// Clone returns a deep copy sharing no memory with the receiver.
+	// Layers that fan one payload out to several in-process receivers
+	// with independent lifetimes (the replica layer) clone first, so a
+	// sender reusing its buffers cannot corrupt a slow receiver's copy.
+	Clone() Payload
 }
 
 // Payload type discriminators on the wire (6 and 7 live in
@@ -48,6 +53,24 @@ type KeysVals struct {
 // Bytes carries opaque application data.
 type Bytes struct {
 	Data []byte
+}
+
+// Clone implements Payload.
+func (p *Keys) Clone() Payload { return &Keys{Keys: p.Keys.Clone()} }
+
+// Clone implements Payload.
+func (p *Floats) Clone() Payload {
+	return &Floats{Vals: append([]float32(nil), p.Vals...)}
+}
+
+// Clone implements Payload.
+func (p *KeysVals) Clone() Payload {
+	return &KeysVals{Keys: p.Keys.Clone(), Vals: append([]float32(nil), p.Vals...)}
+}
+
+// Clone implements Payload.
+func (p *Bytes) Clone() Payload {
+	return &Bytes{Data: append([]byte(nil), p.Data...)}
 }
 
 // WireSize implements Payload.

@@ -30,6 +30,20 @@ type Combined struct {
 	Vals []float32
 }
 
+// Clone implements Payload.
+func (p *InOut) Clone() Payload {
+	return &InOut{In: p.In.Clone(), Out: p.Out.Clone()}
+}
+
+// Clone implements Payload.
+func (p *Combined) Clone() Payload {
+	return &Combined{
+		In:   p.In.Clone(),
+		Out:  p.Out.Clone(),
+		Vals: append([]float32(nil), p.Vals...),
+	}
+}
+
 // WireSize implements Payload.
 func (p *InOut) WireSize() int { return 1 + 4 + 4 + 8*len(p.In) + 8*len(p.Out) }
 

@@ -81,15 +81,30 @@ func (m *Machine) configureLayer(layer int, round uint32, inCur, outCur sparse.S
 		}
 	}
 
-	// Receive one piece per member and union them.
+	// Receive one piece per member, in arrival order (this is the cold
+	// path, so the singleton groups are built per call).
 	inPieces := make([]sparse.Set, d)
 	outPieces := make([]sparse.Set, d)
 	valPieces := make([][]float32, d)
 	myRange := parent.Sub(d, m.bf.Digit(m.Rank(), layer))
-	for t, member := range group {
-		p, err := m.ep.Recv(member, tag)
+	singles := make([][]int, d)
+	backing := make([]int, d)
+	copy(backing, group)
+	for t := range singles {
+		singles[t] = backing[t : t+1 : t+1]
+	}
+	seen := make([]bool, d)
+	for received := 0; received < d; {
+		from, p, err := m.ep.RecvGroup(singles, tag)
 		if err != nil {
-			return nil, fmt.Errorf("recv from %d: %w", member, err)
+			return nil, fmt.Errorf("recv: %w", err)
+		}
+		t := memberIndex(group, from)
+		if t < 0 {
+			return nil, fmt.Errorf("piece from %d outside group", from)
+		}
+		if seen[t] {
+			continue // duplicate delivery
 		}
 		switch q := p.(type) {
 		case *comm.InOut:
@@ -97,11 +112,13 @@ func (m *Machine) configureLayer(layer int, round uint32, inCur, outCur sparse.S
 		case *comm.Combined:
 			inPieces[t], outPieces[t], valPieces[t] = q.In, q.Out, q.Vals
 		default:
-			return nil, fmt.Errorf("unexpected payload %T from %d", p, member)
+			return nil, fmt.Errorf("unexpected payload %T from %d", p, from)
 		}
 		if err := sparse.CheckInRange(outPieces[t], myRange); err != nil {
-			return nil, fmt.Errorf("piece from %d: %w", member, err)
+			return nil, fmt.Errorf("piece from %d: %w", from, err)
 		}
+		seen[t] = true
+		received++
 	}
 	ls.inUnion, ls.inMaps = sparse.UnionWithMaps(inPieces)
 	ls.outUnion, ls.outMaps = sparse.UnionWithMaps(outPieces)

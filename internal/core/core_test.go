@@ -217,7 +217,9 @@ func TestRepeatedReduceReusesConfig(t *testing.T) {
 			if err != nil {
 				return err
 			}
-			results[ep.Rank()] = append(results[ep.Rank()], res)
+			// Reduce results are arena-owned (valid until the second-
+			// following round); copy to retain across iterations.
+			results[ep.Rank()] = append(results[ep.Rank()], append([]float32(nil), res...))
 		}
 		return nil
 	})

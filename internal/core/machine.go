@@ -129,6 +129,9 @@ type Config struct {
 	// missing counts in-indices with no contributor in this machine's
 	// bottom range.
 	missing int
+	// scratch is the reusable two-generation reduction arena, built
+	// lazily on the first Reduce so Configure-only uses pay nothing.
+	scratch *scratch
 }
 
 // InSet returns the configured in-set in key order. The values returned

@@ -13,6 +13,18 @@ import (
 // OutSet(), in key order; the result holds Width values per key of
 // InSet(), in key order. All live machines must call Reduce collectively
 // and in the same round order.
+//
+// The hot path is pipelined and allocation-free: within each layer all
+// pieces are sent before any receive is posted, incoming pieces are
+// taken in arrival order (so a slow member never blocks combining the
+// fast ones), and every buffer comes from the Config's two-generation
+// scratch arena. Arrival order does not change results — pieces are
+// staged per sender and folded in canonical member order, so the float
+// combine sequence is bit-identical to a fully in-order run.
+//
+// The returned slice is owned by the arena: it stays valid until the
+// second-following Reduce/ConfigureReduce on this Config overwrites it.
+// Callers that retain results longer must copy them out.
 func (c *Config) Reduce(outVals []float32) ([]float32, error) {
 	m := c.mach
 	w := m.opts.Width
@@ -21,26 +33,51 @@ func (c *Config) Reduce(outVals []float32) ([]float32, error) {
 			m.Rank(), len(outVals), len(c.outSet)*w, len(c.outSet), w)
 	}
 	round := m.nextRound()
+	s := c.ensureScratch()
+	g := s.flip()
 
 	// Downward scatter-reduce.
 	cur := outVals
-	for i, ls := range c.layers {
+	for i := range c.layers {
+		ls := &c.layers[i]
 		layer := i + 1
 		tag := comm.MakeTag(comm.KindReduce, layer, round)
+
+		// Issue every send before posting any receive: all pieces are in
+		// flight while we turn around to combine.
+		sends := g.scatter[i]
 		for t, member := range ls.group {
-			seg := cur[int(ls.outOffsets[t])*w : int(ls.outOffsets[t+1])*w]
-			if err := m.ep.Send(member, tag, &comm.Floats{Vals: seg}); err != nil {
+			f := &sends[t]
+			f.Vals = cur[int(ls.outOffsets[t])*w : int(ls.outOffsets[t+1])*w]
+			if err := m.ep.Send(member, tag, f); err != nil {
 				return nil, err
 			}
 		}
-		acc := make([]float32, len(ls.outUnion)*w)
-		if id := m.opts.Reducer.Identity(); id != 0 {
-			sparse.Fill(acc, id)
+
+		acc := g.acc[i]
+		sparse.Fill(acc, m.opts.Reducer.Identity())
+
+		// Take pieces as they arrive, but fold in canonical member order:
+		// stage each receipt in its sender's slot and advance a fold
+		// cursor over the contiguous staged prefix. Compute overlaps with
+		// stragglers' network time, yet the combine sequence is exactly
+		// the in-order one.
+		stage := s.stage[:len(ls.group)]
+		for t := range stage {
+			stage[t] = nil
 		}
-		for t, member := range ls.group {
-			p, err := m.ep.Recv(member, tag)
+		folded := 0
+		for received := 0; received < len(ls.group); {
+			from, p, err := m.ep.RecvGroup(s.groups[i], tag)
 			if err != nil {
-				return nil, fmt.Errorf("core: rank %d reduce layer %d recv from %d: %w", m.Rank(), layer, member, err)
+				return nil, fmt.Errorf("core: rank %d reduce layer %d recv: %w", m.Rank(), layer, err)
+			}
+			t := memberIndex(ls.group, from)
+			if t < 0 {
+				return nil, fmt.Errorf("core: rank %d reduce layer %d: piece from %d outside group", m.Rank(), layer, from)
+			}
+			if stage[t] != nil {
+				continue // duplicate delivery (chaotic transport)
 			}
 			f, ok := p.(*comm.Floats)
 			if !ok {
@@ -48,19 +85,25 @@ func (c *Config) Reduce(outVals []float32) ([]float32, error) {
 			}
 			if len(f.Vals) != len(ls.outMaps[t])*w {
 				return nil, fmt.Errorf("core: rank %d reduce layer %d: piece from %d has %d values, want %d",
-					m.Rank(), layer, member, len(f.Vals), len(ls.outMaps[t])*w)
+					m.Rank(), layer, from, len(f.Vals), len(ls.outMaps[t])*w)
 			}
-			sparse.CombineInto(m.opts.Reducer, acc, ls.outMaps[t], f.Vals, w)
+			stage[t] = f
+			received++
+			for folded < len(ls.group) && stage[folded] != nil {
+				sparse.CombineInto(m.opts.Reducer, acc, ls.outMaps[folded], stage[folded].Vals, w)
+				folded++
+			}
 		}
 		cur = acc
 	}
 
-	return c.gatherUp(cur, round)
+	return c.gatherUp(cur, round, s, g)
 }
 
 // gatherUp runs the upward allgather from fully reduced bottom values.
-// cur must align with the bottom out-union.
-func (c *Config) gatherUp(cur []float32, round uint32) ([]float32, error) {
+// cur must align with the bottom out-union. Buffers come from the given
+// arena generation; the returned slice is g.next[0].
+func (c *Config) gatherUp(cur []float32, round uint32, s *scratch, g *genBufs) ([]float32, error) {
 	m := c.mach
 	w := m.opts.Width
 
@@ -68,36 +111,44 @@ func (c *Config) gatherUp(cur []float32, round uint32) ([]float32, error) {
 	// out-union (v_in^l := v_out^l restricted to the requested indices).
 	// Indices nobody contributed gather the reducer's identity (0 for
 	// sum, +Inf for min, ...), so downstream folds remain neutral.
-	inVals := make([]float32, len(c.bottomIn())*w)
+	inVals := g.inVals
 	sparse.GatherInto(inVals, c.bottomMap, cur, w, m.opts.Reducer.Identity())
 
 	// Upward allgather, layer l..1.
 	for i := len(c.layers) - 1; i >= 0; i-- {
-		ls := c.layers[i]
+		ls := &c.layers[i]
 		layer := i + 1
 		tag := comm.MakeTag(comm.KindGather, layer, round)
 		// Extract and return to each member the values for the in-piece
-		// it sent down during configuration (the g maps).
+		// it sent down during configuration (the g maps). All sends are
+		// issued before any receive is posted.
+		sends := g.gather[i]
 		for t, member := range ls.group {
-			out := make([]float32, len(ls.inMaps[t])*w)
-			sparse.GatherInto(out, ls.inMaps[t], inVals, w, 0)
-			if err := m.ep.Send(member, tag, &comm.Floats{Vals: out}); err != nil {
+			f := &sends[t]
+			sparse.GatherInto(f.Vals, ls.inMaps[t], inVals, w, 0)
+			if err := m.ep.Send(member, tag, f); err != nil {
 				return nil, err
 			}
 		}
-		// Receive the values for each piece of my layer-(i-1) in-set and
-		// concatenate them by sub-range segment.
-		var below sparse.Set
-		if i == 0 {
-			below = c.inSet
-		} else {
-			below = c.layers[i-1].inUnion
+		// Receive the values for each piece of my layer-(i-1) in-set in
+		// arrival order: segments are disjoint, so each piece is copied
+		// into place the moment it lands — no ordering constraint at all.
+		next := g.next[i]
+		seen := s.stage[:len(ls.group)]
+		for t := range seen {
+			seen[t] = nil
 		}
-		next := make([]float32, len(below)*w)
-		for t, member := range ls.group {
-			p, err := m.ep.Recv(member, tag)
+		for received := 0; received < len(ls.group); {
+			from, p, err := m.ep.RecvGroup(s.groups[i], tag)
 			if err != nil {
-				return nil, fmt.Errorf("core: rank %d gather layer %d recv from %d: %w", m.Rank(), layer, member, err)
+				return nil, fmt.Errorf("core: rank %d gather layer %d recv: %w", m.Rank(), layer, err)
+			}
+			t := memberIndex(ls.group, from)
+			if t < 0 {
+				return nil, fmt.Errorf("core: rank %d gather layer %d: piece from %d outside group", m.Rank(), layer, from)
+			}
+			if seen[t] != nil {
+				continue // duplicate delivery
 			}
 			f, ok := p.(*comm.Floats)
 			if !ok {
@@ -106,9 +157,11 @@ func (c *Config) gatherUp(cur []float32, round uint32) ([]float32, error) {
 			seg := next[int(ls.inOffsets[t])*w : int(ls.inOffsets[t+1])*w]
 			if len(f.Vals) != len(seg) {
 				return nil, fmt.Errorf("core: rank %d gather layer %d: segment from %d has %d values, want %d",
-					m.Rank(), layer, member, len(f.Vals), len(seg))
+					m.Rank(), layer, from, len(f.Vals), len(seg))
 			}
 			copy(seg, f.Vals)
+			seen[t] = f
+			received++
 		}
 		inVals = next
 	}
@@ -121,7 +174,7 @@ func (c *Config) gatherUp(cur []float32, round uint32) ([]float32, error) {
 // §III: "it is more efficient to do configuration and reduction
 // concurrently with combined network messages"). It returns the
 // resulting Config — reusable by later plain Reduce calls — together
-// with the reduced in-values.
+// with the reduced in-values (arena-owned, like Reduce results).
 func (m *Machine) ConfigureReduce(inSet, outSet sparse.Set, outVals []float32) (*Config, []float32, error) {
 	if !inSet.IsSorted() || !outSet.IsSorted() {
 		return nil, nil, fmt.Errorf("core: ConfigureReduce requires sorted, deduplicated Sets")
@@ -150,7 +203,9 @@ func (m *Machine) ConfigureReduce(inSet, outSet sparse.Set, outVals []float32) (
 	if err := cfg.finishBottom(inCur, outCur); err != nil {
 		return nil, nil, err
 	}
-	inVals, err := cfg.gatherUp(cur, round)
+	s := cfg.ensureScratch()
+	g := s.flip()
+	inVals, err := cfg.gatherUp(cur, round, s, g)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"kylix/internal/comm"
+)
+
+// genBufs is one generation of a Config's reusable reduction buffers.
+// Every slice a warm Reduce writes — layer accumulators, send payload
+// headers, gather extraction buffers, the turnaround vector and the
+// per-layer assembly buffers — is carved here once, so steady-state
+// rounds allocate nothing.
+type genBufs struct {
+	// acc[i] is layer i+1's scatter-reduce accumulator
+	// (len = |outUnion| * width).
+	acc [][]float32
+	// scatter[i][t] is the reusable send header for the scatter piece to
+	// layer i+1's member t; its Vals is re-pointed at a segment of the
+	// current value vector each round.
+	scatter [][]comm.Floats
+	// gather[i][t] is the send header for the allgather piece to layer
+	// i+1's member t; its Vals is a fixed buffer (len = |inMaps[t]| *
+	// width) refilled by GatherInto each round.
+	gather [][]comm.Floats
+	// inVals is the bottom turnaround vector (len = |bottomIn| * width).
+	inVals []float32
+	// next[i] is the allgather assembly buffer below layer i+1
+	// (len = |inSet| * width for i == 0, |layers[i-1].inUnion| * width
+	// otherwise). next[0] is the vector handed back to the caller.
+	next [][]float32
+}
+
+// scratch is a Config's two-generation reduction arena plus the
+// generation-independent receive state. Rounds alternate generations:
+// round N reuses the buffers of round N-2, which are quiescent by then —
+// any rank entering round N has completed round N-1, which required a
+// message from every group member at every layer, which those members
+// only send after finishing round N-2 and therefore after consuming
+// every round-N-2 payload addressed to them. (Send-side transports
+// either finish reading a payload before the receiver can complete the
+// round it belongs to, or deep-copy it up front, so the same bound
+// covers them.)
+type scratch struct {
+	gen  int
+	bufs [2]genBufs
+	// stage holds arrival-order receipts until they can be folded in
+	// canonical member order; sized to the widest layer group. Non-nil
+	// entries double as duplicate-delivery guards.
+	stage []*comm.Floats
+	// groups[i][t] is the singleton group {layers[i].group[t]} — the
+	// RecvGroup argument that makes receives pure arrival-order with no
+	// cancellation.
+	groups [][][]int
+}
+
+// flip advances to the next generation and returns its buffers.
+func (s *scratch) flip() *genBufs {
+	s.gen ^= 1
+	return &s.bufs[s.gen]
+}
+
+// ensureScratch builds the Config's arena on first use. Sizes are fully
+// determined by the configuration, so this runs once per Config; every
+// later Reduce is allocation-free.
+func (c *Config) ensureScratch() *scratch {
+	if c.scratch != nil {
+		return c.scratch
+	}
+	w := c.mach.opts.Width
+	s := &scratch{groups: make([][][]int, len(c.layers))}
+	maxDeg := 0
+	for i := range c.layers {
+		ls := &c.layers[i]
+		d := len(ls.group)
+		if d > maxDeg {
+			maxDeg = d
+		}
+		singles := make([]int, d)
+		copy(singles, ls.group)
+		s.groups[i] = make([][]int, d)
+		for t := range singles {
+			s.groups[i][t] = singles[t : t+1 : t+1]
+		}
+	}
+	s.stage = make([]*comm.Floats, maxDeg)
+	for gen := range s.bufs {
+		g := &s.bufs[gen]
+		g.acc = make([][]float32, len(c.layers))
+		g.scatter = make([][]comm.Floats, len(c.layers))
+		g.gather = make([][]comm.Floats, len(c.layers))
+		g.next = make([][]float32, len(c.layers))
+		g.inVals = make([]float32, len(c.bottomIn())*w)
+		for i := range c.layers {
+			ls := &c.layers[i]
+			g.acc[i] = make([]float32, len(ls.outUnion)*w)
+			g.scatter[i] = make([]comm.Floats, len(ls.group))
+			g.gather[i] = make([]comm.Floats, len(ls.group))
+			for t := range ls.group {
+				g.gather[i][t].Vals = make([]float32, len(ls.inMaps[t])*w)
+			}
+			below := c.inSet
+			if i > 0 {
+				below = c.layers[i-1].inUnion
+			}
+			g.next[i] = make([]float32, len(below)*w)
+		}
+	}
+	c.scratch = s
+	return s
+}
+
+// memberIndex locates a rank in a layer group (groups are small — the
+// topology degree — so a linear scan beats any index structure).
+func memberIndex(group []int, rank int) int {
+	for t, m := range group {
+		if m == rank {
+			return t
+		}
+	}
+	return -1
+}

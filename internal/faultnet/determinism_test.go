@@ -48,6 +48,9 @@ func (e *recEndpoint) Recv(from int, tag comm.Tag) (comm.Payload, error) {
 func (e *recEndpoint) RecvAny(froms []int, tag comm.Tag) (int, comm.Payload, error) {
 	return 0, nil, comm.ErrTimeout
 }
+func (e *recEndpoint) RecvGroup(groups [][]int, tag comm.Tag) (int, comm.Payload, error) {
+	return 0, nil, comm.ErrTimeout
+}
 func (e *recEndpoint) Close() error { return nil }
 
 // runScript drives a fixed send schedule (round-robin over 4 ranks, 30

@@ -561,6 +561,13 @@ func (e *endpoint) RecvAny(froms []int, tag comm.Tag) (int, comm.Payload, error)
 	return e.ep.RecvAny(froms, tag)
 }
 
+func (e *endpoint) RecvGroup(groups [][]int, tag comm.Tag) (int, comm.Payload, error) {
+	if e.f.killed[e.rank].Load() {
+		return 0, nil, comm.ErrClosed
+	}
+	return e.ep.RecvGroup(groups, tag)
+}
+
 // Close flushes the fabric's in-flight deliveries (so a closing rank
 // cannot strand messages it already decided to send) and closes the
 // underlying endpoint.

@@ -119,6 +119,10 @@ func (e *endpoint) RecvAny(froms []int, tag comm.Tag) (int, comm.Payload, error)
 	return e.net.boxes[e.rank].RecvAny(froms, tag)
 }
 
+func (e *endpoint) RecvGroup(groups [][]int, tag comm.Tag) (int, comm.Payload, error) {
+	return e.net.boxes[e.rank].RecvGroup(groups, tag)
+}
+
 func (e *endpoint) Close() error {
 	e.net.boxes[e.rank].Close()
 	return nil

@@ -64,10 +64,16 @@ func (e *endpoint) Size() int { return e.logical }
 
 // Send duplicates the message to every replica of the logical target.
 // Transports drop the copies aimed at dead machines; live replicas race.
+// The payload is deep-copied first: in-process transports deliver by
+// reference, and the s receivers consume their copies at independent
+// paces — a straggling replica may still be reading long after the
+// sender's scratch arena has recycled the original buffers, so the
+// replica layer must give the fan-out a lifetime of its own.
 func (e *endpoint) Send(to int, tag comm.Tag, p comm.Payload) error {
 	if to < 0 || to >= e.logical {
 		return fmt.Errorf("replica: logical rank %d out of [0,%d)", to, e.logical)
 	}
+	p = p.Clone()
 	for j := 0; j < e.s; j++ {
 		if err := e.phys.Send(to+j*e.logical, tag, p); err != nil {
 			return err
@@ -91,6 +97,34 @@ func (e *endpoint) RecvAny(froms []int, tag comm.Tag) (int, comm.Payload, error)
 		phys = append(phys, Replicas(q, e.phys.Size(), e.s)...)
 	}
 	winner, p, err := e.phys.RecvAny(phys, tag)
+	if err != nil {
+		return 0, nil, err
+	}
+	return winner % e.logical, p, nil
+}
+
+// RecvGroup expands every logical sender into its physical replica set:
+// each logical group becomes the union of its members' replicas, so a
+// win cancels exactly the redundant physical copies of the same logical
+// message while other groups stay deliverable. The winning physical
+// rank maps back to the logical sender it plays.
+func (e *endpoint) RecvGroup(groups [][]int, tag comm.Tag) (int, comm.Payload, error) {
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	phys := make([][]int, len(groups))
+	backing := make([]int, 0, e.s*total)
+	for i, g := range groups {
+		start := len(backing)
+		for _, q := range g {
+			for j := 0; j < e.s; j++ {
+				backing = append(backing, q+j*e.logical)
+			}
+		}
+		phys[i] = backing[start:len(backing):len(backing)]
+	}
+	winner, p, err := e.phys.RecvGroup(phys, tag)
 	if err != nil {
 		return 0, nil, err
 	}

@@ -35,6 +35,51 @@ func BenchmarkCombineIntoSum(b *testing.B) {
 	}
 }
 
+func BenchmarkCombineIntoSumW4(b *testing.B) {
+	sets := benchSets(8192)
+	union, maps := UnionWithMaps(sets)
+	acc := make([]float32, len(union)*4)
+	src := make([]float32, len(sets[0])*4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CombineInto(Sum, acc, maps[0], src, 4)
+	}
+}
+
+func BenchmarkCombineIntoMaxW1(b *testing.B) {
+	sets := benchSets(8192)
+	union, maps := UnionWithMaps(sets)
+	acc := make([]float32, len(union))
+	src := make([]float32, len(sets[0]))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CombineInto(Max, acc, maps[0], src, 1)
+	}
+}
+
+func BenchmarkGatherIntoW4(b *testing.B) {
+	sets := benchSets(8192)
+	union, maps := UnionWithMaps(sets)
+	src := make([]float32, len(union)*4)
+	dst := make([]float32, len(sets[0])*4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GatherInto(dst, maps[0], src, 4, 0)
+	}
+}
+
+func BenchmarkTreeUnion(b *testing.B) {
+	sets := benchSets(8192)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TreeUnion(sets)
+	}
+}
+
 func BenchmarkGatherInto(b *testing.B) {
 	sets := benchSets(8192)
 	union, maps := UnionWithMaps(sets)

@@ -4,7 +4,24 @@ import "fmt"
 
 // Merge2 returns the sorted, deduplicated union of two Sets.
 func Merge2(a, b Set) Set {
-	out := make(Set, 0, len(a)+len(b))
+	if len(a) == 0 {
+		return b.Clone()
+	}
+	if len(b) == 0 {
+		return a.Clone()
+	}
+	return mergeInto(make(Set, 0, len(a)+len(b)), a, b)
+}
+
+// mergeInto appends the sorted union of a and b to out. Empty inputs
+// reduce to a single bulk copy.
+func mergeInto(out Set, a, b Set) Set {
+	if len(a) == 0 {
+		return append(out, b...)
+	}
+	if len(b) == 0 {
+		return append(out, a...)
+	}
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -21,8 +38,7 @@ func Merge2(a, b Set) Set {
 		}
 	}
 	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
+	return append(out, b[j:]...)
 }
 
 // TreeUnion computes the union of many Sets by recursively merging
@@ -30,6 +46,11 @@ func Merge2(a, b Set) Set {
 // keeps both operands of every merge approximately equal in length,
 // which is what makes merge-based unions beat hash tables: the cost of
 // a merge is the length of the longer sequence.
+//
+// Intermediate merge results live in two ping-pong scratch arenas (each
+// round's outputs are carved from the arena not holding its inputs), so
+// a union of n sets costs two arena allocations instead of one fresh
+// slice per pairwise merge.
 func TreeUnion(sets []Set) Set {
 	switch len(sets) {
 	case 0:
@@ -37,20 +58,44 @@ func TreeUnion(sets []Set) Set {
 	case 1:
 		return sets[0].Clone()
 	}
+	total := 0
+	for _, s := range sets {
+		total += len(s)
+	}
+	if total == 0 {
+		return Set{}
+	}
+	arenas := [2]Set{make(Set, 0, total), make(Set, 0, total)}
+	gen := 0
 	// Bottom-up rounds: merge neighbours until one set remains. Each
 	// round halves the count, so inputs of similar size meet inputs of
 	// similar size.
 	cur := make([]Set, len(sets))
 	copy(cur, sets)
 	for len(cur) > 1 {
+		free := arenas[gen][:0]
+		gen = 1 - gen
 		next := cur[:0]
 		for i := 0; i+1 < len(cur); i += 2 {
-			next = append(next, Merge2(cur[i], cur[i+1]))
+			merged := mergeInto(free, cur[i], cur[i+1])
+			free = merged[len(merged):]
+			next = append(next, merged)
 		}
 		if len(cur)%2 == 1 {
-			next = append(next, cur[len(cur)-1])
+			// Copy the odd leftover into this round's arena as well, so
+			// every round reads exclusively from the previous generation
+			// and writes exclusively into the current one — a leftover is
+			// never read from an arena while it is being overwritten.
+			moved := append(free, cur[len(cur)-1]...)
+			free = moved[len(moved):]
+			next = append(next, moved)
 		}
 		cur = next
+	}
+	// The result is a prefix of one arena; clone it when it pins far more
+	// backing memory than it uses (callers keep unions alive long-term).
+	if len(cur[0])*2 < total {
+		return cur[0].Clone()
 	}
 	return cur[0]
 }

@@ -108,37 +108,146 @@ var (
 // it. This is the constant-time-per-element application of the f maps
 // from Kylix §III-A. Rows mapped to -1 (possible only with partial maps)
 // are skipped.
+//
+// The built-in reducers are dispatched once per call, not once per row:
+// widths 1 and 4 get fully unrolled loops and every other width gets a
+// fused strided loop, so the per-row cost is a map lookup and the
+// arithmetic itself, with no interface call in the inner loop.
 func CombineInto(red Reducer, dst []float32, m []int32, src []float32, width int) {
-	if width == 1 {
-		// Fast path: scalar rows dominate real workloads.
-		if sr, ok := red.(sumReducer); ok {
-			_ = sr
-			for p, q := range m {
-				if q >= 0 {
-					dst[q] += src[p]
-				}
+	switch width {
+	case 1:
+		combineW1(red, dst, m, src)
+	case 4:
+		combineW4(red, dst, m, src)
+	default:
+		combineStrided(red, dst, m, src, width)
+	}
+}
+
+func combineW1(red Reducer, dst []float32, m []int32, src []float32) {
+	switch red.(type) {
+	case sumReducer:
+		for p, q := range m {
+			if q >= 0 {
+				dst[q] += src[p]
 			}
-			return
 		}
+	case maxReducer:
+		for p, q := range m {
+			if q >= 0 && src[p] > dst[q] {
+				dst[q] = src[p]
+			}
+		}
+	case minReducer:
+		for p, q := range m {
+			if q >= 0 && src[p] < dst[q] {
+				dst[q] = src[p]
+			}
+		}
+	case orReducer:
+		for p, q := range m {
+			if q >= 0 {
+				dst[q] = math.Float32frombits(math.Float32bits(dst[q]) | math.Float32bits(src[p]))
+			}
+		}
+	default:
 		for p, q := range m {
 			if q >= 0 {
 				red.Combine(dst[q:q+1], src[p:p+1])
 			}
 		}
-		return
 	}
-	for p, q := range m {
-		if q >= 0 {
-			red.Combine(dst[int(q)*width:(int(q)+1)*width], src[p*width:(p+1)*width])
+}
+
+func combineW4(red Reducer, dst []float32, m []int32, src []float32) {
+	switch red.(type) {
+	case sumReducer:
+		for p, q := range m {
+			if q < 0 {
+				continue
+			}
+			d := dst[int(q)*4 : int(q)*4+4 : int(q)*4+4]
+			s := src[p*4 : p*4+4 : p*4+4]
+			d[0] += s[0]
+			d[1] += s[1]
+			d[2] += s[2]
+			d[3] += s[3]
+		}
+	default:
+		combineStrided(red, dst, m, src, 4)
+	}
+}
+
+func combineStrided(red Reducer, dst []float32, m []int32, src []float32, width int) {
+	switch red.(type) {
+	case sumReducer:
+		for p, q := range m {
+			if q < 0 {
+				continue
+			}
+			d := dst[int(q)*width : (int(q)+1)*width]
+			s := src[p*width : (p+1)*width]
+			_ = d[len(s)-1]
+			for c, v := range s {
+				d[c] += v
+			}
+		}
+	case maxReducer:
+		for p, q := range m {
+			if q < 0 {
+				continue
+			}
+			d := dst[int(q)*width : (int(q)+1)*width]
+			s := src[p*width : (p+1)*width]
+			_ = d[len(s)-1]
+			for c, v := range s {
+				if v > d[c] {
+					d[c] = v
+				}
+			}
+		}
+	case minReducer:
+		for p, q := range m {
+			if q < 0 {
+				continue
+			}
+			d := dst[int(q)*width : (int(q)+1)*width]
+			s := src[p*width : (p+1)*width]
+			_ = d[len(s)-1]
+			for c, v := range s {
+				if v < d[c] {
+					d[c] = v
+				}
+			}
+		}
+	case orReducer:
+		for p, q := range m {
+			if q < 0 {
+				continue
+			}
+			d := dst[int(q)*width : (int(q)+1)*width]
+			s := src[p*width : (p+1)*width]
+			_ = d[len(s)-1]
+			for c, v := range s {
+				d[c] = math.Float32frombits(math.Float32bits(d[c]) | math.Float32bits(v))
+			}
+		}
+	default:
+		for p, q := range m {
+			if q >= 0 {
+				red.Combine(dst[int(q)*width:(int(q)+1)*width], src[p*width:(p+1)*width])
+			}
 		}
 	}
 }
 
 // GatherInto extracts rows of src selected by the position map m into
 // dst: row p of dst is row m[p] of src. This applies the g maps during
-// the upward allgather. Rows mapped to -1 are filled with fill.
+// the upward allgather. Rows mapped to -1 are filled with fill. Widths 1
+// and 4 are unrolled; other widths use the strided copy.
 func GatherInto(dst []float32, m []int32, src []float32, width int, fill float32) {
-	if width == 1 {
+	switch width {
+	case 1:
 		for p, q := range m {
 			if q >= 0 {
 				dst[p] = src[q]
@@ -146,15 +255,25 @@ func GatherInto(dst []float32, m []int32, src []float32, width int, fill float32
 				dst[p] = fill
 			}
 		}
-		return
-	}
-	for p, q := range m {
-		row := dst[p*width : (p+1)*width]
-		if q >= 0 {
-			copy(row, src[int(q)*width:(int(q)+1)*width])
-		} else {
-			for c := range row {
-				row[c] = fill
+	case 4:
+		for p, q := range m {
+			d := dst[p*4 : p*4+4 : p*4+4]
+			if q >= 0 {
+				s := src[int(q)*4 : int(q)*4+4 : int(q)*4+4]
+				d[0], d[1], d[2], d[3] = s[0], s[1], s[2], s[3]
+			} else {
+				d[0], d[1], d[2], d[3] = fill, fill, fill, fill
+			}
+		}
+	default:
+		for p, q := range m {
+			row := dst[p*width : (p+1)*width]
+			if q >= 0 {
+				copy(row, src[int(q)*width:(int(q)+1)*width])
+			} else {
+				for c := range row {
+					row[c] = fill
+				}
 			}
 		}
 	}

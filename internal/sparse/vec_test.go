@@ -144,6 +144,60 @@ func TestGatherIntoWide(t *testing.T) {
 	}
 }
 
+// genericReducer wraps a builtin reducer so CombineInto cannot
+// recognise it, forcing the row-by-row interface path — the reference
+// implementation the specialised width/reducer kernels must match.
+type genericReducer struct{ Reducer }
+
+func (g genericReducer) Name() string { return "generic-" + g.Reducer.Name() }
+
+// The width-1/width-4/strided specialisations must agree exactly with
+// the generic per-row path for every builtin reducer, including -1
+// (skip) entries in the map.
+func TestCombineIntoSpecialisationsMatchGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, red := range []Reducer{Sum, Max, Min, Or} {
+		for _, width := range []int{1, 3, 4, 8} {
+			const rows, accRows = 200, 64
+			m := make([]int32, rows)
+			src := make([]float32, rows*width)
+			for i := range m {
+				if rng.Intn(8) == 0 {
+					m[i] = -1
+				} else {
+					m[i] = rng.Int31n(accRows)
+				}
+			}
+			for i := range src {
+				src[i] = rng.Float32()*4 - 2
+			}
+			got := make([]float32, accRows*width)
+			want := make([]float32, accRows*width)
+			Fill(got, red.Identity())
+			Fill(want, red.Identity())
+			CombineInto(red, got, m, src, width)
+			CombineInto(genericReducer{red}, want, m, src, width)
+			for i := range want {
+				if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+					t.Fatalf("%s width %d slot %d: got %v want %v", red.Name(), width, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestGatherIntoWidth4(t *testing.T) {
+	src := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	dst := make([]float32, 12)
+	GatherInto(dst, []int32{1, -1, 0}, src, 4, 9)
+	want := []float32{5, 6, 7, 8, 9, 9, 9, 9, 1, 2, 3, 4}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst = %v, want %v", dst, want)
+		}
+	}
+}
+
 func TestFill(t *testing.T) {
 	d := make([]float32, 3)
 	Fill(d, 2.5)

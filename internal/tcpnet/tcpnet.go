@@ -137,16 +137,23 @@ func (p *peer) lastErr() error {
 	return p.err
 }
 
+// frame is one queued send, not yet encoded. Encoding happens on the
+// peer's writer goroutine, not the sender's: the protocol goroutine
+// returns from Send immediately and every peer stream encodes its own
+// traffic in parallel, while the writer recycles encode buffers evicted
+// from the resend ring (steady-state sends stop allocating once the
+// ring has turned over).
 type frame struct {
-	tag  comm.Tag
-	data []byte
+	tag comm.Tag
+	p   comm.Payload
 }
 
-// stamped is a frame with its stream sequence number, as kept in the
-// resend ring.
+// stamped is an encoded frame with its stream sequence number, as kept
+// in the resend ring.
 type stamped struct {
-	seq uint64
-	f   frame
+	seq  uint64
+	tag  comm.Tag
+	data []byte
 }
 
 // ring is the bounded per-peer resend buffer: the most recent frames in
@@ -159,14 +166,19 @@ type ring struct {
 
 func newRing(capacity int) *ring { return &ring{buf: make([]stamped, capacity)} }
 
-func (r *ring) push(s stamped) {
+// push appends a frame, returning the encode buffer of the frame it
+// evicted (nil while the ring is filling). An evicted frame can never
+// be replayed again, so its buffer is free for reuse.
+func (r *ring) push(s stamped) []byte {
 	if r.n == len(r.buf) {
+		evicted := r.buf[r.start].data
 		r.buf[r.start] = s
 		r.start = (r.start + 1) % len(r.buf)
-		return
+		return evicted
 	}
 	r.buf[(r.start+r.n)%len(r.buf)] = s
 	r.n++
+	return nil
 }
 
 // each visits buffered frames oldest-first; stops on false.
@@ -241,9 +253,8 @@ func (n *Node) Send(to int, tag comm.Tag, p comm.Payload) error {
 			return perr
 		}
 	}
-	buf := make([]byte, 0, p.WireSize())
 	select {
-	case pr.queue <- frame{tag: tag, data: p.AppendTo(buf)}:
+	case pr.queue <- frame{tag: tag, p: p}:
 		return nil
 	default:
 		// The queue is sized far beyond any protocol burst; hitting the
@@ -260,6 +271,11 @@ func (n *Node) Recv(from int, tag comm.Tag) (comm.Payload, error) {
 // RecvAny implements comm.Endpoint.
 func (n *Node) RecvAny(froms []int, tag comm.Tag) (int, comm.Payload, error) {
 	return n.box.RecvAny(froms, tag)
+}
+
+// RecvGroup implements comm.Endpoint.
+func (n *Node) RecvGroup(groups [][]int, tag comm.Tag) (int, comm.Payload, error) {
+	return n.box.RecvGroup(groups, tag)
 }
 
 // Close shuts the node down in two phases: first it signals writers to
@@ -340,8 +356,24 @@ func (n *Node) writeLoop(to int, pr *peer) {
 		seq    uint64
 		buffer = newRing(n.opts.ResendBuffer)
 		conn   net.Conn
-		dialed bool // first connection established at least once
+		dialed bool     // first connection established at least once
+		spare  [][]byte // encode buffers reclaimed from ring evictions
 	)
+	// encode stamps and wire-encodes a queued frame, reusing a reclaimed
+	// buffer when one is available and banking the ring's eviction.
+	encode := func(f frame) stamped {
+		seq++
+		var buf []byte
+		if len(spare) > 0 {
+			buf = spare[len(spare)-1][:0]
+			spare = spare[:len(spare)-1]
+		}
+		s := stamped{seq: seq, tag: f.tag, data: f.p.AppendTo(buf)}
+		if evicted := buffer.push(s); evicted != nil && len(spare) < 64 {
+			spare = append(spare, evicted)
+		}
+		return s
+	}
 	// Jitter source for reconnect backoff. Timing only — protocol
 	// decisions never depend on it.
 	rng := rand.New(rand.NewSource(int64(n.rank)<<20 ^ int64(to)))
@@ -440,8 +472,7 @@ func (n *Node) writeLoop(to int, pr *peer) {
 		for {
 			select {
 			case f := <-pr.queue:
-				seq++
-				if !writeFrame(conn, &hdr, stamped{seq: seq, f: f}) {
+				if !writeFrame(conn, &hdr, encode(f)) {
 					return
 				}
 			default:
@@ -456,9 +487,7 @@ func (n *Node) writeLoop(to int, pr *peer) {
 			shutdownFlush()
 			return
 		case f := <-pr.queue:
-			seq++
-			s := stamped{seq: seq, f: f}
-			buffer.push(s)
+			s := encode(f)
 			if conn != nil && writeFrame(conn, &hdr, s) {
 				continue
 			}
@@ -495,14 +524,14 @@ func (n *Node) writeLoop(to int, pr *peer) {
 // and the stream dropped — which now triggers the sender's
 // reconnect-and-replay instead of silent loss.
 func writeFrame(conn net.Conn, hdr *[hdrSize]byte, s stamped) bool {
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(s.f.data)))
-	binary.LittleEndian.PutUint64(hdr[4:12], uint64(s.f.tag))
-	binary.LittleEndian.PutUint32(hdr[12:16], crc32.Checksum(s.f.data, castagnoli))
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(s.data)))
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(s.tag))
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.Checksum(s.data, castagnoli))
 	binary.LittleEndian.PutUint64(hdr[16:24], s.seq)
 	if _, err := conn.Write(hdr[:]); err != nil {
 		return false
 	}
-	_, err := conn.Write(s.f.data)
+	_, err := conn.Write(s.data)
 	return err == nil
 }
 
@@ -549,6 +578,10 @@ func (n *Node) readLoop(conn net.Conn) {
 	if from < 0 || from >= len(n.addrs) {
 		return
 	}
+	// buf is reused across frames (grow-only): DecodePayload copies all
+	// referenced bytes into the typed payload, so the raw frame can be
+	// overwritten by the next read.
+	var buf []byte
 	for {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 			return
@@ -560,7 +593,10 @@ func (n *Node) readLoop(conn net.Conn) {
 		tag := comm.Tag(binary.LittleEndian.Uint64(hdr[4:12]))
 		sum := binary.LittleEndian.Uint32(hdr[12:16])
 		seq := binary.LittleEndian.Uint64(hdr[16:24])
-		data := make([]byte, size)
+		if uint32(cap(buf)) < size {
+			buf = make([]byte, size)
+		}
+		data := buf[:size]
 		if _, err := io.ReadFull(conn, data); err != nil {
 			return
 		}

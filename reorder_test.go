@@ -1,0 +1,151 @@
+package kylix_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"kylix"
+)
+
+// Delivery-order permutation property: the reduction hot path takes
+// pieces in arrival order but folds them in canonical member order, so
+// an adversarially delayed/duplicated/reordered delivery schedule must
+// produce results bit-identical to an undisturbed run. Unlike the chaos
+// soak (which reconfigures every round), this drives the
+// configure-once/reduce-many path, so the same scratch-arena
+// generations are recycled across rounds while deliveries arrive
+// permuted.
+//
+// Two regimes per transport and seed:
+//   - unreplicated: per-link Delay scrambles cross-sender arrival order
+//     (the order RecvGroup observes) plus Duplicate; Reorder must stay
+//     off because a parked message with no successor on its link would
+//     deadlock an unreplicated cluster (the soak's §V caveat).
+//   - replicated: adds true per-link Reorder, confined to the upper
+//     replica half so every receiver still gets a clean copy.
+
+const permRounds = 5
+
+type permRegime struct {
+	name    string
+	phys    int
+	logical int
+	opts    []kylix.Option
+	chaos   kylix.FaultPlan
+}
+
+func permRegimes(seed int64) []permRegime {
+	return []permRegime{
+		{
+			name: "delay", phys: 8, logical: 8,
+			chaos: kylix.FaultPlan{
+				Seed:      seed,
+				Delay:     0.50,
+				MaxDelay:  2 * time.Millisecond,
+				Duplicate: 0.25,
+			},
+		},
+		{
+			name: "reorder", phys: 16, logical: 8,
+			opts: []kylix.Option{kylix.WithReplication(2)},
+			chaos: kylix.FaultPlan{
+				Seed:      seed,
+				Faulty:    []int{8, 9, 10, 11, 12, 13, 14, 15},
+				Reorder:   0.40,
+				Delay:     0.30,
+				MaxDelay:  2 * time.Millisecond,
+				Duplicate: 0.20,
+			},
+		},
+	}
+}
+
+// runPermuted runs permRounds reductions over one Reduction per node
+// under the given fault plan and returns results[physRank][round].
+func runPermuted(t *testing.T, transport kylix.Transport, rg permRegime, plan kylix.FaultPlan) ([][][]float32, *kylix.FaultInjector) {
+	t.Helper()
+	opts := append([]kylix.Option{
+		kylix.WithTransport(transport),
+		kylix.WithDegrees(4, 2),
+		kylix.WithWidth(2),
+		kylix.WithRecvTimeout(15 * time.Second),
+		kylix.WithFaults(plan),
+	}, rg.opts...)
+	cluster, err := kylix.NewCluster(rg.phys, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	results := make([][][]float32, rg.phys)
+	var mu sync.Mutex
+	err = cluster.Run(func(node *kylix.Node) error {
+		q := node.Rank()
+		// Two features shared by everyone plus one private feature that a
+		// neighbour gathers: collisions make the float fold order matter,
+		// which is what bit-exactness is a property of.
+		out := []int32{0, 1, int32(100 + q)}
+		in := []int32{0, 1, int32(100 + (q+1)%rg.logical)}
+		red, err := node.Configure(in, out)
+		if err != nil {
+			return err
+		}
+		var mine [][]float32
+		for r := 0; r < permRounds; r++ {
+			vals := []float32{
+				float32(q+1) * 0.1 * float32(r+1), 1.0 / float32(q+2+r),
+				1.0 / float32(q*3+r+1), float32(q*100+r) * 0.01,
+				float32(q) - 0.5*float32(r), float32(r+1) * 0.3,
+			}
+			res, err := red.Reduce(vals)
+			if err != nil {
+				return fmt.Errorf("round %d: %w", r, err)
+			}
+			mine = append(mine, res)
+		}
+		mu.Lock()
+		results[node.PhysicalRank()] = mine
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results, cluster.Faults()
+}
+
+func testDeliveryPermutation(t *testing.T, transport kylix.Transport) {
+	for _, seed := range []int64{1, 7, 99} {
+		for _, rg := range permRegimes(seed) {
+			t.Run(fmt.Sprintf("%s/seed%d", rg.name, seed), func(t *testing.T) {
+				clean, _ := runPermuted(t, transport, rg, kylix.FaultPlan{Seed: seed})
+				chaos, fab := runPermuted(t, transport, rg, rg.chaos)
+				st := fab.Stats()
+				if st.Delayed == 0 || st.Duplicated == 0 {
+					t.Fatalf("permutation schedule never engaged: %+v", st)
+				}
+				if rg.chaos.Reorder > 0 && st.Reordered == 0 {
+					t.Fatalf("reorder schedule never engaged: %+v", st)
+				}
+				for p := 0; p < rg.phys; p++ {
+					for r := 0; r < permRounds; r++ {
+						if !bitsEqual(chaos[p][r], clean[p][r]) {
+							t.Fatalf("rank %d round %d: permuted delivery gave %v, in-order gave %v",
+								p, r, chaos[p][r], clean[p][r])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestDeliveryPermutationMemory(t *testing.T) { testDeliveryPermutation(t, kylix.TransportMemory) }
+
+func TestDeliveryPermutationTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP permutation property skipped in -short")
+	}
+	testDeliveryPermutation(t, kylix.TransportTCP)
+}

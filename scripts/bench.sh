@@ -1,0 +1,86 @@
+#!/usr/bin/env sh
+# Hot-path and figure benchmarks with memory accounting.
+#
+#   scripts/bench.sh            # run benchmarks, print results, write
+#                               # BENCH_reduce.json (ns/op, B/op,
+#                               # allocs/op per benchmark)
+#   scripts/bench.sh --gate     # additionally fail if the warm Reduce
+#                               # benchmark allocates (>0 allocs/op):
+#                               # the zero-alloc hot-path regression gate
+#
+# BENCH_reduce.json is the checked-in record of the hot-path numbers;
+# regenerate it when the hot path changes and commit both runs'
+# numbers alongside (see EXPERIMENTS.md).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+gate=0
+if [ "${1:-}" = "--gate" ]; then
+    gate=1
+fi
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+echo "== hot-path benchmarks (internal/bench, internal/core, internal/sparse)"
+go test ./internal/bench/ -run '^$' -bench 'BenchmarkReduceWarmQuick' -benchtime 2s -benchmem | tee "$out"
+go test ./internal/core/ -run '^$' -bench 'BenchmarkReduce|BenchmarkConfigure|BenchmarkTreeAllreduce' -benchtime 1s -benchmem | tee -a "$out"
+go test ./internal/sparse/ -run '^$' -bench 'BenchmarkCombineInto|BenchmarkGatherInto|BenchmarkTreeUnion$|BenchmarkUnionWithMaps' -benchtime 1s -benchmem | tee -a "$out"
+
+echo "== figure benchmarks (quick scale, 1 iteration each)"
+go test . -run '^$' -bench 'BenchmarkFigure' -benchtime 1x -benchmem | tee -a "$out"
+
+# parse turns `go test -bench` output into the body of a JSON object,
+# one entry per benchmark.
+parse() {
+    awk '
+    BEGIN { first = 1 }
+    /^Benchmark/ {
+        name = $1; sub(/-[0-9]+$/, "", name)
+        ns = ""; bop = ""; aop = ""
+        for (i = 2; i <= NF; i++) {
+            if ($(i) == "ns/op")     ns  = $(i-1)
+            if ($(i) == "B/op")      bop = $(i-1)
+            if ($(i) == "allocs/op") aop = $(i-1)
+        }
+        if (ns == "") next
+        if (!first) printf ",\n"
+        first = 0
+        printf "    \"%s\": {\"ns_per_op\": %s", name, ns
+        if (bop != "") printf ", \"bytes_per_op\": %s", bop
+        if (aop != "") printf ", \"allocs_per_op\": %s", aop
+        printf "}"
+    }' "$1"
+}
+
+# The JSON records both runs: "before" is the archived pre-optimisation
+# output (scripts/bench_baseline.txt, captured on the same machine before
+# the hot-path rework), "after" is this run.
+json="BENCH_reduce.json"
+baseline="scripts/bench_baseline.txt"
+{
+    echo "{"
+    if [ -f "$baseline" ]; then
+        printf '  "before": {\n'
+        parse "$baseline"
+        printf '\n  },\n'
+    fi
+    printf '  "after": {\n'
+    parse "$out"
+    printf '\n  }\n}\n'
+} > "$json"
+echo "== wrote $json"
+
+if [ "$gate" = 1 ]; then
+    allocs="$(awk '/^BenchmarkReduceWarmQuick/ { for (i = 2; i <= NF; i++) if ($(i) == "allocs/op") print $(i-1) }' "$out")"
+    if [ -z "$allocs" ]; then
+        echo "bench gate: BenchmarkReduceWarmQuick did not report allocs/op" >&2
+        exit 1
+    fi
+    if [ "$allocs" != "0" ]; then
+        echo "bench gate: warm Reduce allocates ($allocs allocs/op, want 0)" >&2
+        exit 1
+    fi
+    echo "bench gate OK: warm Reduce is allocation-free"
+fi

@@ -17,4 +17,7 @@ go test ./...
 echo "== go test -race -short (faultnet, tcpnet, replica)"
 go test -race -short ./internal/faultnet/... ./internal/tcpnet/... ./internal/replica/...
 
+echo "== bench gate (warm Reduce must be allocation-free)"
+scripts/bench.sh --gate
+
 echo "check OK"

@@ -21,15 +21,17 @@ test:
 # Short-mode race lane: the concurrency-critical packages under the race
 # detector. Short mode keeps it minutes, not tens of minutes.
 race:
-	$(GO) test -race -short ./internal/faultnet/... ./internal/tcpnet/... ./internal/replica/...
+	$(GO) test -race -short ./internal/faultnet/... ./internal/tcpnet/... ./internal/replica/... ./internal/trace/... ./internal/obs/...
 
 # Hot-path benchmarks with memory accounting; writes BENCH_reduce.json.
 bench:
 	scripts/bench.sh
 
-# The zero-allocation regression gate: fails if the warm Reduce
-# benchmark reports >0 allocs/op (the hot path regressed into the
-# allocator). Runs the full bench sweep as a side effect.
+# The zero-allocation regression gate: fails if either warm Reduce
+# benchmark (plain or with the observability layer enabled) reports
+# >0 allocs/op, or if the observed run got >10% slower than the number
+# recorded in BENCH_reduce.json. Runs the full bench sweep as a side
+# effect.
 benchgate:
 	scripts/bench.sh --gate
 

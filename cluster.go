@@ -9,6 +9,7 @@ import (
 	"kylix/internal/faultnet"
 	"kylix/internal/memnet"
 	"kylix/internal/netsim"
+	"kylix/internal/obs"
 	"kylix/internal/replica"
 	"kylix/internal/tcpnet"
 	"kylix/internal/topo"
@@ -26,6 +27,7 @@ type Cluster struct {
 	tcp       []*tcpnet.Node
 	fabric    *faultnet.Fabric
 	collector *trace.Collector
+	obs       *obs.Observatory
 	// roundBase is where the next Run's tag sequence starts; successive
 	// runs over the same transports must never reuse tags (stale
 	// replica-race cancellations would swallow them).
@@ -52,13 +54,19 @@ func NewCluster(m int, opts ...Option) (*Cluster, error) {
 		return nil, err
 	}
 
-	c := &Cluster{cfg: cfg, bf: bf, phys: m}
+	if cfg.observe {
+		cfg.obsv = obs.New(m, 0)
+	}
+	c := &Cluster{cfg: cfg, bf: bf, phys: m, obs: cfg.obsv}
 	if cfg.faults != nil {
 		fab, err := faultnet.New(*cfg.faults)
 		if err != nil {
 			return nil, err
 		}
 		fab.InitSize(m)
+		if c.obs != nil {
+			fab.SetObserver(c.obs.FaultObserver())
+		}
 		c.fabric = fab
 	}
 	var rec comm.Recorder = comm.NopRecorder{}
@@ -68,9 +76,17 @@ func NewCluster(m int, opts ...Option) (*Cluster, error) {
 	}
 	switch cfg.transport {
 	case TransportMemory:
-		c.mem = memnet.New(m, memnet.WithRecorder(rec), memnet.WithRecvTimeout(cfg.recvTimeout))
+		c.mem = memnet.New(m,
+			memnet.WithRecorder(rec),
+			memnet.WithRecvTimeout(cfg.recvTimeout),
+			memnet.WithRecvObserver(c.obs.RecvObserver))
 	case TransportTCP:
-		nodes, err := tcpnet.LocalCluster(m, tcpnet.Options{RecvTimeout: cfg.recvTimeout, Recorder: rec})
+		nodes, err := tcpnet.LocalCluster(m, tcpnet.Options{
+			RecvTimeout:  cfg.recvTimeout,
+			Recorder:     rec,
+			RecvObserver: c.obs.RecvObserver,
+			Metrics:      c.obs.Transport(),
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -137,6 +153,15 @@ func (c *Cluster) Kill(rank int) error {
 // WithFaults (nil otherwise): manual kills, partitions, per-rank send
 // counts and Flush.
 func (c *Cluster) Faults() *FaultInjector { return c.fabric }
+
+// Metrics returns the cluster's metrics registry — reconnect counters,
+// receive-wait histograms, per-layer byte volumes and the rest of the
+// observability layer's numbers. Nil without WithObservability.
+func (c *Cluster) Metrics() *MetricsRegistry { return c.obs.Registry() }
+
+// Observability returns the cluster's Observatory: span timelines plus
+// the Chrome trace / timeline exporters. Nil without WithObservability.
+func (c *Cluster) Observability() *Observatory { return c.obs }
 
 // Run executes fn concurrently on every live machine and waits for all
 // of them. Each machine's fn receives its own Node; returning an error
@@ -235,7 +260,16 @@ func ListenNode(rank int, addrs []string, opts ...Option) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	tn, err := tcpnet.Listen(rank, addrs, tcpnet.Options{RecvTimeout: cfg.recvTimeout})
+	if cfg.observe {
+		// Each process observes its own rank; the other ranks' tracers
+		// exist but stay empty.
+		cfg.obsv = obs.New(len(addrs), 0)
+	}
+	tn, err := tcpnet.Listen(rank, addrs, tcpnet.Options{
+		RecvTimeout:  cfg.recvTimeout,
+		RecvObserver: cfg.obsv.RecvObserver,
+		Metrics:      cfg.obsv.Transport(),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -249,6 +283,9 @@ func ListenNode(rank int, addrs []string, opts ...Option) (*Node, error) {
 		if ferr != nil {
 			_ = tn.Close()
 			return nil, ferr
+		}
+		if cfg.obsv != nil {
+			fab.SetObserver(cfg.obsv.FaultObserver())
 		}
 		ep = fab.Wrap(tn)
 		closer = &fabricCloser{fab: fab, under: tn}

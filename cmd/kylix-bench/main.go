@@ -9,28 +9,35 @@
 //	kylix-bench -exp fig6,fig8   # a subset
 //	kylix-bench -scale quick     # smaller, faster workloads
 //	kylix-bench -measured        # include the real-TCP packet sweep
+//	kylix-bench -trace-out t.json  # run a live traced allreduce instead,
+//	                               # writing a Chrome trace (chrome://tracing)
+//	kylix-bench -metrics-addr :0   # ... and serve /metrics, /trace, /timeline
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
 
+	"kylix"
 	"kylix/internal/bench"
 	"kylix/internal/netsim"
 )
 
 func main() {
 	var (
-		scaleName  = flag.String("scale", "default", "experiment scale: default or quick")
-		exps       = flag.String("exp", "all", "comma-separated experiments: fig2,fig4,fig5,fig6,fig7,fig8,fig9,table1,ablation-design,ablation-fused,ablation-racing,ablation-jitter or all")
-		measured   = flag.Bool("measured", false, "also run the real loopback-TCP packet sweep for fig2")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile taken after the experiments to this file")
+		scaleName   = flag.String("scale", "default", "experiment scale: default or quick")
+		exps        = flag.String("exp", "all", "comma-separated experiments: fig2,fig4,fig5,fig6,fig7,fig8,fig9,table1,ablation-design,ablation-fused,ablation-racing,ablation-jitter or all")
+		measured    = flag.Bool("measured", false, "also run the real loopback-TCP packet sweep for fig2")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile taken after the experiments to this file")
+		traceOut    = flag.String("trace-out", "", "run a live observed allreduce and write its Chrome trace_event JSON here (instead of the modelled experiments)")
+		metricsAddr = flag.String("metrics-addr", "", "with the live run: serve /metrics, /trace and /timeline on this address until interrupted")
 	)
 	flag.Parse()
 
@@ -72,6 +79,14 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "kylix-bench: unknown scale %q\n", *scaleName)
 		os.Exit(2)
+	}
+
+	if *traceOut != "" || *metricsAddr != "" {
+		if err := runTraced(sc, *traceOut, *metricsAddr); err != nil {
+			fmt.Fprintf(os.Stderr, "kylix-bench: traced run: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	want := map[string]bool{}
@@ -123,4 +138,129 @@ func main() {
 		fmt.Print(tab.Render())
 		fmt.Println()
 	}
+}
+
+// tracedReduceRounds is how many warm Reduce passes the live traced run
+// performs after the fused configure+reduce, so the Chrome trace shows
+// several repetitions of the layer profile.
+const tracedReduceRounds = 3
+
+// runTraced runs one live, fully observed allreduce at the given scale —
+// a power-law (Zipf) workload over a multi-layer butterfly — and exports
+// what the observability layer saw: a Chrome trace_event JSON (traceOut),
+// the per-phase timeline and a metrics snapshot on stdout, and optionally
+// the live HTTP endpoint (metricsAddr). On power-law data the per-layer
+// reduce slices in the trace shrink layer by layer — the paper's Figure 5
+// "Kylix" traffic profile, visible on a timeline.
+func runTraced(sc bench.Scale, traceOut, metricsAddr string) error {
+	degrees := factorDegrees(sc.Machines)
+	opts := []kylix.Option{kylix.WithObservability()}
+	if len(degrees) > 1 {
+		opts = append(opts, kylix.WithDegrees(degrees...))
+	}
+	cluster, err := kylix.NewCluster(sc.Machines, opts...)
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	var srv *kylix.MetricsServer
+	if metricsAddr != "" {
+		srv, err = kylix.ServeMetrics(metricsAddr, cluster.Observability())
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("metrics on http://%s/metrics (also /trace, /timeline)\n", srv.Addr)
+	}
+
+	nnz := int(sc.N / 8)
+	if nnz < 64 {
+		nnz = 64
+	}
+	fmt.Printf("traced run: m=%d degrees=%v n=%d nnz/node=%d (%d reduce rounds)\n",
+		sc.Machines, cluster.Degrees(), sc.N, nnz, tracedReduceRounds)
+	start := time.Now()
+	err = cluster.Run(func(node *kylix.Node) error {
+		set := zipfSet(sc.Seed+int64(node.Rank())*7919, sc.N, nnz)
+		vals := make([]float32, len(set))
+		for i := range vals {
+			vals[i] = 1
+		}
+		red, _, err := node.ConfigureReduce(set, set, vals)
+		if err != nil {
+			return err
+		}
+		for r := 0; r < tracedReduceRounds; r++ {
+			if _, err := red.Reduce(vals); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("allreduce complete in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	o := cluster.Observability()
+	if err := o.WriteTimeline(os.Stdout); err != nil {
+		return err
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := o.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nChrome trace written to %s (load in chrome://tracing)\n", traceOut)
+	}
+	return nil
+}
+
+// zipfSet draws nnz distinct Zipf-distributed indices in [0, n) — the
+// power-law feature sets the paper's design analysis assumes.
+func zipfSet(seed, n int64, nnz int) []int32 {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.25, 1, uint64(n-1))
+	seen := make(map[int32]bool, nnz)
+	set := make([]int32, 0, nnz)
+	for len(set) < nnz {
+		idx := int32(zipf.Uint64())
+		if !seen[idx] {
+			seen[idx] = true
+			set = append(set, idx)
+		}
+	}
+	return set
+}
+
+// factorDegrees splits the machine count into a multi-layer butterfly
+// degree list (fours first, then twos, then whatever prime is left) so
+// the traced run exercises several layers.
+func factorDegrees(m int) []int {
+	var ds []int
+	for m > 1 {
+		switch {
+		case m%4 == 0 && m > 4:
+			ds = append(ds, 4)
+			m /= 4
+		case m%2 == 0:
+			ds = append(ds, 2)
+			m /= 2
+		default:
+			f := 3
+			for ; m%f != 0; f += 2 {
+			}
+			ds = append(ds, f)
+			m /= f
+		}
+	}
+	return ds
 }

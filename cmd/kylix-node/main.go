@@ -26,15 +26,17 @@ import (
 
 func main() {
 	var (
-		rank     = flag.Int("rank", -1, "this process's rank in the host list")
-		hosts    = flag.String("hosts", "", "comma-separated host:port list, one per rank")
-		degrees  = flag.String("degrees", "", "butterfly degrees like 4x2 (default: direct)")
-		workload = flag.String("workload", "allreduce", "allreduce or pagerank")
-		n        = flag.Int64("n", 1<<16, "feature/vertex space size")
-		nnz      = flag.Int("nnz", 1<<14, "per-node nonzeros (allreduce) or total edges (pagerank)")
-		iters    = flag.Int("iters", 3, "pagerank iterations")
-		seed     = flag.Int64("seed", 42, "shared workload seed (must match across ranks)")
-		timeout  = flag.Duration("timeout", 60*time.Second, "receive timeout")
+		rank        = flag.Int("rank", -1, "this process's rank in the host list")
+		hosts       = flag.String("hosts", "", "comma-separated host:port list, one per rank")
+		degrees     = flag.String("degrees", "", "butterfly degrees like 4x2 (default: direct)")
+		workload    = flag.String("workload", "allreduce", "allreduce or pagerank")
+		n           = flag.Int64("n", 1<<16, "feature/vertex space size")
+		nnz         = flag.Int("nnz", 1<<14, "per-node nonzeros (allreduce) or total edges (pagerank)")
+		iters       = flag.Int("iters", 3, "pagerank iterations")
+		seed        = flag.Int64("seed", 42, "shared workload seed (must match across ranks)")
+		timeout     = flag.Duration("timeout", 60*time.Second, "receive timeout")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /trace and /timeline over HTTP on this address (enables observability)")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON of this rank's run to the file (enables observability)")
 	)
 	flag.Parse()
 
@@ -44,6 +46,9 @@ func main() {
 		os.Exit(2)
 	}
 	opts := []kylix.Option{kylix.WithRecvTimeout(*timeout)}
+	if *metricsAddr != "" || *traceOut != "" {
+		opts = append(opts, kylix.WithObservability())
+	}
 	if *degrees != "" {
 		var ds []int
 		for _, part := range strings.Split(*degrees, "x") {
@@ -63,6 +68,15 @@ func main() {
 	}
 	defer node.Close()
 
+	if *metricsAddr != "" {
+		srv, err := kylix.ServeMetrics(*metricsAddr, node.Observability())
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("rank %d: metrics on http://%s/metrics (also /trace, /timeline)\n", *rank, srv.Addr)
+	}
+
 	switch *workload {
 	case "allreduce":
 		runAllreduce(node, *n, *nnz, *seed)
@@ -71,6 +85,20 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "kylix-node: unknown workload %q\n", *workload)
 		os.Exit(2)
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := node.Observability().WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("rank %d: trace written to %s (load in chrome://tracing)\n", *rank, *traceOut)
 	}
 }
 

@@ -19,12 +19,14 @@ import (
 
 func main() {
 	var (
-		m        = flag.Int("m", 4, "number of node processes")
-		degrees  = flag.String("degrees", "", "butterfly degrees like 4x2 (default: direct)")
-		workload = flag.String("workload", "allreduce", "allreduce or pagerank")
-		nodeBin  = flag.String("node-bin", "", "path to kylix-node (default: next to this binary, else go run)")
-		n        = flag.Int64("n", 1<<16, "feature/vertex space size")
-		nnz      = flag.Int("nnz", 1<<14, "per-node nonzeros or total edges")
+		m           = flag.Int("m", 4, "number of node processes")
+		degrees     = flag.String("degrees", "", "butterfly degrees like 4x2 (default: direct)")
+		workload    = flag.String("workload", "allreduce", "allreduce or pagerank")
+		nodeBin     = flag.String("node-bin", "", "path to kylix-node (default: next to this binary, else go run)")
+		n           = flag.Int64("n", 1<<16, "feature/vertex space size")
+		nnz         = flag.Int("nnz", 1<<14, "per-node nonzeros or total edges")
+		traceOut    = flag.String("trace-out", "", "per-rank Chrome trace files: rank r writes <trace-out>.rank<r>.json")
+		metricsAddr = flag.String("metrics-addr", "", "rank 0 serves /metrics, /trace, /timeline on this address")
 	)
 	flag.Parse()
 
@@ -45,6 +47,12 @@ func main() {
 		}
 		if *degrees != "" {
 			args = append(args, "-degrees", *degrees)
+		}
+		if *traceOut != "" {
+			args = append(args, "-trace-out", fmt.Sprintf("%s.rank%d.json", *traceOut, r))
+		}
+		if *metricsAddr != "" && r == 0 {
+			args = append(args, "-metrics-addr", *metricsAddr)
 		}
 		cmd := nodeCommand(*nodeBin, args)
 		cmd.Stdout = os.Stdout

@@ -6,6 +6,7 @@ import (
 
 	"kylix/internal/core"
 	"kylix/internal/memnet"
+	"kylix/internal/obs"
 	"kylix/internal/topo"
 )
 
@@ -17,6 +18,20 @@ import (
 // benchmark reports any allocs/op: the steady-state reduction must run
 // entirely from the per-Config scratch arena.
 func BenchmarkReduceWarmQuick(b *testing.B) {
+	benchReduceWarm(b, nil)
+}
+
+// BenchmarkReduceWarmObs is the same gate with the full observability
+// layer live: per-layer span tracing on every machine and the receive
+// observer installed on every mailbox. It must also report 0 allocs/op —
+// the spans are stack values and the observer only touches preallocated
+// atomics, so turning observability on must not cost the hot path its
+// allocation-free property.
+func BenchmarkReduceWarmObs(b *testing.B) {
+	benchReduceWarm(b, obs.New(QuickScale().Machines, 0))
+}
+
+func benchReduceWarm(b *testing.B, o *obs.Observatory) {
 	sc := QuickScale()
 	p := twitterProfile()
 	w, err := genWorkload(p, sc.N, sc.Machines, sc.Seed)
@@ -25,7 +40,7 @@ func BenchmarkReduceWarmQuick(b *testing.B) {
 	}
 	bf := topo.MustNew(scaleDegrees(p.degrees, sc.Machines))
 
-	net := memnet.New(sc.Machines)
+	net := memnet.New(sc.Machines, memnet.WithRecvObserver(o.RecvObserver))
 	defer net.Close()
 
 	var ready, done sync.WaitGroup
@@ -40,7 +55,7 @@ func BenchmarkReduceWarmQuick(b *testing.B) {
 				errs[q] = err
 				ready.Done()
 			}
-			m, err := core.NewMachine(net.Endpoint(q), bf, core.Options{})
+			m, err := core.NewMachine(net.Endpoint(q), bf, core.Options{Tracer: o.Node(q)})
 			if err != nil {
 				fail(err)
 				return

@@ -46,7 +46,15 @@ type Mailbox struct {
 	// deadlines are observed with no traffic) has been started.
 	watch bool
 	done  chan struct{} // closed by Close; stops the watchdog
+	// obs, when non-nil, is notified of every completed receive. Set
+	// before the mailbox is shared between goroutines.
+	obs RecvObserver
 }
+
+// SetRecvObserver installs the receive observer. Must be called before
+// the mailbox is used concurrently (transports install it at
+// construction time).
+func (m *Mailbox) SetRecvObserver(o RecvObserver) { m.obs = o }
 
 // NewMailbox creates a Mailbox whose blocking receives fail with
 // ErrTimeout after the given duration (0 means wait forever).
@@ -163,22 +171,43 @@ type waitState struct {
 	deadline, start time.Time
 }
 
+// elapsed is how long the receive has been blocked (zero when the
+// message was already queued and no wait happened).
+func (ws *waitState) elapsed() time.Duration {
+	if ws.start.IsZero() {
+		return 0
+	}
+	return time.Since(ws.start)
+}
+
 // waitLocked arms the timeout machinery and parks the caller on the
 // condition variable; it returns false once the deadline has expired.
 // Caller holds m.mu.
 func (m *Mailbox) waitLocked(ws *waitState) bool {
-	if m.timeout > 0 {
-		now := time.Now()
-		if ws.deadline.IsZero() {
-			ws.start = now
-			ws.deadline = now.Add(m.timeout)
+	if ws.start.IsZero() {
+		ws.start = time.Now()
+		if m.timeout > 0 {
+			ws.deadline = ws.start.Add(m.timeout)
 			m.startWatchdogLocked()
-		} else if now.After(ws.deadline) {
-			return false
 		}
+	} else if m.timeout > 0 && time.Now().After(ws.deadline) {
+		return false
 	}
 	m.cond.Wait()
 	return true
+}
+
+// observeRecv reports a finished receive to the observer, outside the
+// mailbox lock. No-op without an observer (one nil check).
+func (m *Mailbox) observeRecv(from int, tag Tag, p Payload, ws *waitState, err error) {
+	if m.obs == nil {
+		return
+	}
+	bytes := 0
+	if p != nil {
+		bytes = p.WireSize()
+	}
+	m.obs.ObserveRecv(from, tag, bytes, ws.elapsed(), err)
 }
 
 // startWatchdogLocked launches the per-Mailbox watchdog that broadcasts
@@ -211,20 +240,26 @@ func (m *Mailbox) startWatchdogLocked() {
 func (m *Mailbox) Recv(from int, tag Tag) (Payload, error) {
 	var ws waitState
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	for {
 		if m.closed {
+			m.mu.Unlock()
+			m.observeRecv(from, tag, nil, &ws, ErrClosed)
 			return nil, ErrClosed
 		}
 		if p, ok := m.popLocked(mailKey{from, tag}); ok {
+			m.mu.Unlock()
+			m.observeRecv(from, tag, p, &ws, nil)
 			return p, nil
 		}
 		if !m.waitLocked(&ws) {
-			return nil, &TimeoutError{
+			m.mu.Unlock()
+			err := &TimeoutError{
 				Tag:     tag,
 				From:    []int{from},
-				Elapsed: time.Since(ws.start),
+				Elapsed: ws.elapsed(),
 			}
+			m.observeRecv(from, tag, nil, &ws, err)
+			return nil, err
 		}
 	}
 }
@@ -236,23 +271,29 @@ func (m *Mailbox) Recv(from int, tag Tag) (Payload, error) {
 func (m *Mailbox) RecvAny(froms []int, tag Tag) (int, Payload, error) {
 	var ws waitState
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	for {
 		if m.closed {
+			m.mu.Unlock()
+			m.observeRecv(-1, tag, nil, &ws, ErrClosed)
 			return 0, nil, ErrClosed
 		}
 		for _, from := range froms {
 			if p, ok := m.popLocked(mailKey{from, tag}); ok {
 				m.cancelLocked(froms, from, tag)
+				m.mu.Unlock()
+				m.observeRecv(from, tag, p, &ws, nil)
 				return from, p, nil
 			}
 		}
 		if !m.waitLocked(&ws) {
-			return 0, nil, &TimeoutError{
+			m.mu.Unlock()
+			err := &TimeoutError{
 				Tag:     tag,
 				From:    append([]int(nil), froms...),
-				Elapsed: time.Since(ws.start),
+				Elapsed: ws.elapsed(),
 			}
+			m.observeRecv(-1, tag, nil, &ws, err)
+			return 0, nil, err
 		}
 	}
 }
@@ -290,27 +331,36 @@ func (m *Mailbox) popGroupLocked(groups [][]int, tag Tag) (gi, from int, p Paylo
 func (m *Mailbox) RecvGroup(groups [][]int, tag Tag) (int, Payload, error) {
 	var ws waitState
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	for {
 		if m.closed {
+			m.mu.Unlock()
+			m.observeRecv(-1, tag, nil, &ws, ErrClosed)
 			return 0, nil, ErrClosed
 		}
 		if gi, from, p, ok := m.popGroupLocked(groups, tag); ok {
 			if len(groups[gi]) > 1 {
 				m.cancelLocked(groups[gi], from, tag)
 			}
+			m.mu.Unlock()
+			m.observeRecv(from, tag, p, &ws, nil)
+			if m.obs != nil {
+				m.obs.ObserveRecvGroup(tag, ws.elapsed())
+			}
 			return from, p, nil
 		}
 		if !m.waitLocked(&ws) {
+			m.mu.Unlock()
 			froms := make([]int, 0, len(groups))
 			for _, g := range groups {
 				froms = append(froms, g...)
 			}
-			return 0, nil, &TimeoutError{
+			err := &TimeoutError{
 				Tag:     tag,
 				From:    froms,
-				Elapsed: time.Since(ws.start),
+				Elapsed: ws.elapsed(),
 			}
+			m.observeRecv(-1, tag, nil, &ws, err)
+			return 0, nil, err
 		}
 	}
 }

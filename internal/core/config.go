@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"kylix/internal/comm"
+	"kylix/internal/obs"
 	"kylix/internal/sparse"
 )
 
@@ -18,16 +19,22 @@ import (
 // accounting matches the paper's Figure 5 convention), merges the pieces
 // it receives into per-layer unions, and keeps the position maps that
 // let reduction run in constant time per element.
-func (m *Machine) Configure(inSet, outSet sparse.Set) (*Config, error) {
+func (m *Machine) Configure(inSet, outSet sparse.Set) (cfgOut *Config, err error) {
 	if !inSet.IsSorted() || !outSet.IsSorted() {
 		return nil, fmt.Errorf("core: Configure requires sorted, deduplicated Sets")
 	}
 	round := m.nextRound()
 	cfg := &Config{mach: m, inSet: inSet, outSet: outSet}
+	tr := m.opts.Tracer
+	outer := tr.Begin(comm.KindConfig, 0)
+	defer func() { outer.Err = err; tr.End(&outer) }()
 
 	inCur, outCur := inSet, outSet
 	for layer := 1; layer <= m.bf.Layers(); layer++ {
-		ls, err := m.configureLayer(layer, round, inCur, outCur, nil, nil, nil)
+		sp := tr.Begin(comm.KindConfig, layer)
+		ls, err := m.configureLayer(layer, round, inCur, outCur, nil, nil, nil, &sp)
+		sp.Err = err
+		tr.End(&sp)
 		if err != nil {
 			return nil, fmt.Errorf("core: rank %d config layer %d: %w", m.Rank(), layer, err)
 		}
@@ -43,11 +50,13 @@ func (m *Machine) Configure(inSet, outSet sparse.Set) (*Config, error) {
 // configureLayer executes one layer of the downward pass. When vals is
 // non-nil the pass is fused with reduction: out pieces carry their
 // values, and the returned accumulator (via *accOut) holds the combined
-// layer result (the §III combined configure+reduce).
-func (m *Machine) configureLayer(layer int, round uint32, inCur, outCur sparse.Set, vals []float32, accOut *[]float32, tagKindOverride *comm.Kind) (*layerState, error) {
+// layer result (the §III combined configure+reduce). The caller's span
+// sp accumulates the layer's wire bytes and group size.
+func (m *Machine) configureLayer(layer int, round uint32, inCur, outCur sparse.Set, vals []float32, accOut *[]float32, tagKindOverride *comm.Kind, sp *obs.Span) (*layerState, error) {
 	d := m.bf.Degree(layer)
 	group := m.bf.Group(m.Rank(), layer)
 	parent := m.bf.RangeAt(m.Rank(), layer-1)
+	sp.Peers = len(group)
 
 	ls := &layerState{
 		group:      group,
@@ -76,6 +85,7 @@ func (m *Machine) configureLayer(layer int, round uint32, inCur, outCur sparse.S
 				Vals: vals[int(ls.outOffsets[t])*w : int(ls.outOffsets[t+1])*w],
 			}
 		}
+		sp.BytesOut += int64(p.WireSize())
 		if err := m.ep.Send(member, tag, p); err != nil {
 			return nil, err
 		}
@@ -106,6 +116,7 @@ func (m *Machine) configureLayer(layer int, round uint32, inCur, outCur sparse.S
 		if seen[t] {
 			continue // duplicate delivery
 		}
+		sp.BytesIn += int64(p.WireSize())
 		switch q := p.(type) {
 		case *comm.InOut:
 			inPieces[t], outPieces[t] = q.In, q.Out

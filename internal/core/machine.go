@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"kylix/internal/comm"
+	"kylix/internal/obs"
 	"kylix/internal/sparse"
 	"kylix/internal/topo"
 )
@@ -40,6 +41,10 @@ type Options struct {
 	// consumed, or stale replica-race cancellations from earlier rounds
 	// would swallow the reused tags.
 	RoundBase uint32
+	// Tracer records per-pass and per-layer spans for this machine. Nil
+	// (the default) disables tracing at the cost of a nil check per
+	// span — the warm Reduce stays 0 allocs/op either way.
+	Tracer *obs.Tracer
 }
 
 func (o Options) withDefaults() Options {

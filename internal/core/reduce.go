@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"kylix/internal/comm"
+	"kylix/internal/obs"
 	"kylix/internal/sparse"
 )
 
@@ -22,10 +23,15 @@ import (
 // staged per sender and folded in canonical member order, so the float
 // combine sequence is bit-identical to a fully in-order run.
 //
+// When Options.Tracer is set, the pass records a whole-pass span
+// (layer 0) nesting one span per communication layer, each carrying the
+// layer's wire bytes in/out and group size; the zero-alloc property is
+// preserved (spans are stack values recorded into preallocated rings).
+//
 // The returned slice is owned by the arena: it stays valid until the
 // second-following Reduce/ConfigureReduce on this Config overwrites it.
 // Callers that retain results longer must copy them out.
-func (c *Config) Reduce(outVals []float32) ([]float32, error) {
+func (c *Config) Reduce(outVals []float32) (res []float32, err error) {
 	m := c.mach
 	w := m.opts.Width
 	if len(outVals) != len(c.outSet)*w {
@@ -35,64 +41,18 @@ func (c *Config) Reduce(outVals []float32) ([]float32, error) {
 	round := m.nextRound()
 	s := c.ensureScratch()
 	g := s.flip()
+	tr := m.opts.Tracer
+	tr.CountRound()
+	tr.CountArenaFlip()
+	outer := tr.Begin(comm.KindReduce, 0)
+	defer func() { outer.Err = err; tr.End(&outer) }()
 
 	// Downward scatter-reduce.
 	cur := outVals
 	for i := range c.layers {
-		ls := &c.layers[i]
-		layer := i + 1
-		tag := comm.MakeTag(comm.KindReduce, layer, round)
-
-		// Issue every send before posting any receive: all pieces are in
-		// flight while we turn around to combine.
-		sends := g.scatter[i]
-		for t, member := range ls.group {
-			f := &sends[t]
-			f.Vals = cur[int(ls.outOffsets[t])*w : int(ls.outOffsets[t+1])*w]
-			if err := m.ep.Send(member, tag, f); err != nil {
-				return nil, err
-			}
-		}
-
-		acc := g.acc[i]
-		sparse.Fill(acc, m.opts.Reducer.Identity())
-
-		// Take pieces as they arrive, but fold in canonical member order:
-		// stage each receipt in its sender's slot and advance a fold
-		// cursor over the contiguous staged prefix. Compute overlaps with
-		// stragglers' network time, yet the combine sequence is exactly
-		// the in-order one.
-		stage := s.stage[:len(ls.group)]
-		for t := range stage {
-			stage[t] = nil
-		}
-		folded := 0
-		for received := 0; received < len(ls.group); {
-			from, p, err := m.ep.RecvGroup(s.groups[i], tag)
-			if err != nil {
-				return nil, fmt.Errorf("core: rank %d reduce layer %d recv: %w", m.Rank(), layer, err)
-			}
-			t := memberIndex(ls.group, from)
-			if t < 0 {
-				return nil, fmt.Errorf("core: rank %d reduce layer %d: piece from %d outside group", m.Rank(), layer, from)
-			}
-			if stage[t] != nil {
-				continue // duplicate delivery (chaotic transport)
-			}
-			f, ok := p.(*comm.Floats)
-			if !ok {
-				return nil, fmt.Errorf("core: rank %d reduce layer %d: unexpected payload %T", m.Rank(), layer, p)
-			}
-			if len(f.Vals) != len(ls.outMaps[t])*w {
-				return nil, fmt.Errorf("core: rank %d reduce layer %d: piece from %d has %d values, want %d",
-					m.Rank(), layer, from, len(f.Vals), len(ls.outMaps[t])*w)
-			}
-			stage[t] = f
-			received++
-			for folded < len(ls.group) && stage[folded] != nil {
-				sparse.CombineInto(m.opts.Reducer, acc, ls.outMaps[folded], stage[folded].Vals, w)
-				folded++
-			}
+		acc, err := c.scatterLayer(i, round, cur, s, g, tr)
+		if err != nil {
+			return nil, err
 		}
 		cur = acc
 	}
@@ -100,72 +60,156 @@ func (c *Config) Reduce(outVals []float32) ([]float32, error) {
 	return c.gatherUp(cur, round, s, g)
 }
 
+// scatterLayer runs one layer of the downward scatter-reduce: issue
+// every send before posting any receive (all pieces in flight while we
+// turn around to combine), then take pieces as they arrive but fold in
+// canonical member order — each receipt is staged in its sender's slot
+// and a fold cursor advances over the contiguous staged prefix, so
+// compute overlaps with stragglers' network time while the float
+// combine sequence stays exactly the in-order one.
+func (c *Config) scatterLayer(i int, round uint32, cur []float32, s *scratch, g *genBufs, tr *obs.Tracer) (acc []float32, err error) {
+	m := c.mach
+	w := m.opts.Width
+	ls := &c.layers[i]
+	layer := i + 1
+	sp := tr.Begin(comm.KindReduce, layer)
+	sp.Peers = len(ls.group)
+	defer func() { sp.Err = err; tr.End(&sp) }()
+	tag := comm.MakeTag(comm.KindReduce, layer, round)
+
+	sends := g.scatter[i]
+	for t, member := range ls.group {
+		f := &sends[t]
+		f.Vals = cur[int(ls.outOffsets[t])*w : int(ls.outOffsets[t+1])*w]
+		sp.BytesOut += int64(f.WireSize())
+		if err := m.ep.Send(member, tag, f); err != nil {
+			return nil, err
+		}
+	}
+
+	acc = g.acc[i]
+	sparse.Fill(acc, m.opts.Reducer.Identity())
+
+	stage := s.stage[:len(ls.group)]
+	for t := range stage {
+		stage[t] = nil
+	}
+	folded := 0
+	for received := 0; received < len(ls.group); {
+		from, p, err := m.ep.RecvGroup(s.groups[i], tag)
+		if err != nil {
+			return nil, fmt.Errorf("core: rank %d reduce layer %d recv: %w", m.Rank(), layer, err)
+		}
+		t := memberIndex(ls.group, from)
+		if t < 0 {
+			return nil, fmt.Errorf("core: rank %d reduce layer %d: piece from %d outside group", m.Rank(), layer, from)
+		}
+		if stage[t] != nil {
+			continue // duplicate delivery (chaotic transport)
+		}
+		f, ok := p.(*comm.Floats)
+		if !ok {
+			return nil, fmt.Errorf("core: rank %d reduce layer %d: unexpected payload %T", m.Rank(), layer, p)
+		}
+		if len(f.Vals) != len(ls.outMaps[t])*w {
+			return nil, fmt.Errorf("core: rank %d reduce layer %d: piece from %d has %d values, want %d",
+				m.Rank(), layer, from, len(f.Vals), len(ls.outMaps[t])*w)
+		}
+		sp.BytesIn += int64(f.WireSize())
+		stage[t] = f
+		received++
+		for folded < len(ls.group) && stage[folded] != nil {
+			sparse.CombineInto(m.opts.Reducer, acc, ls.outMaps[folded], stage[folded].Vals, w)
+			folded++
+		}
+	}
+	return acc, nil
+}
+
 // gatherUp runs the upward allgather from fully reduced bottom values.
 // cur must align with the bottom out-union. Buffers come from the given
 // arena generation; the returned slice is g.next[0].
-func (c *Config) gatherUp(cur []float32, round uint32, s *scratch, g *genBufs) ([]float32, error) {
+func (c *Config) gatherUp(cur []float32, round uint32, s *scratch, g *genBufs) (res []float32, err error) {
 	m := c.mach
-	w := m.opts.Width
+	tr := m.opts.Tracer
+	outer := tr.Begin(comm.KindGather, 0)
+	defer func() { outer.Err = err; tr.End(&outer) }()
 
 	// Bottom turnaround: look the in-union's values up in the reduced
 	// out-union (v_in^l := v_out^l restricted to the requested indices).
 	// Indices nobody contributed gather the reducer's identity (0 for
 	// sum, +Inf for min, ...), so downstream folds remain neutral.
 	inVals := g.inVals
-	sparse.GatherInto(inVals, c.bottomMap, cur, w, m.opts.Reducer.Identity())
+	sparse.GatherInto(inVals, c.bottomMap, cur, m.opts.Width, m.opts.Reducer.Identity())
 
 	// Upward allgather, layer l..1.
 	for i := len(c.layers) - 1; i >= 0; i-- {
-		ls := &c.layers[i]
-		layer := i + 1
-		tag := comm.MakeTag(comm.KindGather, layer, round)
-		// Extract and return to each member the values for the in-piece
-		// it sent down during configuration (the g maps). All sends are
-		// issued before any receive is posted.
-		sends := g.gather[i]
-		for t, member := range ls.group {
-			f := &sends[t]
-			sparse.GatherInto(f.Vals, ls.inMaps[t], inVals, w, 0)
-			if err := m.ep.Send(member, tag, f); err != nil {
-				return nil, err
-			}
-		}
-		// Receive the values for each piece of my layer-(i-1) in-set in
-		// arrival order: segments are disjoint, so each piece is copied
-		// into place the moment it lands — no ordering constraint at all.
-		next := g.next[i]
-		seen := s.stage[:len(ls.group)]
-		for t := range seen {
-			seen[t] = nil
-		}
-		for received := 0; received < len(ls.group); {
-			from, p, err := m.ep.RecvGroup(s.groups[i], tag)
-			if err != nil {
-				return nil, fmt.Errorf("core: rank %d gather layer %d recv: %w", m.Rank(), layer, err)
-			}
-			t := memberIndex(ls.group, from)
-			if t < 0 {
-				return nil, fmt.Errorf("core: rank %d gather layer %d: piece from %d outside group", m.Rank(), layer, from)
-			}
-			if seen[t] != nil {
-				continue // duplicate delivery
-			}
-			f, ok := p.(*comm.Floats)
-			if !ok {
-				return nil, fmt.Errorf("core: rank %d gather layer %d: unexpected payload %T", m.Rank(), layer, p)
-			}
-			seg := next[int(ls.inOffsets[t])*w : int(ls.inOffsets[t+1])*w]
-			if len(f.Vals) != len(seg) {
-				return nil, fmt.Errorf("core: rank %d gather layer %d: segment from %d has %d values, want %d",
-					m.Rank(), layer, from, len(f.Vals), len(seg))
-			}
-			copy(seg, f.Vals)
-			seen[t] = f
-			received++
+		next, err := c.gatherLayer(i, round, inVals, s, g, tr)
+		if err != nil {
+			return nil, err
 		}
 		inVals = next
 	}
 	return inVals, nil
+}
+
+// gatherLayer runs one layer of the upward allgather: extract and
+// return to each member the values for the in-piece it sent down during
+// configuration (the g maps), all sends issued before any receive, then
+// copy received segments into place in arrival order — segments are
+// disjoint, so there is no ordering constraint at all.
+func (c *Config) gatherLayer(i int, round uint32, inVals []float32, s *scratch, g *genBufs, tr *obs.Tracer) (next []float32, err error) {
+	m := c.mach
+	w := m.opts.Width
+	ls := &c.layers[i]
+	layer := i + 1
+	sp := tr.Begin(comm.KindGather, layer)
+	sp.Peers = len(ls.group)
+	defer func() { sp.Err = err; tr.End(&sp) }()
+	tag := comm.MakeTag(comm.KindGather, layer, round)
+
+	sends := g.gather[i]
+	for t, member := range ls.group {
+		f := &sends[t]
+		sparse.GatherInto(f.Vals, ls.inMaps[t], inVals, w, 0)
+		sp.BytesOut += int64(f.WireSize())
+		if err := m.ep.Send(member, tag, f); err != nil {
+			return nil, err
+		}
+	}
+
+	next = g.next[i]
+	seen := s.stage[:len(ls.group)]
+	for t := range seen {
+		seen[t] = nil
+	}
+	for received := 0; received < len(ls.group); {
+		from, p, err := m.ep.RecvGroup(s.groups[i], tag)
+		if err != nil {
+			return nil, fmt.Errorf("core: rank %d gather layer %d recv: %w", m.Rank(), layer, err)
+		}
+		t := memberIndex(ls.group, from)
+		if t < 0 {
+			return nil, fmt.Errorf("core: rank %d gather layer %d: piece from %d outside group", m.Rank(), layer, from)
+		}
+		if seen[t] != nil {
+			continue // duplicate delivery
+		}
+		f, ok := p.(*comm.Floats)
+		if !ok {
+			return nil, fmt.Errorf("core: rank %d gather layer %d: unexpected payload %T", m.Rank(), layer, p)
+		}
+		seg := next[int(ls.inOffsets[t])*w : int(ls.inOffsets[t+1])*w]
+		if len(f.Vals) != len(seg) {
+			return nil, fmt.Errorf("core: rank %d gather layer %d: segment from %d has %d values, want %d",
+				m.Rank(), layer, from, len(f.Vals), len(seg))
+		}
+		sp.BytesIn += int64(f.WireSize())
+		copy(seg, f.Vals)
+		seen[t] = f
+		received++
+	}
+	return next, nil
 }
 
 // ConfigureReduce fuses configuration and reduction in a single downward
@@ -175,7 +219,7 @@ func (c *Config) gatherUp(cur []float32, round uint32, s *scratch, g *genBufs) (
 // concurrently with combined network messages"). It returns the
 // resulting Config — reusable by later plain Reduce calls — together
 // with the reduced in-values (arena-owned, like Reduce results).
-func (m *Machine) ConfigureReduce(inSet, outSet sparse.Set, outVals []float32) (*Config, []float32, error) {
+func (m *Machine) ConfigureReduce(inSet, outSet sparse.Set, outVals []float32) (cfgOut *Config, res []float32, err error) {
 	if !inSet.IsSorted() || !outSet.IsSorted() {
 		return nil, nil, fmt.Errorf("core: ConfigureReduce requires sorted, deduplicated Sets")
 	}
@@ -186,13 +230,20 @@ func (m *Machine) ConfigureReduce(inSet, outSet sparse.Set, outVals []float32) (
 	}
 	round := m.nextRound()
 	cfg := &Config{mach: m, inSet: inSet, outSet: outSet}
+	tr := m.opts.Tracer
+	tr.CountRound()
+	outer := tr.Begin(comm.KindConfigReduce, 0)
+	defer func() { outer.Err = err; tr.End(&outer) }()
 
 	kind := comm.KindConfigReduce
 	inCur, outCur := inSet, outSet
 	cur := outVals
 	for layer := 1; layer <= m.bf.Layers(); layer++ {
 		var acc []float32
-		ls, err := m.configureLayer(layer, round, inCur, outCur, cur, &acc, &kind)
+		sp := tr.Begin(comm.KindConfigReduce, layer)
+		ls, err := m.configureLayer(layer, round, inCur, outCur, cur, &acc, &kind, &sp)
+		sp.Err = err
+		tr.End(&sp)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: rank %d config+reduce layer %d: %w", m.Rank(), layer, err)
 		}
@@ -205,6 +256,7 @@ func (m *Machine) ConfigureReduce(inSet, outSet sparse.Set, outVals []float32) (
 	}
 	s := cfg.ensureScratch()
 	g := s.flip()
+	tr.CountArenaFlip()
 	inVals, err := cfg.gatherUp(cur, round, s, g)
 	if err != nil {
 		return nil, nil, err

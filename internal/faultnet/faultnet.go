@@ -164,6 +164,30 @@ type Fabric struct {
 	stats struct {
 		dropped, duplicated, delayed, reordered, partitioned atomic.Int64
 	}
+
+	// observer, when set, is called once per injected fault with the
+	// affected rank (the sender for link faults, the victim for kills)
+	// and the event name. Guarded by obsMu; called outside all locks.
+	obsMu    sync.Mutex
+	observer func(rank int, event string)
+}
+
+// SetObserver installs the fault-event hook (the observability layer's
+// timeline feed). Pass nil to detach.
+func (f *Fabric) SetObserver(fn func(rank int, event string)) {
+	f.obsMu.Lock()
+	f.observer = fn
+	f.obsMu.Unlock()
+}
+
+// notify reports one injected fault to the observer, if any.
+func (f *Fabric) notify(rank int, event string) {
+	f.obsMu.Lock()
+	fn := f.observer
+	f.obsMu.Unlock()
+	if fn != nil {
+		fn(rank, event)
+	}
 }
 
 // Stats counts the faults injected so far, so tests can assert the
@@ -265,6 +289,7 @@ func (f *Fabric) Kill(rank int) {
 	if !f.killed[rank].CompareAndSwap(false, true) {
 		return
 	}
+	f.notify(rank, "kill")
 	f.mu.Lock()
 	ep := f.eps[rank]
 	f.mu.Unlock()
@@ -516,21 +541,26 @@ func (e *endpoint) Send(to int, tag comm.Tag, p comm.Payload) error {
 	}
 	if f.partitioned(e.rank, to, count) {
 		f.stats.partitioned.Add(1)
+		f.notify(e.rank, "partition")
 		return nil
 	}
 	act := f.decide(e.rank, to, tag)
 	if act.drop {
 		f.stats.dropped.Add(1)
+		f.notify(e.rank, "drop")
 		return nil
 	}
 	if act.copies > 1 {
 		f.stats.duplicated.Add(1)
+		f.notify(e.rank, "duplicate")
 	}
 	if act.delay > 0 {
 		f.stats.delayed.Add(1)
+		f.notify(e.rank, "delay")
 	}
 	if act.reorder {
 		f.stats.reordered.Add(1)
+		f.notify(e.rank, "reorder")
 	}
 	if act.copies == 1 && act.delay == 0 && !act.reorder {
 		// Fast path: nothing pending on this link means synchronous

@@ -31,12 +31,20 @@ func WithRecvTimeout(d time.Duration) Option {
 	return func(n *Network) { n.timeout = d }
 }
 
+// WithRecvObserver installs a per-rank receive observer factory (the
+// observability layer's receive hook); the factory may return nil for
+// ranks that should not be observed.
+func WithRecvObserver(f func(rank int) comm.RecvObserver) Option {
+	return func(n *Network) { n.recvObs = f }
+}
+
 // Network is an m-machine in-process cluster.
 type Network struct {
 	size    int
 	boxes   []*comm.Mailbox
 	dead    []atomic.Bool
 	rec     comm.Recorder
+	recvObs func(rank int) comm.RecvObserver
 	timeout time.Duration
 }
 
@@ -50,6 +58,11 @@ func New(m int, opts ...Option) *Network {
 	n.dead = make([]atomic.Bool, m)
 	for i := range n.boxes {
 		n.boxes[i] = comm.NewMailbox(n.timeout)
+		if n.recvObs != nil {
+			if ro := n.recvObs(i); ro != nil {
+				n.boxes[i].SetRecvObserver(ro)
+			}
+		}
 	}
 	return n
 }

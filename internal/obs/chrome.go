@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"kylix/internal/comm"
+)
+
+// traceEvent is one entry of the Chrome trace_event JSON format
+// (load the output at chrome://tracing or https://ui.perfetto.dev).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// spanName renders a span's display name: the bare phase for whole-pass
+// spans (Layer 0), "phase L<n>" for per-layer slices.
+func spanName(sp Span) string {
+	if sp.Layer == 0 {
+		return sp.Kind.String()
+	}
+	return fmt.Sprintf("%s L%d", sp.Kind, sp.Layer)
+}
+
+// WriteChromeTrace exports the buffered spans as Chrome trace_event
+// JSON: one track (pid) per machine, whole-pass slices nesting their
+// per-layer slices, instant markers for fault events, and byte/peer
+// volumes in each slice's args.
+func (o *Observatory) WriteChromeTrace(w io.Writer) error {
+	if o == nil {
+		return fmt.Errorf("obs: observability not enabled")
+	}
+	spans := o.Spans()
+	events := make([]traceEvent, 0, len(spans)+len(o.tracers))
+	for node := range o.tracers {
+		events = append(events, traceEvent{
+			Name: "process_name", Ph: "M", Pid: node,
+			Args: map[string]any{"name": fmt.Sprintf("node %d", node)},
+		})
+	}
+	for _, sp := range spans {
+		if sp.Event != "" {
+			events = append(events, traceEvent{
+				Name: "fault:" + sp.Event, Cat: "fault", Ph: "i", S: "p",
+				Ts: float64(sp.Start) / 1e3, Pid: sp.Node, Tid: 1,
+			})
+			continue
+		}
+		args := map[string]any{
+			"bytes_out": sp.BytesOut,
+			"bytes_in":  sp.BytesIn,
+			"peers":     sp.Peers,
+		}
+		if sp.Err != nil {
+			args["error"] = sp.Err.Error()
+		}
+		events = append(events, traceEvent{
+			Name: spanName(sp), Cat: sp.Kind.String(), Ph: "X",
+			Ts: float64(sp.Start) / 1e3, Dur: float64(sp.End-sp.Start) / 1e3,
+			Pid: sp.Node, Tid: 1, Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	})
+}
+
+// timelineRow aggregates all spans of one (kind, layer) cell.
+type timelineRow struct {
+	kind              comm.Kind
+	layer             int
+	count, errs       int64
+	durNs             int64
+	bytesOut, bytesIn int64
+	minStart, maxEnd  int64
+	haveWindow        bool
+}
+
+// WriteTimeline renders a human-readable per-(phase, layer) summary of
+// the buffered spans: counts, wall-clock window, mean slice duration
+// and byte volumes — Figure 5 as a table, from a live run.
+func (o *Observatory) WriteTimeline(w io.Writer) error {
+	if o == nil {
+		return fmt.Errorf("obs: observability not enabled")
+	}
+	rows := map[[2]int]*timelineRow{}
+	var faults int64
+	for _, sp := range o.Spans() {
+		if sp.Event != "" {
+			faults++
+			continue
+		}
+		k := [2]int{int(sp.Kind), sp.Layer}
+		r := rows[k]
+		if r == nil {
+			r = &timelineRow{kind: sp.Kind, layer: sp.Layer}
+			rows[k] = r
+		}
+		r.count++
+		if sp.Err != nil {
+			r.errs++
+		}
+		r.durNs += sp.End - sp.Start
+		r.bytesOut += sp.BytesOut
+		r.bytesIn += sp.BytesIn
+		if !r.haveWindow || sp.Start < r.minStart {
+			r.minStart = sp.Start
+		}
+		if !r.haveWindow || sp.End > r.maxEnd {
+			r.maxEnd = sp.End
+		}
+		r.haveWindow = true
+	}
+	ordered := make([]*timelineRow, 0, len(rows))
+	for _, r := range rows {
+		ordered = append(ordered, r)
+	}
+	sort.Slice(ordered, func(a, b int) bool {
+		if ordered[a].kind != ordered[b].kind {
+			return ordered[a].kind < ordered[b].kind
+		}
+		return ordered[a].layer < ordered[b].layer
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %6s %8s %12s %12s %14s %14s %6s\n",
+		"phase/layer", "spans", "mean", "window", "wall", "bytesOut", "bytesIn", "errs")
+	for _, r := range ordered {
+		name := r.kind.String()
+		if r.layer > 0 {
+			name = fmt.Sprintf("%s L%d", r.kind, r.layer)
+		}
+		mean := time.Duration(0)
+		if r.count > 0 {
+			mean = time.Duration(r.durNs / r.count)
+		}
+		fmt.Fprintf(&b, "%-16s %6d %8s %12s %12s %14d %14d %6d\n",
+			name, r.count, mean.Round(time.Microsecond),
+			time.Duration(r.minStart).Round(time.Microsecond),
+			time.Duration(r.maxEnd-r.minStart).Round(time.Microsecond),
+			r.bytesOut, r.bytesIn, r.errs)
+	}
+	if faults > 0 {
+		fmt.Fprintf(&b, "fault events: %d\n", faults)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

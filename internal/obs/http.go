@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// Server is a running metrics/trace HTTP endpoint.
+type Server struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// Handler returns the Observatory's HTTP mux:
+//
+//	/metrics  — expvar-style JSON snapshot of every registered metric
+//	/trace    — Chrome trace_event JSON of the buffered spans
+//	/timeline — human-readable per-(phase, layer) summary
+func (o *Observatory) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := o.Registry().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := o.WriteChromeTrace(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/timeline", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := o.WriteTimeline(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+// Serve starts the metrics endpoint on addr and returns once the
+// listener is bound; requests are served on a background goroutine.
+func Serve(addr string, o *Observatory) (*Server, error) {
+	if o == nil {
+		return nil, fmt.Errorf("obs: observability not enabled")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listen on %s: %w", addr, err)
+	}
+	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: o.Handler()}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}

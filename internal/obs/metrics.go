@@ -1,0 +1,306 @@
+// Package obs is the runtime observability layer: per-node span tracing
+// of the protocol's config/reduce/gather passes, a low-overhead metrics
+// registry (counters, gauges, log2 histograms), and exporters — a Chrome
+// trace_event JSON writer and a human-readable timeline — that make a
+// live run inspectable the way the paper's Figures 5-9 inspect a
+// finished one. The hot-path contract is strict: with observability
+// enabled, the warm Reduce must stay at 0 allocs/op (gated by
+// scripts/bench.sh), so every recording primitive here is preallocated
+// and lock-light.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe
+// for concurrent use and never allocate.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are a caller bug but not checked on the
+// hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value (or high-watermark, via SetMax) metric.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// SetMax raises the gauge to v if v is larger — a lock-free
+// high-watermark. The fast path is a single load when the watermark
+// already covers v.
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is one bucket per power of two: bucket i counts samples
+// with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i).
+const histBuckets = 65
+
+// Histogram accumulates a distribution in log2 buckets: cheap enough
+// for per-message observation (one atomic add, no locks) yet precise
+// enough for latency quantiles within a factor of two.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     Gauge
+}
+
+// Observe records one sample (negative samples clamp to zero).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.max.SetMax(v)
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest sample seen.
+func (h *Histogram) Max() int64 { return h.max.Value() }
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]): the
+// top of the log2 bucket the quantile falls in.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	want := int64(q * float64(total))
+	if want >= total {
+		want = total - 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen > want {
+			if i == 0 {
+				return 0
+			}
+			return int64(1) << uint(i) // upper bound of bucket i
+		}
+	}
+	return h.max.Value()
+}
+
+// HistogramSnapshot is the exported summary of a Histogram.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Mean  int64 `json:"mean"`
+	P50   int64 `json:"p50"`
+	P90   int64 `json:"p90"`
+	P99   int64 `json:"p99"`
+	Max   int64 `json:"max"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.Count(), Sum: h.Sum(), Max: h.Max(),
+		P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+	}
+	if s.Count > 0 {
+		s.Mean = s.Sum / s.Count
+	}
+	return s
+}
+
+// Registry is a named collection of metrics. Registration (the
+// get-or-create lookups) takes a mutex and may allocate; it is meant
+// for setup time. The returned metric pointers are then used lock-free
+// on hot paths.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+// Nil-safe: a nil registry returns a live but unexported counter, so
+// instrumented code never branches on "is observability on".
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil-safe
+// like Counter.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+// Nil-safe like Counter.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return &Histogram{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every registered metric, shaped
+// for JSON export (the expvar-style /metrics endpoint).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON (map keys are emitted
+// in sorted order by encoding/json, so output is diffable).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// String renders the snapshot as a compact sorted text table for logs.
+func (r *Registry) String() string {
+	s := r.Snapshot()
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := ""
+	for _, n := range names {
+		if v, ok := s.Counters[n]; ok {
+			out += fmt.Sprintf("%-32s %d\n", n, v)
+		} else if v, ok := s.Gauges[n]; ok {
+			out += fmt.Sprintf("%-32s %d\n", n, v)
+		} else if h, ok := s.Histograms[n]; ok {
+			out += fmt.Sprintf("%-32s count=%d mean=%d p50=%d p99=%d max=%d\n", n, h.Count, h.Mean, h.P50, h.P99, h.Max)
+		}
+	}
+	return out
+}
+
+// TransportMetrics bundles the transport-level counters the TCP layer
+// maintains: the reconnect machinery, the resend ring and the
+// receiver-side sequence dedup. Constructed by NewTransportMetrics so
+// transports can increment unconditionally — a nil registry yields
+// live, unregistered metrics with identical cost.
+type TransportMetrics struct {
+	// ReconnectAttempts counts dials attempted while (re)building a
+	// peer stream (first-dial retries included).
+	ReconnectAttempts *Counter
+	// Reconnects counts streams successfully (re)established, each of
+	// which replayed the resend ring.
+	Reconnects *Counter
+	// StreamsLost counts peers declared dead after the reconnect budget
+	// was exhausted.
+	StreamsLost *Counter
+	// DedupHits counts replayed frames the receiver dropped because
+	// their sequence number was already delivered.
+	DedupHits *Counter
+	// ResendRingHigh is the high-watermark frame occupancy across all
+	// peer resend rings.
+	ResendRingHigh *Gauge
+}
+
+// NewTransportMetrics registers the transport metric set in r (nil r
+// gives unregistered metrics).
+func NewTransportMetrics(r *Registry) *TransportMetrics {
+	return &TransportMetrics{
+		ReconnectAttempts: r.Counter("tcp_reconnect_attempts"),
+		Reconnects:        r.Counter("tcp_reconnects"),
+		StreamsLost:       r.Counter("tcp_streams_lost"),
+		DedupHits:         r.Counter("tcp_dedup_hits"),
+		ResendRingHigh:    r.Gauge("tcp_resend_ring_high"),
+	}
+}

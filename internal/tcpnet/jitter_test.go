@@ -1,0 +1,66 @@
+package tcpnet
+
+import (
+	"testing"
+	"time"
+)
+
+// sleepSequence replays the writeLoop's backoff formula against one
+// jitter source: the exact schedule a reconnecting writer would sleep.
+func sleepSequence(draws int) []time.Duration {
+	rng := newJitterRNG()
+	backoff := 5 * time.Millisecond
+	out := make([]time.Duration, 0, draws)
+	for i := 0; i < draws; i++ {
+		out = append(out, backoff/2+time.Duration(rng.Int63n(int64(backoff))))
+		if backoff < 400*time.Millisecond {
+			backoff *= 2
+		}
+	}
+	return out
+}
+
+// TestJitterDiffersAcrossWriterIncarnations is the regression test for
+// the deterministic-jitter bug: the backoff RNG used to be seeded from
+// (rank, to), so every incarnation of the same writer — across stream
+// breaks and across whole runs — slept the identical "jitter" sequence,
+// and the survivors of a peer reboot re-dialed it in the very lockstep
+// jitter exists to break. Entropy seeding makes two incarnations
+// astronomically unlikely to agree.
+func TestJitterDiffersAcrossWriterIncarnations(t *testing.T) {
+	const draws = 16
+	a := sleepSequence(draws)
+	b := sleepSequence(draws)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("two writer incarnations produced the identical sleep sequence %v", a)
+	}
+}
+
+// TestJitterSleepBounds pins the backoff envelope: every sleep stays in
+// [backoff/2, 3*backoff/2) and the exponential base caps at 400ms, so a
+// dead peer is retried promptly at first and never hammered later.
+func TestJitterSleepBounds(t *testing.T) {
+	seq := sleepSequence(12)
+	backoff := 5 * time.Millisecond
+	for i, sleep := range seq {
+		lo, hi := backoff/2, backoff/2+backoff
+		if sleep < lo || sleep >= hi {
+			t.Fatalf("draw %d: sleep %v outside [%v, %v)", i, sleep, lo, hi)
+		}
+		if backoff < 400*time.Millisecond {
+			backoff *= 2
+		}
+	}
+	// 5ms doubling under a <400ms guard tops out at 640ms: retries never
+	// space out further than ~1s worst case.
+	if backoff != 640*time.Millisecond {
+		t.Fatalf("backoff cap = %v, want 640ms", backoff)
+	}
+}

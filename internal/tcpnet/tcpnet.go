@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"kylix/internal/comm"
+	"kylix/internal/obs"
 )
 
 const (
@@ -68,6 +69,14 @@ type Options struct {
 	FailFast bool
 	// Recorder observes sends for traffic accounting.
 	Recorder comm.Recorder
+	// RecvObserver, when set, builds the per-rank receive observer that
+	// is installed on the node's mailbox (the observability layer's
+	// receive hook). May return nil for "no observation".
+	RecvObserver func(rank int) comm.RecvObserver
+	// Metrics receives the transport-level counters (reconnects, resend
+	// ring occupancy, dedup hits). Nil gets live but unregistered
+	// metrics, so the stream machinery increments unconditionally.
+	Metrics *obs.TransportMetrics
 }
 
 func (o Options) withDefaults() Options {
@@ -85,6 +94,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Recorder == nil {
 		o.Recorder = comm.NopRecorder{}
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewTransportMetrics(nil)
 	}
 	return o
 }
@@ -214,6 +226,11 @@ func Listen(rank int, addrs []string, opts Options) (*Node, error) {
 		recvSeq: make([]uint64, len(addrs)),
 	}
 	n.addrs[rank] = ln.Addr().String()
+	if opts.RecvObserver != nil {
+		if ro := opts.RecvObserver(rank); ro != nil {
+			n.box.SetRecvObserver(ro)
+		}
+	}
 	n.wg.Add(1)
 	go n.acceptLoop()
 	return n, nil
@@ -372,11 +389,12 @@ func (n *Node) writeLoop(to int, pr *peer) {
 		if evicted := buffer.push(s); evicted != nil && len(spare) < 64 {
 			spare = append(spare, evicted)
 		}
+		n.opts.Metrics.ResendRingHigh.SetMax(int64(buffer.n))
 		return s
 	}
 	// Jitter source for reconnect backoff. Timing only — protocol
 	// decisions never depend on it.
-	rng := rand.New(rand.NewSource(int64(n.rank)<<20 ^ int64(to)))
+	rng := newJitterRNG()
 
 	disconnect := func() {
 		if conn == nil {
@@ -405,7 +423,16 @@ func (n *Node) writeLoop(to int, pr *peer) {
 				return false
 			default:
 			}
-			c, err := net.DialTimeout("tcp", n.addrs[to], time.Until(deadline))
+			// Check the budget before dialing: time.Until(deadline) at or
+			// past the deadline would hand DialTimeout a zero/negative
+			// timeout, which means "no timeout" — a spurious unbounded dial
+			// instead of a clean budget-exhausted return.
+			remain := time.Until(deadline)
+			if remain <= 0 {
+				return false
+			}
+			n.opts.Metrics.ReconnectAttempts.Inc()
+			c, err := net.DialTimeout("tcp", n.addrs[to], remain)
 			if err == nil {
 				if tc, ok := c.(*net.TCPConn); ok {
 					_ = tc.SetNoDelay(true)
@@ -421,6 +448,7 @@ func (n *Node) writeLoop(to int, pr *peer) {
 					n.mu.Unlock()
 					conn = c
 					dialed = true
+					n.opts.Metrics.Reconnects.Inc()
 					return true
 				}
 				_ = c.Close()
@@ -508,6 +536,7 @@ func (n *Node) writeLoop(to int, pr *peer) {
 				// loss and park until shutdown, silently dropping
 				// traffic; the replication layer is responsible for
 				// masking dead peers.
+				n.opts.Metrics.StreamsLost.Inc()
 				pr.fail(fmt.Errorf("tcpnet: rank %d -> %d stream lost (%s): reconnect budget %v exhausted",
 					n.rank, to, n.addrs[to], budget))
 				<-n.done
@@ -515,6 +544,16 @@ func (n *Node) writeLoop(to int, pr *peer) {
 			}
 		}
 	}
+}
+
+// newJitterRNG builds the backoff jitter source for one writer
+// incarnation, seeded from the process-global entropy-seeded generator.
+// A fixed (rank, peer) seed would make every restart of the process
+// replay the identical "jitter" sequence, so the survivors of a peer
+// reboot retry in lockstep run after run — exactly the thundering herd
+// jitter exists to break. Protocol decisions never depend on this.
+func newJitterRNG() *rand.Rand {
+	return rand.New(rand.NewSource(rand.Int63()))
 }
 
 // writeFrame sends one length-prefixed frame with a CRC32-C payload
@@ -614,6 +653,7 @@ func (n *Node) readLoop(conn net.Conn) {
 		n.recvMu.Lock()
 		if seq != 0 && seq <= n.recvSeq[from] {
 			n.recvMu.Unlock()
+			n.opts.Metrics.DedupHits.Inc()
 			continue // duplicate redelivery from a replayed ring
 		}
 		if seq != 0 {

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"kylix/internal/comm"
 )
@@ -32,6 +33,11 @@ type LayerTraffic struct {
 	// completion time is governed by the busiest node.
 	MaxNodeBytes int64
 	MaxNodeMsgs  int64
+	// MaxNodeRecvBytes/MaxNodeRecvMsgs are the largest per-receiver
+	// totals. Fan-in is what drives netsim's incast penalty, so the
+	// busiest receiver — not just the busiest sender — bounds a layer.
+	MaxNodeRecvBytes int64
+	MaxNodeRecvMsgs  int64
 }
 
 type cellKey struct {
@@ -39,33 +45,58 @@ type cellKey struct {
 	layer int
 }
 
-type cell struct {
+// senderCell is one sender's traffic within one (kind, layer) cell:
+// its own totals plus per-receiver attribution.
+type senderCell struct {
 	msgs, bytes         int64
 	selfMsgs, selfBytes int64
-	perNodeBytes        []int64
-	perNodeMsgs         []int64
+	recvMsgs, recvBytes []int64 // indexed by receiver rank
 }
 
-// Collector implements comm.Recorder. It is safe for concurrent use.
-type Collector struct {
-	m     int
+// shard owns one sender's cells. Each sender locks only its own shard,
+// so the pipelined hot path — every machine's transport recording
+// concurrently — never serializes senders against each other. The
+// padding keeps neighbouring shards off one cache line.
+type shard struct {
 	mu    sync.Mutex
-	cells map[cellKey]*cell
+	cells map[cellKey]*senderCell
+	_     [40]byte
+}
+
+// Collector implements comm.Recorder. It is safe for concurrent use;
+// recording is sharded per sender, so concurrent senders do not contend.
+type Collector struct {
+	m       int
+	shards  []shard
+	invalid atomic.Int64
 }
 
 // NewCollector creates a Collector for an m-machine cluster.
 func NewCollector(m int) *Collector {
-	return &Collector{m: m, cells: make(map[cellKey]*cell)}
+	c := &Collector{m: m, shards: make([]shard, m)}
+	for i := range c.shards {
+		c.shards[i].cells = make(map[cellKey]*senderCell)
+	}
+	return c
 }
 
-// Record implements comm.Recorder.
+// Record implements comm.Recorder. Samples with an out-of-range sender
+// or receiver are rejected entirely — counted by InvalidRecords rather
+// than folded into network totals with missing attribution, which
+// would silently skew MaxNode* (a bogus rank is a caller bug, not
+// traffic).
 func (c *Collector) Record(from, to int, tag comm.Tag, bytes int) {
+	if from < 0 || from >= c.m || to < 0 || to >= c.m {
+		c.invalid.Add(1)
+		return
+	}
 	k := cellKey{tag.Kind(), tag.Layer()}
-	c.mu.Lock()
-	cl := c.cells[k]
+	sh := &c.shards[from]
+	sh.mu.Lock()
+	cl := sh.cells[k]
 	if cl == nil {
-		cl = &cell{perNodeBytes: make([]int64, c.m), perNodeMsgs: make([]int64, c.m)}
-		c.cells[k] = cl
+		cl = &senderCell{recvMsgs: make([]int64, c.m), recvBytes: make([]int64, c.m)}
+		sh.cells[k] = cl
 	}
 	cl.msgs++
 	cl.bytes += int64(bytes)
@@ -73,33 +104,66 @@ func (c *Collector) Record(from, to int, tag comm.Tag, bytes int) {
 		cl.selfMsgs++
 		cl.selfBytes += int64(bytes)
 	}
-	if from >= 0 && from < c.m {
-		cl.perNodeBytes[from] += int64(bytes)
-		cl.perNodeMsgs[from]++
-	}
-	c.mu.Unlock()
+	cl.recvMsgs[to]++
+	cl.recvBytes[to] += int64(bytes)
+	sh.mu.Unlock()
 }
+
+// InvalidRecords reports how many samples were rejected for an
+// out-of-range sender or receiver rank.
+func (c *Collector) InvalidRecords() int64 { return c.invalid.Load() }
 
 // Layers returns the aggregated traffic, sorted by kind then layer.
 func (c *Collector) Layers() []LayerTraffic {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]LayerTraffic, 0, len(c.cells))
-	for k, cl := range c.cells {
-		lt := LayerTraffic{
-			Kind: k.kind, Layer: k.layer,
-			Msgs: cl.msgs, Bytes: cl.bytes,
-			SelfMsgs: cl.selfMsgs, SelfBytes: cl.selfBytes,
+	type agg struct {
+		lt        LayerTraffic
+		recvMsgs  []int64
+		recvBytes []int64
+	}
+	cells := make(map[cellKey]*agg)
+	for s := range c.shards {
+		sh := &c.shards[s]
+		sh.mu.Lock()
+		for k, cl := range sh.cells {
+			a := cells[k]
+			if a == nil {
+				a = &agg{
+					lt:        LayerTraffic{Kind: k.kind, Layer: k.layer},
+					recvMsgs:  make([]int64, c.m),
+					recvBytes: make([]int64, c.m),
+				}
+				cells[k] = a
+			}
+			a.lt.Msgs += cl.msgs
+			a.lt.Bytes += cl.bytes
+			a.lt.SelfMsgs += cl.selfMsgs
+			a.lt.SelfBytes += cl.selfBytes
+			// The shard index is the sender, so a shard's cell totals are
+			// exactly that sender's contribution.
+			if cl.bytes > a.lt.MaxNodeBytes {
+				a.lt.MaxNodeBytes = cl.bytes
+			}
+			if cl.msgs > a.lt.MaxNodeMsgs {
+				a.lt.MaxNodeMsgs = cl.msgs
+			}
+			for i := 0; i < c.m; i++ {
+				a.recvMsgs[i] += cl.recvMsgs[i]
+				a.recvBytes[i] += cl.recvBytes[i]
+			}
 		}
+		sh.mu.Unlock()
+	}
+	out := make([]LayerTraffic, 0, len(cells))
+	for _, a := range cells {
 		for i := 0; i < c.m; i++ {
-			if cl.perNodeBytes[i] > lt.MaxNodeBytes {
-				lt.MaxNodeBytes = cl.perNodeBytes[i]
+			if a.recvBytes[i] > a.lt.MaxNodeRecvBytes {
+				a.lt.MaxNodeRecvBytes = a.recvBytes[i]
 			}
-			if cl.perNodeMsgs[i] > lt.MaxNodeMsgs {
-				lt.MaxNodeMsgs = cl.perNodeMsgs[i]
+			if a.recvMsgs[i] > a.lt.MaxNodeRecvMsgs {
+				a.lt.MaxNodeRecvMsgs = a.recvMsgs[i]
 			}
 		}
-		out = append(out, lt)
+		out = append(out, a.lt)
 	}
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].Kind != out[b].Kind {
@@ -137,17 +201,21 @@ func (c *Collector) Machines() int { return c.m }
 // Reset clears all cells (e.g. between the configure and reduce timings
 // of an experiment).
 func (c *Collector) Reset() {
-	c.mu.Lock()
-	c.cells = make(map[cellKey]*cell)
-	c.mu.Unlock()
+	for s := range c.shards {
+		sh := &c.shards[s]
+		sh.mu.Lock()
+		sh.cells = make(map[cellKey]*senderCell)
+		sh.mu.Unlock()
+	}
+	c.invalid.Store(0)
 }
 
 // String renders a compact per-layer table for logs.
 func (c *Collector) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-14s %5s %10s %14s %14s\n", "kind", "layer", "msgs", "bytes", "maxNodeBytes")
+	fmt.Fprintf(&b, "%-14s %5s %10s %14s %14s %14s\n", "kind", "layer", "msgs", "bytes", "maxNodeBytes", "maxRecvBytes")
 	for _, lt := range c.Layers() {
-		fmt.Fprintf(&b, "%-14s %5d %10d %14d %14d\n", lt.Kind, lt.Layer, lt.Msgs, lt.Bytes, lt.MaxNodeBytes)
+		fmt.Fprintf(&b, "%-14s %5d %10d %14d %14d %14d\n", lt.Kind, lt.Layer, lt.Msgs, lt.Bytes, lt.MaxNodeBytes, lt.MaxNodeRecvBytes)
 	}
 	return b.String()
 }

@@ -3,6 +3,7 @@ package trace
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"kylix/internal/comm"
@@ -95,4 +96,106 @@ func TestCollectorConcurrent(t *testing.T) {
 	if len(layers) != 1 || layers[0].Msgs != 8000 || layers[0].Bytes != 80000 {
 		t.Fatalf("lost samples: %+v", layers)
 	}
+}
+
+func TestCollectorRejectsInvalidRanks(t *testing.T) {
+	c := NewCollector(4)
+	tag := comm.MakeTag(comm.KindReduce, 1, 0)
+	c.Record(-1, 0, tag, 10)
+	c.Record(4, 0, tag, 10)
+	c.Record(0, -1, tag, 10)
+	c.Record(0, 4, tag, 10)
+	if len(c.Layers()) != 0 {
+		t.Fatalf("invalid ranks produced traffic cells: %+v", c.Layers())
+	}
+	if got := c.InvalidRecords(); got != 4 {
+		t.Fatalf("InvalidRecords = %d, want 4", got)
+	}
+	c.Record(0, 3, tag, 10) // valid boundary ranks still count
+	c.Record(3, 0, tag, 10)
+	if got := c.KindLayers(comm.KindReduce)[0].Msgs; got != 2 {
+		t.Fatalf("valid boundary records lost: msgs = %d", got)
+	}
+	c.Reset()
+	if c.InvalidRecords() != 0 {
+		t.Fatal("Reset did not clear the invalid count")
+	}
+}
+
+func TestCollectorPerReceiverMax(t *testing.T) {
+	c := NewCollector(4)
+	tag := comm.MakeTag(comm.KindReduce, 1, 0)
+	// Rank 3 is the fan-in hotspot: every sender targets it.
+	for from := 0; from < 4; from++ {
+		c.Record(from, 3, tag, 100)
+	}
+	c.Record(0, 1, tag, 50)
+	lt := c.KindLayers(comm.KindReduce)[0]
+	if lt.MaxNodeRecvBytes != 400 || lt.MaxNodeRecvMsgs != 4 {
+		t.Fatalf("per-receiver max = (%d bytes, %d msgs), want (400, 4)", lt.MaxNodeRecvBytes, lt.MaxNodeRecvMsgs)
+	}
+	// Per-sender max is unchanged by fan-in: the busiest sender is rank 0
+	// with 150 bytes.
+	if lt.MaxNodeBytes != 150 || lt.MaxNodeMsgs != 2 {
+		t.Fatalf("per-sender max = (%d bytes, %d msgs), want (150, 2)", lt.MaxNodeBytes, lt.MaxNodeMsgs)
+	}
+}
+
+// TestCollectorHammer drives Record, Layers, String and Reset from many
+// goroutines at once; under -race it proves the sharded collector's
+// synchronization.
+func TestCollectorHammer(t *testing.T) {
+	const m = 8
+	c := NewCollector(m)
+	var recorders, reader sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < m; g++ {
+		recorders.Add(1)
+		go func(g int) {
+			defer recorders.Done()
+			tag := comm.MakeTag(comm.KindReduce, 1+g%3, 0)
+			for i := 0; i < 5000; i++ {
+				c.Record(g, (g+i)%m, tag, 8)
+			}
+		}(g)
+	}
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = c.Layers()
+			_ = c.String()
+			c.Reset()
+		}
+	}()
+	recorders.Wait()
+	close(stop)
+	reader.Wait()
+	// No totals to assert (Reset races with Record by design); the test's
+	// value is its -race cleanliness and absence of panics.
+	_ = c.Layers()
+}
+
+// BenchmarkCollectorRecordParallel measures Record under full sender
+// parallelism — the transport hot path of every machine at once. The
+// per-sender sharding means throughput should scale with senders
+// instead of collapsing onto one global mutex.
+func BenchmarkCollectorRecordParallel(b *testing.B) {
+	const m = 16
+	c := NewCollector(m)
+	var next atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		from := int(next.Add(1)-1) % m
+		tag := comm.MakeTag(comm.KindReduce, 1, 0)
+		to := 0
+		for pb.Next() {
+			c.Record(from, to, tag, 64)
+			to = (to + 1) % m
+		}
+	})
 }

@@ -39,6 +39,7 @@ func newNode(ep comm.Endpoint, bf *topo.Butterfly, cfg config, roundBase uint32)
 		Strict:    cfg.strict,
 		Channel:   cfg.channel,
 		RoundBase: roundBase,
+		Tracer:    cfg.obsv.Node(physRank),
 	})
 	if err != nil {
 		return nil, err
@@ -78,6 +79,7 @@ func (n *Node) Channel(ch uint8, opts ...Option) (*Node, error) {
 		Strict:    cfg.strict,
 		Channel:   ch,
 		RoundBase: n.base,
+		Tracer:    cfg.obsv.Node(n.physRank),
 	})
 	if err != nil {
 		return nil, err
@@ -115,6 +117,14 @@ func (n *Node) Size() int { return n.mach.Topology().M() }
 
 // Width is the number of float32 values carried per feature.
 func (n *Node) Width() int { return n.width }
+
+// Observability returns the Observatory wired into this node's cluster
+// (or this process, for ListenNode). Nil without WithObservability.
+func (n *Node) Observability() *Observatory { return n.cfg.obsv }
+
+// Metrics returns the node's metrics registry. Nil without
+// WithObservability.
+func (n *Node) Metrics() *MetricsRegistry { return n.cfg.obsv.Registry() }
 
 // Close releases a node created by ListenNode (no-op otherwise).
 func (n *Node) Close() error {

@@ -1,0 +1,208 @@
+package kylix_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"kylix"
+)
+
+// zipfSets builds per-node power-law index sets — the data shape whose
+// per-layer traffic contraction is the paper's Figure 5 "Kylix" profile.
+func zipfSets(t *testing.T, m int, n int64, nnz int) [][]int32 {
+	t.Helper()
+	sets := make([][]int32, m)
+	for r := 0; r < m; r++ {
+		rng := rand.New(rand.NewSource(20140901 + int64(r)*7919))
+		zipf := rand.NewZipf(rng, 1.3, 1, uint64(n-1))
+		seen := map[int32]bool{}
+		set := make([]int32, 0, nnz)
+		for len(set) < nnz {
+			idx := int32(zipf.Uint64())
+			if !seen[idx] {
+				seen[idx] = true
+				set = append(set, idx)
+			}
+		}
+		sets[r] = set
+	}
+	return sets
+}
+
+// TestObservabilityLayerProfile runs a power-law allreduce with the full
+// observability layer on and checks the three tentpole outputs: the
+// per-layer byte counters contract layer by layer (the Figure 5
+// profile), the span timelines carry the same story, and the Chrome
+// trace export is valid trace_event JSON.
+func TestObservabilityLayerProfile(t *testing.T) {
+	const (
+		m   = 16
+		n   = int64(4096)
+		nnz = 512
+	)
+	cluster, err := kylix.NewCluster(m,
+		kylix.WithDegrees(4, 4),
+		kylix.WithObservability(),
+		kylix.WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if cluster.Observability() == nil || cluster.Metrics() == nil {
+		t.Fatal("observability accessors nil despite WithObservability")
+	}
+
+	sets := zipfSets(t, m, n, nnz)
+	err = cluster.Run(func(node *kylix.Node) error {
+		set := sets[node.Rank()]
+		vals := make([]float32, len(set))
+		for i := range vals {
+			vals[i] = 1
+		}
+		red, _, err := node.ConfigureReduce(set, set, vals)
+		if err != nil {
+			return err
+		}
+		_, err = red.Reduce(vals)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := cluster.Metrics().Snapshot()
+	l1 := snap.Counters["bytes_reduce_L1"]
+	l2 := snap.Counters["bytes_reduce_L2"]
+	if l1 == 0 || l2 == 0 {
+		t.Fatalf("per-layer reduce byte counters missing: L1=%d L2=%d", l1, l2)
+	}
+	if l1 <= l2 {
+		t.Fatalf("power-law reduce traffic did not contract: L1=%d <= L2=%d", l1, l2)
+	}
+	// Every machine counts each of its two collective passes.
+	if got := snap.Counters["reduce_rounds"]; got != 2*m {
+		t.Fatalf("reduce_rounds = %d, want %d", got, 2*m)
+	}
+	if snap.Counters["recv_msgs"] == 0 || snap.Counters["recv_bytes"] == 0 {
+		t.Fatal("receive counters empty: transport observer not wired")
+	}
+	if snap.Histograms["recv_wait_ns"].Count == 0 {
+		t.Fatal("receive wait histogram empty")
+	}
+
+	// The span timelines must tell the same per-layer story.
+	layerOut := map[int]int64{}
+	for _, sp := range cluster.Observability().Spans() {
+		if sp.Event == "" && sp.Layer > 0 && sp.Kind.String() == "reduce" {
+			layerOut[sp.Layer] += sp.BytesOut
+		}
+	}
+	if layerOut[1] <= layerOut[2] || layerOut[2] == 0 {
+		t.Fatalf("span per-layer bytes not contracting: %v", layerOut)
+	}
+
+	var buf bytes.Buffer
+	if err := cluster.Observability().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Pid int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome trace is not valid JSON: %v", err)
+	}
+	var meta, slices int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			slices++
+		}
+	}
+	if meta != m || slices == 0 {
+		t.Fatalf("trace events: %d metadata (want %d), %d slices (want > 0)", meta, m, slices)
+	}
+
+	// The traffic report surfaces the per-receiver hotspot volumes.
+	rep, err := cluster.Traffic(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lt := range rep.Layers {
+		if lt.Bytes > 0 && lt.MaxNodeRecvBytes == 0 {
+			t.Fatalf("layer %v L%d has traffic but no per-receiver max", lt.Phase, lt.Layer)
+		}
+		if lt.MaxNodeRecvBytes > lt.Bytes {
+			t.Fatalf("per-receiver max %d exceeds layer total %d", lt.MaxNodeRecvBytes, lt.Bytes)
+		}
+	}
+}
+
+// TestObservabilityOffByDefault pins the opt-in contract: without
+// WithObservability every accessor returns nil and runs still work.
+func TestObservabilityOffByDefault(t *testing.T) {
+	cluster, err := kylix.NewCluster(4, kylix.WithDegrees(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if cluster.Observability() != nil || cluster.Metrics() != nil {
+		t.Fatal("observability accessors non-nil without the option")
+	}
+	err = cluster.Run(func(node *kylix.Node) error {
+		if node.Observability() != nil || node.Metrics() != nil {
+			t.Error("node observability accessors non-nil without the option")
+		}
+		set := []int32{int32(node.Rank()), 100}
+		_, _, err := node.ConfigureReduce(set, set, []float32{1, 1})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestObservabilityRecordsFaults wires the fault fabric and the
+// observability layer together: injected duplicates must land in the
+// fault counters and as instant events on the span timeline.
+func TestObservabilityRecordsFaults(t *testing.T) {
+	cluster, err := kylix.NewCluster(4,
+		kylix.WithDegrees(2, 2),
+		kylix.WithObservability(),
+		kylix.WithFaults(kylix.FaultPlan{Seed: 7, Duplicate: 0.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	err = cluster.Run(func(node *kylix.Node) error {
+		set := []int32{int32(node.Rank() * 3), 50, 51}
+		vals := []float32{1, 1, 1}
+		_, _, err := node.ConfigureReduce(set, set, vals)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := cluster.Metrics().Snapshot()
+	if snap.Counters["fault_duplicate"] == 0 {
+		t.Fatal("injected duplicates not counted")
+	}
+	var instants int64
+	for _, sp := range cluster.Observability().Spans() {
+		if sp.Event == "duplicate" {
+			instants++
+		}
+	}
+	if instants == 0 {
+		t.Fatal("no duplicate instant events on the timeline")
+	}
+	if instants != snap.Counters["fault_duplicate"] {
+		t.Fatalf("instant events (%d) disagree with counter (%d)", instants, snap.Counters["fault_duplicate"])
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"kylix/internal/faultnet"
+	"kylix/internal/obs"
 	"kylix/internal/powerlaw"
 	"kylix/internal/sparse"
 )
@@ -50,6 +51,10 @@ type config struct {
 	channel     uint8
 	trace       bool
 	faults      *faultnet.Plan
+	observe     bool
+	// obsv is the live Observatory once construction wired it (set by
+	// NewCluster/ListenNode when observe is on, then read by newNode).
+	obsv *obs.Observatory
 }
 
 func defaultConfig() config {
@@ -125,6 +130,41 @@ func WithChannel(ch uint8) Option {
 // WithTrace enables traffic recording; see Cluster.Traffic.
 func WithTrace() Option {
 	return func(c *config) { c.trace = true }
+}
+
+// Observatory is the runtime observability state of a cluster built
+// with WithObservability: per-machine span timelines of every
+// config/reduce/gather pass, the metrics registry, and the exporters
+// (Chrome trace_event JSON, human-readable timeline, HTTP endpoint).
+type Observatory = obs.Observatory
+
+// MetricsRegistry is the named counter/gauge/histogram collection
+// exposed by Cluster.Metrics.
+type MetricsRegistry = obs.Registry
+
+// TraceSpan is one timed slice of protocol work on one machine.
+type TraceSpan = obs.Span
+
+// MetricsServer is a running observability HTTP endpoint.
+type MetricsServer = obs.Server
+
+// ServeMetrics starts the observability HTTP endpoint on addr —
+// /metrics (expvar-style JSON snapshot), /trace (Chrome trace_event
+// JSON) and /timeline (per-phase text summary). ":0" picks a free
+// port; the bound address is in the returned server's Addr.
+func ServeMetrics(addr string, o *Observatory) (*MetricsServer, error) {
+	return obs.Serve(addr, o)
+}
+
+// WithObservability enables the runtime observability layer: per-layer
+// spans on every pass, transport metrics (reconnects, resend-ring
+// occupancy, dedup hits, receive waits) and fault-event timelines.
+// Access the data via Cluster.Metrics / Cluster.Observability (or
+// Node.Observability for ListenNode), export with
+// Observatory.WriteChromeTrace / WriteTimeline, or serve it over HTTP
+// with obs.Serve. The hot path stays allocation-free with this on.
+func WithObservability() Option {
+	return func(c *config) { c.observe = true }
 }
 
 // FaultPlan scripts deterministic fault injection for WithFaults: a

@@ -4,9 +4,13 @@
 #   scripts/bench.sh            # run benchmarks, print results, write
 #                               # BENCH_reduce.json (ns/op, B/op,
 #                               # allocs/op per benchmark)
-#   scripts/bench.sh --gate     # additionally fail if the warm Reduce
-#                               # benchmark allocates (>0 allocs/op):
-#                               # the zero-alloc hot-path regression gate
+#   scripts/bench.sh --gate     # additionally fail if either warm Reduce
+#                               # benchmark (plain or with observability)
+#                               # allocates (>0 allocs/op), or if the
+#                               # observability-enabled run is more than
+#                               # KYLIX_BENCH_TOLERANCE percent (default
+#                               # 10) slower than the number recorded in
+#                               # BENCH_reduce.json
 #
 # BENCH_reduce.json is the checked-in record of the hot-path numbers;
 # regenerate it when the hot path changes and commit both runs'
@@ -20,11 +24,19 @@ if [ "${1:-}" = "--gate" ]; then
     gate=1
 fi
 
+# Remember the previously recorded observability-enabled hot-path time
+# before this run overwrites BENCH_reduce.json; the gate compares
+# against it. Absent (first recording) the regression check is skipped.
+prev_obs_ns=""
+if [ -f BENCH_reduce.json ]; then
+    prev_obs_ns="$(sed -n 's/.*"BenchmarkReduceWarmObs": {"ns_per_op": \([0-9.]*\).*/\1/p' BENCH_reduce.json | tail -1)"
+fi
+
 out="$(mktemp)"
 trap 'rm -f "$out"' EXIT
 
 echo "== hot-path benchmarks (internal/bench, internal/core, internal/sparse)"
-go test ./internal/bench/ -run '^$' -bench 'BenchmarkReduceWarmQuick' -benchtime 2s -benchmem | tee "$out"
+go test ./internal/bench/ -run '^$' -bench 'BenchmarkReduceWarmQuick|BenchmarkReduceWarmObs' -benchtime 2s -benchmem | tee "$out"
 go test ./internal/core/ -run '^$' -bench 'BenchmarkReduce|BenchmarkConfigure|BenchmarkTreeAllreduce' -benchtime 1s -benchmem | tee -a "$out"
 go test ./internal/sparse/ -run '^$' -bench 'BenchmarkCombineInto|BenchmarkGatherInto|BenchmarkTreeUnion$|BenchmarkUnionWithMaps' -benchtime 1s -benchmem | tee -a "$out"
 
@@ -73,14 +85,27 @@ baseline="scripts/bench_baseline.txt"
 echo "== wrote $json"
 
 if [ "$gate" = 1 ]; then
-    allocs="$(awk '/^BenchmarkReduceWarmQuick/ { for (i = 2; i <= NF; i++) if ($(i) == "allocs/op") print $(i-1) }' "$out")"
-    if [ -z "$allocs" ]; then
-        echo "bench gate: BenchmarkReduceWarmQuick did not report allocs/op" >&2
-        exit 1
+    for b in BenchmarkReduceWarmQuick BenchmarkReduceWarmObs; do
+        allocs="$(awk -v b="$b" '$1 ~ "^"b { for (i = 2; i <= NF; i++) if ($(i) == "allocs/op") print $(i-1) }' "$out")"
+        if [ -z "$allocs" ]; then
+            echo "bench gate: $b did not report allocs/op" >&2
+            exit 1
+        fi
+        if [ "$allocs" != "0" ]; then
+            echo "bench gate: $b allocates ($allocs allocs/op, want 0)" >&2
+            exit 1
+        fi
+    done
+    obs_ns="$(awk '/^BenchmarkReduceWarmObs/ { for (i = 2; i <= NF; i++) if ($(i) == "ns/op") print $(i-1) }' "$out")"
+    tol="${KYLIX_BENCH_TOLERANCE:-10}"
+    if [ -n "$prev_obs_ns" ] && [ -n "$obs_ns" ]; then
+        if awk -v cur="$obs_ns" -v prev="$prev_obs_ns" -v tol="$tol" \
+            'BEGIN { exit !(cur > prev * (1 + tol / 100)) }'; then
+            echo "bench gate: observed warm Reduce regressed: $obs_ns ns/op vs recorded $prev_obs_ns (+>${tol}%)" >&2
+            exit 1
+        fi
+        echo "bench gate OK: warm Reduce (plain and observed) allocation-free; observed $obs_ns ns/op within ${tol}% of recorded $prev_obs_ns"
+    else
+        echo "bench gate OK: warm Reduce (plain and observed) allocation-free (no recorded WarmObs baseline to compare)"
     fi
-    if [ "$allocs" != "0" ]; then
-        echo "bench gate: warm Reduce allocates ($allocs allocs/op, want 0)" >&2
-        exit 1
-    fi
-    echo "bench gate OK: warm Reduce is allocation-free"
 fi

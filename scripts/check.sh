@@ -14,8 +14,8 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race -short (faultnet, tcpnet, replica)"
-go test -race -short ./internal/faultnet/... ./internal/tcpnet/... ./internal/replica/...
+echo "== go test -race -short (faultnet, tcpnet, replica, trace, obs)"
+go test -race -short ./internal/faultnet/... ./internal/tcpnet/... ./internal/replica/... ./internal/trace/... ./internal/obs/...
 
 echo "== bench gate (warm Reduce must be allocation-free)"
 scripts/bench.sh --gate

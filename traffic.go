@@ -30,6 +30,10 @@ type LayerTraffic struct {
 	Msgs      int64
 	Bytes     int64
 	WireBytes int64
+	// MaxNodeRecvBytes is the heaviest single receiver's byte volume in
+	// this layer — the fan-in hotspot the cost model's incast term
+	// penalizes.
+	MaxNodeRecvBytes int64
 	// ModelSec is the layer's modelled duration on the paper's EC2
 	// cluster.
 	ModelSec float64
@@ -62,10 +66,10 @@ func (r *TrafficReport) TotalBytes(phase Phase) int64 {
 // String renders a per-layer table.
 func (r *TrafficReport) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-14s %5s %12s %14s %14s %10s\n", "phase", "layer", "msgs", "bytes", "wireBytes", "modelSec")
+	fmt.Fprintf(&b, "%-14s %5s %12s %14s %14s %14s %10s\n", "phase", "layer", "msgs", "bytes", "wireBytes", "maxRecvBytes", "modelSec")
 	for _, lt := range r.Layers {
-		fmt.Fprintf(&b, "%-14s %5d %12d %14d %14d %10.4f\n",
-			lt.Phase, lt.Layer, lt.Msgs, lt.Bytes, lt.WireBytes, lt.ModelSec)
+		fmt.Fprintf(&b, "%-14s %5d %12d %14d %14d %14d %10.4f\n",
+			lt.Phase, lt.Layer, lt.Msgs, lt.Bytes, lt.WireBytes, lt.MaxNodeRecvBytes, lt.ModelSec)
 	}
 	fmt.Fprintf(&b, "modelled: config %.4fs, reduce %.4fs\n", r.ConfigSec, r.ReduceSec)
 	return b.String()
@@ -96,6 +100,7 @@ func buildTrafficReport(col *trace.Collector, model netsim.Model, threads int) *
 		row := LayerTraffic{
 			Phase: phaseOf(lt.Kind), Layer: lt.Layer,
 			Msgs: lt.Msgs, Bytes: lt.Bytes, WireBytes: lt.Bytes - lt.SelfBytes,
+			MaxNodeRecvBytes: lt.MaxNodeRecvBytes,
 		}
 		if i < len(rep.Layers) {
 			row.ModelSec = rep.Layers[i].Seconds

@@ -1,16 +1,26 @@
 # Developer entry points. `make check` is the full gate a PR must pass:
-# vet, build, the whole test suite, the race lane over the packages with
-# the heaviest concurrency (transports, fault fabric, replication), and
-# the allocation gate on the warm reduction hot path.
+# vet (including the kylix-vet invariant analyzers), build, the whole
+# test suite, the race lane over the packages with the heaviest
+# concurrency (transports, mailbox, reduction core, fault fabric,
+# replication), and the allocation gate on the warm reduction hot path.
 
 GO ?= go
+KYLIX_VET := bin/kylix-vet
 
-.PHONY: check vet build test race benchgate bench profile fuzz
+.PHONY: check vet kylix-vet build test race benchgate bench profile fuzz lint
 
 check: vet build test race benchgate
 
-vet:
+# Standard go vet plus the project invariant suite (hotpathalloc,
+# lockobs, determinism, commcheck) run through the same vet driver, so
+# results are per-package cached and keyed on the tool binary's hash.
+vet: kylix-vet
 	$(GO) vet ./...
+	$(GO) vet -vettool=$(KYLIX_VET) ./...
+
+kylix-vet:
+	@mkdir -p bin
+	$(GO) build -o $(KYLIX_VET) ./cmd/kylix-vet
 
 build:
 	$(GO) build ./...
@@ -19,9 +29,11 @@ test:
 	$(GO) test ./...
 
 # Short-mode race lane: the concurrency-critical packages under the race
-# detector. Short mode keeps it minutes, not tens of minutes.
+# detector. Short mode keeps it minutes, not tens of minutes. comm and
+# core ride along since the mailbox free lists and the arena flip are
+# exactly where a data race would corrupt results silently.
 race:
-	$(GO) test -race -short ./internal/faultnet/... ./internal/tcpnet/... ./internal/replica/... ./internal/trace/... ./internal/obs/...
+	$(GO) test -race -short ./internal/comm/... ./internal/core/... ./internal/faultnet/... ./internal/tcpnet/... ./internal/replica/... ./internal/trace/... ./internal/obs/...
 
 # Hot-path benchmarks with memory accounting; writes BENCH_reduce.json.
 bench:
@@ -34,6 +46,11 @@ bench:
 # effect.
 benchgate:
 	scripts/bench.sh --gate
+
+# Optional deep-lint lane: staticcheck + govulncheck, pinned via go run.
+# Needs network access to the module proxy; skips gracefully offline.
+lint:
+	scripts/lint.sh
 
 # CPU + heap profiles of the paper-evaluation run at quick scale.
 # Inspect with: go tool pprof cpu.pprof (or mem.pprof).

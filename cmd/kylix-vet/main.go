@@ -1,0 +1,132 @@
+// Command kylix-vet runs the project's invariant analyzers (see
+// internal/analysis): hotpathalloc, lockobs, determinism and commcheck.
+//
+// Two modes:
+//
+//	kylix-vet [-checks=a,b] [packages...]     # standalone, defaults to ./...
+//	go vet -vettool=$(command -v kylix-vet) ./...   # as a vet backend
+//
+// Standalone mode loads the whole dependency closure itself (via
+// `go list -export -deps -json`) and analyzes every project package in
+// dependency order, so cross-package hotpath call-graph facts work
+// without a driver. In vettool mode cmd/go invokes the binary once per
+// package with a *.cfg file; facts travel through go vet's vetx files,
+// and results participate in the build cache keyed by this binary's
+// content hash (the -V=full handshake).
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"kylix/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// The -V=full handshake must work regardless of other flags: cmd/go
+	// probes it first and hashes the reply into the build cache key.
+	for _, a := range args {
+		if a == "-V=full" || a == "--V=full" {
+			fmt.Printf("kylix-vet version %s\n", selfHash())
+			return 0
+		}
+		if a == "-flags" || a == "--flags" {
+			// cmd/go asks which analyzer flags the tool supports; the
+			// suite is configured by annotations, not flags.
+			fmt.Println("[]")
+			return 0
+		}
+	}
+
+	fs := flag.NewFlagSet("kylix-vet", flag.ContinueOnError)
+	checks := fs.String("checks", "", "comma-separated analyzer subset (default: all)")
+	jsonOut := fs.Bool("json", false, "ignored; accepted for go vet compatibility")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	_ = *jsonOut
+	analyzers, err := analysis.ByName(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kylix-vet:", err)
+		return 2
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runUnit(rest[0], analyzers)
+	}
+	return runStandalone(rest, analyzers)
+}
+
+// runUnit is the go vet backend path: analyze one package unit, print
+// findings to stderr, exit 2 when there are any (the unitchecker
+// convention cmd/go treats as "vet failed").
+func runUnit(cfgFile string, analyzers []*analysis.Analyzer) int {
+	diags, err := analysis.RunUnit(cfgFile, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kylix-vet:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// runStandalone loads the patterns (default ./...) and analyzes every
+// matched project package.
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kylix-vet:", err)
+		return 1
+	}
+	ld, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kylix-vet:", err)
+		return 1
+	}
+	diags, err := ld.Run(analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kylix-vet:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "kylix-vet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// selfHash fingerprints the running binary so go vet's build cache
+// invalidates when the tool changes.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}

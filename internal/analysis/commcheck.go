@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CommCheck enforces transport-API hygiene on comm.Endpoint users:
+//
+//   - The error results of Send, Recv, RecvAny, RecvGroup and Close
+//     must be consumed. Since the fault-tolerance work, these errors
+//     carry real protocol state — sticky stream failures surface on
+//     Close, timeouts arrive as structured *comm.TimeoutError — and a
+//     dropped one silently turns a dead peer into a wrong answer.
+//     Assigning to _ is accepted as a visible, deliberate discard.
+//   - Tag arguments must be named constants, comm.MakeTag results or
+//     variables — never bare integer literals. An untyped literal tag
+//     bypasses the kind/layer/sequence packing and collides with
+//     protocol traffic in ways that only fail under load.
+//
+// Test files are skipped (teardown paths discard errors by design).
+// Suppress with //kylix:allow commcheck[:detail].
+var CommCheck = &Analyzer{
+	Name: "commcheck",
+	Doc:  "comm.Endpoint errors must be consumed and tags must be named constants",
+	Run:  runCommCheck,
+}
+
+// endpointMethods are the comm.Endpoint methods whose error results are
+// load-bearing.
+var endpointMethods = map[string]bool{
+	"Send": true, "Recv": true, "RecvAny": true, "RecvGroup": true, "Close": true,
+}
+
+const commPkgPath = "kylix/internal/comm"
+
+func runCommCheck(p *Pass) error {
+	endpoint := lookupEndpoint(p)
+	tagType := lookupTagType(p)
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscardedEndpointError(p, call, endpoint)
+				}
+			case *ast.DeferStmt:
+				checkDiscardedEndpointError(p, n.Call, endpoint)
+			case *ast.GoStmt:
+				checkDiscardedEndpointError(p, n.Call, endpoint)
+			case *ast.CallExpr:
+				checkTagLiterals(p, n, tagType)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lookupEndpoint finds the comm.Endpoint interface type, whether the
+// analyzed package imports comm or is comm itself.
+func lookupEndpoint(p *Pass) *types.Interface {
+	var scope *types.Scope
+	if p.Pkg.Path() == commPkgPath {
+		scope = p.Pkg.Scope()
+	} else {
+		for _, imp := range p.Pkg.Imports() {
+			if imp.Path() == commPkgPath {
+				scope = imp.Scope()
+				break
+			}
+		}
+	}
+	if scope == nil {
+		return nil
+	}
+	obj := scope.Lookup("Endpoint")
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// lookupTagType finds the comm.Tag named type.
+func lookupTagType(p *Pass) types.Type {
+	var scope *types.Scope
+	if p.Pkg.Path() == commPkgPath {
+		scope = p.Pkg.Scope()
+	} else {
+		for _, imp := range p.Pkg.Imports() {
+			if imp.Path() == commPkgPath {
+				scope = imp.Scope()
+				break
+			}
+		}
+	}
+	if scope == nil {
+		return nil
+	}
+	obj := scope.Lookup("Tag")
+	if obj == nil {
+		return nil
+	}
+	return obj.Type()
+}
+
+// checkDiscardedEndpointError flags a statement-position call to an
+// Endpoint method whose error result vanishes.
+func checkDiscardedEndpointError(p *Pass, call *ast.CallExpr, endpoint *types.Interface) {
+	if endpoint == nil {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !endpointMethods[sel.Sel.Name] {
+		return
+	}
+	fn, _ := p.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return
+	}
+	// The receiver must satisfy comm.Endpoint (interface or concrete
+	// transport implementation).
+	recv := p.Info.TypeOf(sel.X)
+	if recv == nil || !implementsEndpoint(recv, endpoint) {
+		return
+	}
+	// And the method must actually return an error (Mailbox.Close, for
+	// example, returns nothing and is fine to call bare).
+	if !lastResultIsError(sig) {
+		return
+	}
+	p.Reportf(call.Pos(), "discard",
+		"%s.%s error discarded: transport errors carry protocol state (sticky stream failures, timeouts); handle it or assign to _ deliberately",
+		exprString(sel.X), sel.Sel.Name)
+}
+
+func implementsEndpoint(t types.Type, endpoint *types.Interface) bool {
+	if types.Implements(t, endpoint) {
+		return true
+	}
+	if _, ok := t.(*types.Pointer); !ok {
+		return types.Implements(types.NewPointer(t), endpoint)
+	}
+	return false
+}
+
+func lastResultIsError(sig *types.Signature) bool {
+	res := sig.Results()
+	return res.Len() > 0 && isErrorType(res.At(res.Len()-1).Type())
+}
+
+// checkTagLiterals flags integer literals flowing into comm.Tag
+// parameters, and explicit comm.Tag(<literal>) conversions.
+func checkTagLiterals(p *Pass, call *ast.CallExpr, tagType types.Type) {
+	if tagType == nil {
+		return
+	}
+	// Explicit conversion Tag(7).
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		if types.Identical(tv.Type, tagType) && len(call.Args) == 1 && isIntLiteral(call.Args[0]) {
+			p.Reportf(call.Args[0].Pos(), "taglit",
+				"untyped integer literal converted to comm.Tag: use comm.MakeTag or a named constant so kind/layer/sequence packing holds")
+		}
+		return
+	}
+	sig, _ := p.Info.TypeOf(call.Fun).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue
+			}
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.Identical(pt, tagType) {
+			continue
+		}
+		if isIntLiteral(arg) {
+			p.Reportf(arg.Pos(), "taglit",
+				"untyped integer literal passed as comm.Tag: use comm.MakeTag or a named constant so kind/layer/sequence packing holds")
+		}
+	}
+}
+
+// isIntLiteral matches bare integer literals (possibly parenthesized or
+// negated) — but not named constants, which document intent.
+func isIntLiteral(expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.UnaryExpr:
+		return isIntLiteral(e.X)
+	}
+	return false
+}

@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces the bit-exact replay contract: packages (or
+// individual functions) annotated //kylix:deterministic must produce
+// identical results for identical inputs on every run, because the
+// fault fabric's replayable schedules and the reorder property tests
+// assert exact equality across delivery permutations. Three sources of
+// hidden nondeterminism are banned:
+//
+//   - wall/monotonic clock reads (time.Now, time.Since, time.Until);
+//   - the global math/rand generator (rand.Intn, rand.Float64, ...),
+//     whose stream is shared process-wide and seed-dependent on Go
+//     version; explicitly seeded generators (rand.New(rand.NewSource(s))
+//     and *rand.Rand methods) remain legal — that is exactly how the
+//     fault fabric derives per-message decisions;
+//   - map iteration whose element order escapes into a slice (a range
+//     over a map appending to a slice) without an intervening sort in
+//     the same function: Go randomizes map order per run, so the
+//     resulting slice differs between replays. Sorting afterwards —
+//     the HashUnion shape — launders the order and is accepted.
+//
+// Test files are skipped. Suppress a deliberate site with
+// //kylix:allow determinism[:detail].
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "deterministic-annotated code must not read clocks, use global rand, or leak map order",
+	Run:  runDeterminism,
+}
+
+// clockFuncs are the banned time-package functions. Duration arithmetic
+// and formatting stay legal; only reading "now" is nondeterministic.
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// seededRandFuncs are the math/rand package-level functions that
+// construct explicit generators rather than reading the global stream.
+var seededRandFuncs = map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true}
+
+func runDeterminism(p *Pass) error {
+	ann := p.Ann()
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			d, ok := decl.(*ast.FuncDecl)
+			if !ok || d.Body == nil || p.IsTestFile(d.Pos()) {
+				continue
+			}
+			if !ann.FuncMarked(d, "deterministic") {
+				continue
+			}
+			checkDeterministicFunc(p, d)
+		}
+	}
+	return nil
+}
+
+func checkDeterministicFunc(p *Pass, d *ast.FuncDecl) {
+	ast.Inspect(d.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkNondeterministicCall(p, n)
+		case *ast.RangeStmt:
+			checkMapOrderEscape(p, d, n)
+		}
+		return true
+	})
+}
+
+// checkNondeterministicCall flags clock reads and global math/rand use.
+func checkNondeterministicCall(p *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	isMethod := sig != nil && sig.Recv() != nil
+	switch fn.Pkg().Path() {
+	case "time":
+		if !isMethod && clockFuncs[fn.Name()] {
+			p.Reportf(call.Pos(), "clock",
+				"time.%s in deterministic code: clock reads differ between replays; take timestamps outside the deterministic core", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		// Methods on *rand.Rand are explicitly seeded and legal; only
+		// the package-level convenience functions hit the global
+		// generator.
+		if !isMethod && !seededRandFuncs[fn.Name()] {
+			p.Reportf(call.Pos(), "globalrand",
+				"global %s.%s in deterministic code: use a seeded rand.New(rand.NewSource(...)) generator instead", fn.Pkg().Path(), fn.Name())
+		}
+	}
+}
+
+// checkMapOrderEscape flags `for k := range m { s = append(s, ...) }`
+// over a map when no later statement in the function sorts s.
+func checkMapOrderEscape(p *Pass, d *ast.FuncDecl, rng *ast.RangeStmt) {
+	if _, ok := p.Info.TypeOf(rng.X).Underlying().(*types.Map); !ok {
+		return
+	}
+	// Find slices appended to inside the loop body.
+	appended := map[types.Object]ast.Expr{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range asg.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if b, ok := p.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+				continue
+			}
+			if i >= len(asg.Lhs) {
+				continue
+			}
+			if obj := exprObject(p, asg.Lhs[i]); obj != nil {
+				appended[obj] = asg.Lhs[i]
+			}
+		}
+		return true
+	})
+	if len(appended) == 0 {
+		return
+	}
+	// A later sort of the same slice anywhere in the function launders
+	// the order (lexically after the loop).
+	sorted := map[types.Object]bool{}
+	ast.Inspect(d.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if !isSortCall(p, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if obj := exprObject(p, arg); obj != nil {
+				sorted[obj] = true
+			}
+		}
+		return true
+	})
+	for obj, lhs := range appended {
+		if sorted[obj] {
+			continue
+		}
+		p.Reportf(lhs.Pos(), "maporder",
+			"map iteration order escapes into %s without a sort: the slice differs between runs; sort it (or iterate sorted keys) before it leaves the function", obj.Name())
+	}
+}
+
+// isSortCall recognizes order-laundering calls: anything in the sort or
+// slices packages whose name mentions Sort, or a project helper whose
+// name contains Sort.
+func isSortCall(p *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil && (pkg.Path() == "sort" || pkg.Path() == "slices") {
+		return true
+	}
+	return strings.Contains(fn.Name(), "Sort")
+}
+
+// exprObject resolves an expression to the variable it names (for
+// identifying the same slice across statements).
+func exprObject(p *Pass, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if obj := p.Info.Uses[e]; obj != nil {
+			return obj
+		}
+		return p.Info.Defs[e]
+	case *ast.SelectorExpr:
+		return p.Info.Uses[e.Sel]
+	}
+	return nil
+}

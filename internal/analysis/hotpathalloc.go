@@ -1,0 +1,569 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// HotPathAlloc enforces the warm-reduction allocation contract: a
+// function annotated //kylix:hotpath — and every project-local function
+// it statically calls, across package boundaries via facts — must not
+// contain allocating constructs. It is the build-time complement of the
+// scripts/bench.sh --gate 0 allocs/op check: the gate proves the
+// benchmarked path clean, this analyzer proves every annotated path
+// clean on every build, before a benchmark ever runs.
+//
+// Flagged constructs: calls into fmt/log/strconv/sort (and errors.New /
+// errors.Join); slice and map composite literals; heap-escaping
+// &T{...} literals; make/new/append; closures that capture outer
+// variables (except literals invoked directly by defer, which the
+// compiler open-codes without allocation); goroutine launches; string
+// concatenation and string<->[]byte conversions; and interface boxing
+// of value-kind arguments, assignments and returns.
+//
+// Two escape hatches keep the check honest instead of noisy:
+// error-return blocks are exempt (a block ending in `return ..., err`
+// or panic is the cold path — the benchmark's 0 allocs/op only binds
+// the error-free warm round), and //kylix:allow hotpathalloc[:detail]
+// suppresses a deliberate site (e.g. the mailbox's recycled-slice
+// appends, which are amortized-zero by the free-list design).
+// Functions annotated //kylix:coldpath are documented cold routes
+// (arena construction, lazy watchdog start): the call-graph walk does
+// not descend into them.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "hotpath-annotated functions and their project-local callees must be allocation-free",
+	Run:  runHotPathAlloc,
+}
+
+// stdlibDeny lists standard-library packages whose calls allocate by
+// nature and are banned outright on hot paths.
+var stdlibDeny = map[string]bool{
+	"fmt":     true,
+	"log":     true,
+	"strconv": true,
+	"sort":    true,
+}
+
+// localAlloc is one allocating construct with full position info
+// (current package only; exported facts carry the string form).
+type localAlloc struct {
+	pos    token.Pos
+	what   string
+	detail string
+}
+
+// localCall is one statically resolved project-local call edge.
+type localCall struct {
+	pos token.Pos
+	pkg string
+	id  string
+}
+
+// funcBody is the per-function summary computed for every declaration
+// in the package.
+type funcBody struct {
+	id     string
+	hot    bool
+	cold   bool
+	allocs []localAlloc
+	calls  []localCall
+}
+
+func runHotPathAlloc(p *Pass) error {
+	ann := p.Ann()
+	bodies := map[string]*funcBody{}
+	var hotRoots []*funcBody
+
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			d, ok := decl.(*ast.FuncDecl)
+			if !ok || d.Body == nil || p.IsTestFile(d.Pos()) {
+				continue
+			}
+			fb := &funcBody{
+				id:   DeclID(p.Info, d),
+				hot:  ann.FuncMarked(d, "hotpath"),
+				cold: ann.FuncMarked(d, "coldpath"),
+			}
+			if !fb.cold {
+				collectBody(p, d, fb)
+			}
+			bodies[fb.id] = fb
+			if fb.hot {
+				hotRoots = append(hotRoots, fb)
+			}
+		}
+	}
+
+	// Export facts so dependent packages can walk through us.
+	if p.Facts != nil {
+		funcs := map[string]FuncFacts{}
+		for id, fb := range bodies {
+			ff := FuncFacts{Hotpath: fb.hot, Coldpath: fb.cold}
+			for _, a := range fb.allocs {
+				ff.Allocs = append(ff.Allocs, AllocSite{Pos: shortPos(p.Fset, a.pos), What: a.what})
+			}
+			for _, c := range fb.calls {
+				ff.Calls = append(ff.Calls, c.pkg+"\x00"+c.id)
+			}
+			funcs[id] = ff
+		}
+		if p.Facts.Funcs == nil {
+			p.Facts.Funcs = map[string]FuncFacts{}
+		}
+		for id, ff := range funcs {
+			p.Facts.Funcs[id] = ff
+		}
+	}
+
+	for _, root := range hotRoots {
+		walkHotPath(p, root, bodies)
+	}
+	return nil
+}
+
+// walkHotPath reports every allocating construct reachable from the
+// root through statically resolved project-local calls. Findings in
+// other packages are anchored at the current package's outgoing call
+// site (the only position the diagnostic can name under per-package
+// analysis) with the remote site in the message.
+func walkHotPath(p *Pass, root *funcBody, bodies map[string]*funcBody) {
+	type node struct {
+		pkg, id string
+		// via is the call position in the current package whose edge
+		// left it (zero while still local).
+		via     token.Pos
+		viaName string
+	}
+	seen := map[string]bool{}
+	queue := []node{{pkg: p.Pkg.Path(), id: root.id}}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		key := n.pkg + "\x00" + n.id
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+
+		if n.pkg == p.Pkg.Path() {
+			fb, ok := bodies[n.id]
+			if !ok || fb.cold {
+				continue
+			}
+			for _, a := range fb.allocs {
+				if n.id == root.id {
+					p.Reportf(a.pos, a.detail, "%s in //kylix:hotpath function %s", a.what, root.id)
+				} else {
+					p.Reportf(a.pos, a.detail, "%s in %s, reached from //kylix:hotpath function %s", a.what, n.id, root.id)
+				}
+			}
+			for _, c := range fb.calls {
+				next := node{pkg: c.pkg, id: c.id, via: n.via, viaName: n.viaName}
+				if c.pkg != p.Pkg.Path() && next.via == token.NoPos {
+					next.via = c.pos
+					next.viaName = c.pkg + "." + c.id
+				}
+				queue = append(queue, next)
+			}
+			continue
+		}
+
+		facts := p.ImportFacts(n.pkg)
+		if facts == nil || facts.Funcs == nil {
+			continue // no facts for this package (not yet analyzed)
+		}
+		ff, ok := facts.Funcs[n.id]
+		if !ok || ff.Coldpath {
+			continue
+		}
+		for _, a := range ff.Allocs {
+			p.Reportf(n.via, "transitive",
+				"call into %s reaches %s in %s.%s (%s) from //kylix:hotpath function %s",
+				n.viaName, a.What, shortPkg(n.pkg), n.id, a.Pos, root.id)
+		}
+		for _, c := range ff.Calls {
+			pkg, id, ok := strings.Cut(c, "\x00")
+			if !ok {
+				continue
+			}
+			queue = append(queue, node{pkg: pkg, id: id, via: n.via, viaName: n.viaName})
+		}
+	}
+}
+
+// collectBody fills fb with the function's allocating constructs and
+// project-local call edges, skipping cold (error-return) regions and
+// //kylix:allow-suppressed lines.
+func collectBody(p *Pass, d *ast.FuncDecl, fb *funcBody) {
+	cold := coldRegions(p, d)
+	ann := p.Ann()
+	returnsIface := resultInterfaces(p, d)
+
+	addAlloc := func(pos token.Pos, detail, what string) {
+		if ann.Allowed("hotpathalloc", detail, p.Fset.Position(pos)) {
+			return
+		}
+		fb.allocs = append(fb.allocs, localAlloc{pos: pos, what: what, detail: detail})
+	}
+
+	// deferLits marks closures invoked directly by defer: open-coded by
+	// the compiler, no allocation.
+	deferLits := map[*ast.FuncLit]bool{}
+	ast.Inspect(d.Body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			if lit, ok := ds.Call.Fun.(*ast.FuncLit); ok {
+				deferLits[lit] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(d.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if cold[n] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			addAlloc(n.Pos(), "go", "goroutine launch")
+		case *ast.CompositeLit:
+			switch p.Info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				addAlloc(n.Pos(), "literal", "slice literal")
+			case *types.Map:
+				addAlloc(n.Pos(), "literal", "map literal")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					addAlloc(n.Pos(), "escape", "heap-escaping &composite literal")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(p.Info.TypeOf(n)) {
+				addAlloc(n.Pos(), "concat", "string concatenation")
+			}
+		case *ast.FuncLit:
+			if !deferLits[n] && capturesOuter(p, n) {
+				addAlloc(n.Pos(), "closure", "closure capturing outer variables")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ASSIGN && len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					// A blank target has no type (and no storage): skip it
+					// rather than mistake the nil for an interface.
+					lt := p.Info.TypeOf(lhs)
+					if lt == nil || isBlank(lhs) {
+						continue
+					}
+					checkBoxing(p, addAlloc, lt, n.Rhs[i], "assignment")
+				}
+			}
+		case *ast.ReturnStmt:
+			if len(returnsIface) == len(n.Results) {
+				for i, res := range n.Results {
+					if returnsIface[i] {
+						checkBoxing(p, addAlloc, nil, res, "return")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			collectCall(p, n, fb, addAlloc)
+		}
+		return true
+	})
+}
+
+// collectCall classifies one call: conversion, builtin, denylisted
+// stdlib, project-local edge, or opaque — and checks its arguments for
+// interface boxing.
+func collectCall(p *Pass, call *ast.CallExpr, fb *funcBody, addAlloc func(token.Pos, string, string)) {
+	// Type conversions.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		to := tv.Type
+		if len(call.Args) == 1 {
+			from := p.Info.TypeOf(call.Args[0])
+			switch {
+			case isInterface(to) && boxes(from):
+				addAlloc(call.Pos(), "boxing", fmt.Sprintf("interface boxing of %s value", from))
+			case isString(to) && isByteOrRuneSlice(from):
+				addAlloc(call.Pos(), "convert", "[]byte/[]rune to string conversion")
+			case isByteOrRuneSlice(to) && isString(from):
+				addAlloc(call.Pos(), "convert", "string to []byte/[]rune conversion")
+			}
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				addAlloc(call.Pos(), "append", "append (may grow its backing array)")
+			case "make":
+				addAlloc(call.Pos(), "make", "make")
+			case "new":
+				addAlloc(call.Pos(), "new", "new")
+			}
+			return
+		}
+	}
+
+	// Argument boxing against the callee signature.
+	if sig, ok := p.Info.TypeOf(call.Fun).(*types.Signature); ok && sig != nil {
+		checkArgBoxing(p, call, sig, addAlloc)
+	}
+
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return
+	}
+	switch {
+	case stdlibDeny[pkg.Path()]:
+		addAlloc(call.Pos(), "stdlib", fmt.Sprintf("call to %s.%s", pkg.Path(), fn.Name()))
+	case pkg.Path() == "errors" && (fn.Name() == "New" || fn.Name() == "Join"):
+		addAlloc(call.Pos(), "stdlib", fmt.Sprintf("call to errors.%s", fn.Name()))
+	case p.Local(pkg.Path()):
+		fb.calls = append(fb.calls, localCall{pos: call.Pos(), pkg: pkg.Path(), id: FuncID(fn)})
+	}
+}
+
+// calleeFunc resolves a call to its static *types.Func target, or nil
+// for dynamic calls (interface methods, func values).
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[fun]; ok {
+			// Method call: skip dynamic dispatch through interfaces.
+			if types.IsInterface(sel.Recv()) {
+				return nil
+			}
+			obj = sel.Obj()
+		} else {
+			obj = p.Info.Uses[fun.Sel] // package-qualified function
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// checkArgBoxing flags value-kind arguments passed to interface-typed
+// parameters.
+func checkArgBoxing(p *Pass, call *ast.CallExpr, sig *types.Signature, addAlloc func(token.Pos, string, string)) {
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			last := params.At(params.Len() - 1).Type()
+			if s, ok := last.(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !isInterface(pt) {
+			continue
+		}
+		checkBoxing(p, addAlloc, pt, arg, "argument")
+	}
+}
+
+// checkBoxing flags expr when its concrete value-kind type would be
+// boxed into an interface target. target may be nil when the caller
+// already knows the destination is an interface.
+func checkBoxing(p *Pass, addAlloc func(token.Pos, string, string), target types.Type, expr ast.Expr, where string) {
+	if target != nil && !isInterface(target) {
+		return
+	}
+	tv, ok := p.Info.Types[expr]
+	if !ok || tv.IsNil() {
+		return
+	}
+	if !boxes(tv.Type) {
+		return
+	}
+	addAlloc(expr.Pos(), "boxing", fmt.Sprintf("interface boxing of %s %s", tv.Type, where))
+}
+
+// boxes reports whether converting a value of type t to an interface
+// allocates: value kinds (basic, struct, array) and multi-word slice
+// headers do; pointer-shaped types (pointers, chans, maps, funcs) and
+// interfaces do not.
+func boxes(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Kind() != types.UntypedNil && u.Kind() != types.Invalid
+	case *types.Struct, *types.Array, *types.Slice:
+		return true
+	}
+	return false
+}
+
+func isInterface(t types.Type) bool {
+	return t != nil && types.IsInterface(t)
+}
+
+func isBlank(expr ast.Expr) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// resultInterfaces describes which of the function's results are
+// interface-typed (for return-statement boxing checks).
+func resultInterfaces(p *Pass, d *ast.FuncDecl) []bool {
+	sig, ok := p.Info.Defs[d.Name].Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	res := sig.Results()
+	out := make([]bool, res.Len())
+	for i := range out {
+		out[i] = isInterface(res.At(i).Type())
+	}
+	return out
+}
+
+// coldRegions returns the blocks exempt from allocation checking: an
+// if/else body or switch/select case whose final statement returns a
+// non-nil error (the function's last result must be error-typed) or
+// panics. These are the paths the 0 allocs/op gate never executes.
+func coldRegions(p *Pass, d *ast.FuncDecl) map[ast.Node]bool {
+	cold := map[ast.Node]bool{}
+	sig, _ := p.Info.Defs[d.Name].Type().(*types.Signature)
+	returnsError := false
+	if sig != nil && sig.Results().Len() > 0 {
+		last := sig.Results().At(sig.Results().Len() - 1).Type()
+		returnsError = isErrorType(last)
+	}
+	isColdList := func(list []ast.Stmt) bool {
+		if len(list) == 0 {
+			return false
+		}
+		switch last := list[len(list)-1].(type) {
+		case *ast.ReturnStmt:
+			if !returnsError || len(last.Results) == 0 {
+				return false
+			}
+			final := last.Results[len(last.Results)-1]
+			if tv, ok := p.Info.Types[final]; ok && tv.IsNil() {
+				return false
+			}
+			return true
+		case *ast.ExprStmt:
+			if call, ok := last.X.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+					if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	ast.Inspect(d.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if isColdList(n.Body.List) {
+				cold[n.Body] = true
+			}
+			if els, ok := n.Else.(*ast.BlockStmt); ok && isColdList(els.List) {
+				cold[els] = true
+			}
+		case *ast.CaseClause:
+			if isColdList(n.Body) {
+				cold[n] = true
+			}
+		case *ast.CommClause:
+			if isColdList(n.Body) {
+				cold[n] = true
+			}
+		}
+		return true
+	})
+	return cold
+}
+
+func isErrorType(t types.Type) bool {
+	errType := types.Universe.Lookup("error").Type()
+	if types.Identical(t, errType) {
+		return true
+	}
+	return types.IsInterface(t) && types.Implements(t, errType.Underlying().(*types.Interface))
+}
+
+// capturesOuter reports whether the closure references variables
+// declared outside its own body (package-level state excluded — that
+// needs no capture).
+func capturesOuter(p *Pass, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured {
+			return !captured
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true // package-level
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}
+
+// shortPos renders a position as "basename:line:col" for stable
+// cross-package fact messages.
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d:%d", filepath.Base(p.Filename), p.Line, p.Column)
+}
+
+// shortPkg trims the module prefix for readable messages.
+func shortPkg(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

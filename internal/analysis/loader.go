@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	DepOnly    bool
+	ImportMap  map[string]string
+	Module     *struct{ Path, Dir string }
+	Error      *struct{ Err string }
+}
+
+// LoadedPackage is one typechecked project package ready for analysis.
+type LoadedPackage struct {
+	PkgPath string
+	Dir     string
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+	// Target marks packages matched by the load patterns (as opposed to
+	// project-local dependencies pulled in for facts).
+	Target bool
+}
+
+// Loader typechecks module packages from source against compiler export
+// data for everything else, using only `go list` and the standard
+// library — no module downloads, no x/tools.
+type Loader struct {
+	Fset       *token.FileSet
+	ModulePath string
+	// Pkgs holds the loaded project packages in dependency order
+	// (dependencies before dependents).
+	Pkgs []*LoadedPackage
+
+	dir       string
+	exports   map[string]string         // import path -> export data file
+	imported  map[string]*types.Package // cache, both source- and export-loaded
+	sourcePkg map[string]*LoadedPackage // project packages by path
+	// base is the shared export-data importer. It must be a single
+	// instance for the whole load: the gc importer resolves transitive
+	// imports through its own internal cache, and two instances would
+	// produce distinct *types.Package values for the same stdlib path,
+	// breaking type identity between source- and export-loaded code.
+	base types.Importer
+}
+
+// Load lists patterns in dir (the module root or below), typechecks
+// every project-local package in the dependency closure, and returns a
+// loader exposing them in dependency order. Patterns are passed to
+// `go list` verbatim, so "./..." and explicit testdata fixture
+// directories both work.
+func Load(dir string, patterns ...string) (*Loader, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,CgoFiles,Standard,DepOnly,ImportMap,Module,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	ld := &Loader{
+		Fset:      token.NewFileSet(),
+		dir:       dir,
+		exports:   map[string]string{},
+		imported:  map[string]*types.Package{},
+		sourcePkg: map[string]*LoadedPackage{},
+	}
+	// go list -deps emits packages in dependency order; preserve it.
+	var order []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			ld.exports[p.ImportPath] = p.Export
+		}
+		q := p
+		order = append(order, &q)
+	}
+	for _, p := range order {
+		if p.Module == nil || p.Standard {
+			continue
+		}
+		if ld.ModulePath == "" {
+			ld.ModulePath = p.Module.Path
+		}
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported", p.ImportPath)
+		}
+		lp, err := ld.check(p)
+		if err != nil {
+			return nil, err
+		}
+		lp.Target = !p.DepOnly
+		ld.Pkgs = append(ld.Pkgs, lp)
+	}
+	if len(ld.Pkgs) == 0 {
+		return nil, fmt.Errorf("go list %s: no project packages matched", strings.Join(patterns, " "))
+	}
+	return ld, nil
+}
+
+// check parses and typechecks one project package from source.
+func (ld *Loader) check(p *listPackage) (*LoadedPackage, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(ld.Fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: ld.importerFor(p.ImportMap)}
+	pkg, err := conf.Check(p.ImportPath, ld.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
+	}
+	lp := &LoadedPackage{PkgPath: p.ImportPath, Dir: p.Dir, Files: files, Pkg: pkg, Info: info}
+	ld.sourcePkg[p.ImportPath] = lp
+	ld.imported[p.ImportPath] = pkg
+	return lp, nil
+}
+
+// importerFor builds an importer that prefers source-typechecked
+// project packages (so type identity holds across the whole load) and
+// falls back to the shared compiler-export-data importer for the
+// standard library.
+func (ld *Loader) importerFor(importMap map[string]string) types.Importer {
+	if ld.base == nil {
+		ld.base = importer.ForCompiler(ld.Fset, "gc", func(path string) (io.ReadCloser, error) {
+			f, ok := ld.exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(f)
+		})
+	}
+	return importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		if pkg, ok := ld.imported[path]; ok {
+			return pkg, nil
+		}
+		pkg, err := ld.base.Import(path)
+		if err != nil {
+			return nil, err
+		}
+		ld.imported[path] = pkg
+		return pkg, nil
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// newInfo allocates the full types.Info record set the analyzers use.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// Run executes the analyzers over every loaded project package in
+// dependency order, threading facts between packages, and returns the
+// diagnostics of target packages sorted by position.
+func (ld *Loader) Run(analyzers []*Analyzer) ([]Diagnostic, error) {
+	factsByPath := map[string]*PackageFacts{}
+	var diags []Diagnostic
+	for _, lp := range ld.Pkgs {
+		facts := &PackageFacts{}
+		report := func(d Diagnostic) {
+			if lp.Target {
+				diags = append(diags, d)
+			}
+		}
+		var ann *Annotations
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:    a,
+				Fset:        ld.Fset,
+				Files:       lp.Files,
+				Pkg:         lp.Pkg,
+				Info:        lp.Info,
+				ModulePath:  ld.ModulePath,
+				Facts:       facts,
+				ImportFacts: func(path string) *PackageFacts { return factsByPath[path] },
+				ann:         ann,
+				report:      report,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, lp.PkgPath, err)
+			}
+			ann = pass.ann // share the parsed annotations across analyzers
+		}
+		factsByPath[lp.PkgPath] = facts
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}

@@ -1,0 +1,18 @@
+// Package determfunc exercises function-granularity
+// //kylix:deterministic markers in a package that does not carry the
+// package-level contract.
+package determfunc
+
+import "time"
+
+// Decide is individually bound to the replay contract.
+//
+//kylix:deterministic
+func Decide(seed int64) int64 {
+	return seed ^ time.Now().UnixNano() // want "time.Now in deterministic code"
+}
+
+// Wall is unannotated and free to read the clock.
+func Wall() int64 {
+	return time.Now().UnixNano() // accepted: no contract here
+}

@@ -1,0 +1,52 @@
+// Package determtest exercises the determinism analyzer with the
+// package-level contract: the marker below extends
+// //kylix:deterministic to every function in the package.
+//
+//kylix:deterministic
+package determtest
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in deterministic code"
+}
+
+// Jitter reads the process-global generator.
+func Jitter() float64 {
+	return rand.Float64() // want "global math/rand.Float64"
+}
+
+// Seeded derives values from an explicit seed — the fault-fabric shape.
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // accepted: explicit construction
+	return r.Float64()                  // accepted: method on *rand.Rand
+}
+
+// Keys leaks map iteration order into its result.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "map iteration order escapes into out"
+	}
+	return out
+}
+
+// SortedKeys launders the order with a sort — the HashUnion shape.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // accepted: sorted before leaving the function
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Elapsed does pure duration arithmetic, which is deterministic.
+func Elapsed(d time.Duration) time.Duration {
+	return 2 * d // accepted: no clock read
+}

@@ -1,0 +1,21 @@
+// Package hotpathdep is a project-local dependency of the hotpathtest
+// fixture. Its allocation facts must travel across the package boundary
+// so the analyzer can flag hot callers in hotpathtest at their call
+// sites.
+package hotpathdep
+
+// Scale allocates scratch; a //kylix:hotpath caller must be flagged.
+func Scale(dst []float64) {
+	tmp := make([]float64, len(dst))
+	copy(tmp, dst)
+	for i := range dst {
+		dst[i] = tmp[i] * 2
+	}
+}
+
+// Halve is allocation-free; hot callers are fine.
+func Halve(dst []float64) {
+	for i := range dst {
+		dst[i] /= 2
+	}
+}

@@ -1,0 +1,123 @@
+// Package hotpathtest exercises the hotpathalloc analyzer: every
+// construct it must flag inside //kylix:hotpath code, and every escape
+// hatch it must honor (cold error blocks, //kylix:coldpath callees,
+// defer-direct closures, //kylix:allow suppressions).
+package hotpathtest
+
+import (
+	"fmt"
+	"strconv"
+
+	"kylix/internal/analysis/testdata/src/hotpathdep"
+)
+
+var (
+	sink  func() int
+	boxed interface{}
+	flips int
+)
+
+// Reduce is a hot root whose allocations live in callees: one local
+// hop (combine -> grow) and one cross-package hop (hotpathdep.Scale).
+//
+//kylix:hotpath
+func Reduce(dst, src []float64) error {
+	if len(dst) != len(src) {
+		// Accepted: an if body ending in `return ..., err` is the cold
+		// error path; fmt.Errorf is legal here.
+		return fmt.Errorf("length mismatch: %d vs %d", len(dst), len(src))
+	}
+	defer func() {
+		// Accepted: a closure invoked directly by defer is open-coded.
+		flips++
+	}()
+	for i := range src {
+		dst[i] += src[i]
+	}
+	combine(dst, src)
+	prepare()
+	hotpathdep.Scale(dst) // want "reaches make"
+	hotpathdep.Halve(dst) // accepted: allocation-free cross-package callee
+	return nil
+}
+
+// combine is clean itself but calls grow, two hops from the root.
+func combine(dst, src []float64) {
+	for i := range src {
+		dst[i] *= src[i]
+	}
+	grow(dst)
+}
+
+// grow allocates; the walk must surface both sites against Reduce.
+func grow(dst []float64) {
+	dst = append(dst, 1)       // want "append"
+	_ = strconv.Itoa(len(dst)) // want "call to strconv.Itoa"
+}
+
+// prepare is a documented cold route: the walk must not descend.
+//
+//kylix:coldpath
+func prepare() {
+	_ = make([]float64, 8) // accepted: coldpath functions are exempt
+}
+
+// Track allocates directly in the hot root.
+//
+//kylix:hotpath
+func Track(events map[string]int, key string) {
+	events[key]++
+	sink = func() int { return events[key] } // want "closure capturing outer variables"
+	go drain()                               // want "goroutine launch"
+}
+
+func drain() {
+	flips++
+}
+
+// Describe builds composite literals in hot code.
+//
+//kylix:hotpath
+func Describe() {
+	labels := []string{"a", "b"} // want "slice literal"
+	_ = labels
+	index := map[string]int{} // want "map literal"
+	_ = index
+}
+
+type record struct{ n int }
+
+// Escape returns a heap-escaping composite literal.
+//
+//kylix:hotpath
+func Escape() *record {
+	return &record{n: 1} // want "heap-escaping"
+}
+
+// Join concatenates strings on the hot path.
+//
+//kylix:hotpath
+func Join(a, b string) string {
+	return a + b // want "string concatenation"
+}
+
+// Box stores a value kind into an interface.
+//
+//kylix:hotpath
+func Box(v int) {
+	boxed = v // want "interface boxing of int assignment"
+}
+
+// Recycle demonstrates the sanctioned suppression for free-list appends.
+//
+//kylix:hotpath
+func Recycle(free [][]float64, buf []float64) [][]float64 {
+	//kylix:allow hotpathalloc:append -- free-list append is amortized zero
+	return append(free, buf)
+}
+
+// Setup is unannotated and unreachable from any hot root: its
+// allocations are nobody's business.
+func Setup() []float64 {
+	return make([]float64, 1024)
+}

@@ -1,0 +1,90 @@
+// Package lockobstest exercises the lockobs analyzer: observability
+// hooks called while an //kylix:obsfree mutex is held must be flagged,
+// while the mailbox's unlock-then-notify shape and un-annotated mutexes
+// stay legal.
+package lockobstest
+
+import (
+	"sync"
+	"time"
+
+	"kylix/internal/obs"
+)
+
+// observer mirrors comm.RecvObserver's method set; lockobs matches the
+// hook methods by name regardless of the declaring package.
+type observer interface {
+	ObserveRecv(from int, bytes int, wait time.Duration, err error)
+}
+
+// box mirrors the mailbox shape: a delivery mutex that must never be
+// held across observer callbacks, plus the hooks themselves.
+type box struct {
+	mu sync.Mutex //kylix:obsfree
+	tr *obs.Tracer
+	o  observer
+	n  int
+}
+
+// plain has an ordinary mutex: its critical sections are unconstrained.
+type plain struct {
+	mu sync.Mutex
+	tr *obs.Tracer
+}
+
+func (b *box) underLock() {
+	b.mu.Lock()
+	b.n++
+	b.tr.CountRound() // want "CountRound called while b.mu is held"
+	b.mu.Unlock()
+}
+
+func (b *box) observerUnderLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock() // the section stays open to the end of the function
+	b.n++
+	b.o.ObserveRecv(1, 64, 0, nil) // want "ObserveRecv called while b.mu is held"
+}
+
+func (b *box) afterUnlock() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	b.tr.CountRound()              // accepted: lock released first
+	b.o.ObserveRecv(1, 64, 0, nil) // accepted
+}
+
+// branchRelease is the shape the mailbox uses everywhere: release
+// inside the branch, then notify, then return. The sibling path keeps
+// the lock and must still be checked.
+func (b *box) branchRelease(fast bool) {
+	b.mu.Lock()
+	if fast {
+		b.n++
+		b.mu.Unlock()
+		b.tr.CountRound() // accepted: this branch unlocked before notifying
+		return
+	}
+	b.tr.CountArenaFlip() // want "CountArenaFlip called while b.mu is held"
+	b.mu.Unlock()
+}
+
+// observeDelivery is an observer-shaped local helper: the lexical
+// analysis cannot see through it, so calling it under the lock is
+// flagged by name.
+func (b *box) observeDelivery() {
+	b.o.ObserveRecv(1, 64, 0, nil)
+}
+
+func (b *box) viaHelper() {
+	b.mu.Lock()
+	b.observeDelivery() // want "observeDelivery called while b.mu is held"
+	b.mu.Unlock()
+	b.observeDelivery() // accepted: lock released
+}
+
+func (p *plain) unannotated() {
+	p.mu.Lock()
+	p.tr.CountRound() // accepted: p.mu is not //kylix:obsfree
+	p.mu.Unlock()
+}

@@ -27,7 +27,7 @@ const maxFreeQueues = 128
 // per blocked receive), so a warm reduction round allocates nothing
 // here.
 type Mailbox struct {
-	mu     sync.Mutex
+	mu     sync.Mutex //kylix:obsfree — observers fire after delivery state is settled and released
 	cond   *sync.Cond
 	queues map[mailKey][]Payload
 	free   [][]Payload // recycled backing slices for emptied queues
@@ -72,6 +72,8 @@ func NewMailbox(timeout time.Duration) *Mailbox {
 
 // Deliver enqueues a message. It is called by transport receive paths
 // and never blocks. Messages for cancelled (from, tag) slots are dropped.
+//
+//kylix:hotpath
 func (m *Mailbox) Deliver(from int, tag Tag, p Payload) {
 	k := mailKey{from, tag}
 	m.mu.Lock()
@@ -91,6 +93,7 @@ func (m *Mailbox) Deliver(from int, tag Tag, p Payload) {
 	if len(q) == 0 {
 		m.indexTagLocked(k) // queue transitions empty -> pending
 	}
+	//kylix:allow hotpathalloc:append -- q is a recycled queue from the free list; growth is amortized zero
 	m.queues[k] = append(q, p)
 	m.mu.Unlock()
 	m.cond.Broadcast()
@@ -104,6 +107,7 @@ func (m *Mailbox) indexTagLocked(k mailKey) {
 		o = m.freeTags[len(m.freeTags)-1]
 		m.freeTags = m.freeTags[:len(m.freeTags)-1]
 	}
+	//kylix:allow hotpathalloc:append -- o is a recycled sender list from freeTags; growth is amortized zero
 	m.byTag[k.tag] = append(o, k.from)
 }
 
@@ -123,6 +127,7 @@ func (m *Mailbox) unindexTagLocked(k mailKey) {
 	if len(o) == 0 {
 		delete(m.byTag, k.tag)
 		if o != nil && len(m.freeTags) < maxFreeQueues {
+			//kylix:allow hotpathalloc:append -- freeTags is capped at maxFreeQueues; steady state never grows
 			m.freeTags = append(m.freeTags, o[:0])
 		}
 	} else {
@@ -142,6 +147,7 @@ func (m *Mailbox) popLocked(k mailKey) (Payload, bool) {
 	if len(q) == 1 {
 		delete(m.queues, k)
 		if len(m.free) < maxFreeQueues {
+			//kylix:allow hotpathalloc:append -- free is capped at maxFreeQueues; steady state never grows
 			m.free = append(m.free, q[:0])
 		}
 		m.unindexTagLocked(k)
@@ -215,6 +221,8 @@ func (m *Mailbox) observeRecv(from int, tag Tag, p Payload, ws *waitState, err e
 // no traffic. Started lazily on the first blocking wait — a mailbox
 // whose receives always find messages ready pays nothing — and exactly
 // once, so the hot path never spawns goroutines. Caller holds m.mu.
+//
+//kylix:coldpath
 func (m *Mailbox) startWatchdogLocked() {
 	if m.watch {
 		return
@@ -237,6 +245,8 @@ func (m *Mailbox) startWatchdogLocked() {
 }
 
 // Recv blocks until a message from (from, tag) is available.
+//
+//kylix:hotpath
 func (m *Mailbox) Recv(from int, tag Tag) (Payload, error) {
 	var ws waitState
 	m.mu.Lock()
@@ -268,6 +278,8 @@ func (m *Mailbox) Recv(from int, tag Tag) (Payload, error) {
 // listed senders; the first available one wins. The losing senders'
 // slots for this tag are marked for discard so late duplicates do not
 // accumulate. Returns the winning sender.
+//
+//kylix:hotpath
 func (m *Mailbox) RecvAny(froms []int, tag Tag) (int, Payload, error) {
 	var ws waitState
 	m.mu.Lock()
@@ -328,6 +340,8 @@ func (m *Mailbox) popGroupLocked(groups [][]int, tag Tag) (gi, from int, p Paylo
 // groups therefore make RecvGroup a pure arrival-order, any-source
 // receive with no cancellation — the reduction hot path's primitive —
 // and it allocates nothing outside the error paths.
+//
+//kylix:hotpath
 func (m *Mailbox) RecvGroup(groups [][]int, tag Tag) (int, Payload, error) {
 	var ws waitState
 	m.mu.Lock()

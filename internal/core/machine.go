@@ -5,6 +5,8 @@
 // allgather (§III-B), and the fused configure+reduce for minibatch
 // workloads. The direct all-to-all and binary-butterfly baselines of the
 // evaluation are the same engine run on degree vectors [m] and [2,...,2].
+//
+//kylix:deterministic
 package core
 
 import (

@@ -31,6 +31,8 @@ import (
 // The returned slice is owned by the arena: it stays valid until the
 // second-following Reduce/ConfigureReduce on this Config overwrites it.
 // Callers that retain results longer must copy them out.
+//
+//kylix:hotpath
 func (c *Config) Reduce(outVals []float32) (res []float32, err error) {
 	m := c.mach
 	w := m.opts.Width
@@ -67,6 +69,8 @@ func (c *Config) Reduce(outVals []float32) (res []float32, err error) {
 // and a fold cursor advances over the contiguous staged prefix, so
 // compute overlaps with stragglers' network time while the float
 // combine sequence stays exactly the in-order one.
+//
+//kylix:hotpath
 func (c *Config) scatterLayer(i int, round uint32, cur []float32, s *scratch, g *genBufs, tr *obs.Tracer) (acc []float32, err error) {
 	m := c.mach
 	w := m.opts.Width
@@ -129,6 +133,8 @@ func (c *Config) scatterLayer(i int, round uint32, cur []float32, s *scratch, g 
 // gatherUp runs the upward allgather from fully reduced bottom values.
 // cur must align with the bottom out-union. Buffers come from the given
 // arena generation; the returned slice is g.next[0].
+//
+//kylix:hotpath
 func (c *Config) gatherUp(cur []float32, round uint32, s *scratch, g *genBufs) (res []float32, err error) {
 	m := c.mach
 	tr := m.opts.Tracer
@@ -158,6 +164,8 @@ func (c *Config) gatherUp(cur []float32, round uint32, s *scratch, g *genBufs) (
 // configuration (the g maps), all sends issued before any receive, then
 // copy received segments into place in arrival order — segments are
 // disjoint, so there is no ordering constraint at all.
+//
+//kylix:hotpath
 func (c *Config) gatherLayer(i int, round uint32, inVals []float32, s *scratch, g *genBufs, tr *obs.Tracer) (next []float32, err error) {
 	m := c.mach
 	w := m.opts.Width

@@ -61,6 +61,8 @@ func (s *scratch) flip() *genBufs {
 // ensureScratch builds the Config's arena on first use. Sizes are fully
 // determined by the configuration, so this runs once per Config; every
 // later Reduce is allocation-free.
+//
+//kylix:coldpath
 func (c *Config) ensureScratch() *scratch {
 	if c.scratch != nil {
 		return c.scratch

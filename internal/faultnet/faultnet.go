@@ -374,6 +374,8 @@ type action struct {
 // decide is the pure fault-decision function: (seed, from, to, tag) ->
 // action, via a seeded rand.Rand per message. It never reads clocks or
 // mutable state, which is what makes schedules replayable.
+//
+//kylix:deterministic
 func (f *Fabric) decide(from, to int, tag comm.Tag) action {
 	a := action{copies: 1}
 	p := &f.plan

@@ -128,6 +128,16 @@ func (o *Observatory) layerCounter(kind comm.Kind, layer int) *Counter {
 	if c := o.layerBytes[k][layer].Load(); c != nil {
 		return c
 	}
+	return o.makeLayerCounter(k, layer)
+}
+
+// makeLayerCounter is layerCounter's slow path: it registers the
+// counter on the first span of a (kind, layer) pair and is never taken
+// again for it, so the name formatting and registry insertion are
+// one-time costs.
+//
+//kylix:coldpath
+func (o *Observatory) makeLayerCounter(k, layer int) *Counter {
 	c := o.reg.Counter(fmt.Sprintf("bytes_%s_L%d", comm.Kind(k), layer))
 	o.layerBytes[k][layer].CompareAndSwap(nil, c)
 	return o.layerBytes[k][layer].Load()
@@ -150,6 +160,10 @@ type recvObserver struct {
 	tr *Tracer
 }
 
+// ObserveRecv records one delivery: counters and wait histogram on
+// success, timeout accounting and an error span on failure.
+//
+//kylix:hotpath
 func (r *recvObserver) ObserveRecv(from int, tag comm.Tag, bytes int, wait time.Duration, err error) {
 	o := r.o
 	if err == nil {
@@ -166,6 +180,9 @@ func (r *recvObserver) ObserveRecv(from int, tag comm.Tag, bytes int, wait time.
 	}
 }
 
+// ObserveRecvGroup records the wait of one group receive.
+//
+//kylix:hotpath
 func (r *recvObserver) ObserveRecvGroup(tag comm.Tag, wait time.Duration) {
 	if wait > 0 {
 		r.o.groupWait.Observe(int64(wait))

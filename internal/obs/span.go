@@ -55,6 +55,8 @@ type Tracer struct {
 
 // Begin opens a span. The caller fills BytesIn/BytesOut/Peers/Err and
 // hands the span back to End.
+//
+//kylix:hotpath
 func (t *Tracer) Begin(kind comm.Kind, layer int) Span {
 	if t == nil {
 		return Span{}
@@ -63,6 +65,8 @@ func (t *Tracer) Begin(kind comm.Kind, layer int) Span {
 }
 
 // End stamps the span's end time and records it.
+//
+//kylix:hotpath
 func (t *Tracer) End(sp *Span) {
 	if t == nil {
 		return
@@ -105,6 +109,8 @@ func (t *Tracer) RecordError(kind comm.Kind, layer int, wait time.Duration, err 
 	t.record(Span{Node: t.node, Kind: kind, Layer: layer, Start: now - int64(wait), End: now, Err: err})
 }
 
+//
+//kylix:hotpath
 func (t *Tracer) record(sp Span) {
 	t.mu.Lock()
 	if len(t.ring) == 0 {

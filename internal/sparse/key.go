@@ -17,6 +17,8 @@
 //  3. The pieces a node receives from its butterfly neighbours arrive
 //     pre-sorted and span the same hash range, so unions are linear
 //     merges rather than hash-table inserts.
+//
+//kylix:deterministic
 package sparse
 
 // Key packs hash32(index) in the upper 32 bits and the index in the lower

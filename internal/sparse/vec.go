@@ -113,6 +113,8 @@ var (
 // widths 1 and 4 get fully unrolled loops and every other width gets a
 // fused strided loop, so the per-row cost is a map lookup and the
 // arithmetic itself, with no interface call in the inner loop.
+//
+//kylix:hotpath
 func CombineInto(red Reducer, dst []float32, m []int32, src []float32, width int) {
 	switch width {
 	case 1:
@@ -245,6 +247,8 @@ func combineStrided(red Reducer, dst []float32, m []int32, src []float32, width 
 // dst: row p of dst is row m[p] of src. This applies the g maps during
 // the upward allgather. Rows mapped to -1 are filled with fill. Widths 1
 // and 4 are unrolled; other widths use the strided copy.
+//
+//kylix:hotpath
 func GatherInto(dst []float32, m []int32, src []float32, width int, fill float32) {
 	switch width {
 	case 1:
@@ -280,6 +284,8 @@ func GatherInto(dst []float32, m []int32, src []float32, width int, fill float32
 }
 
 // Fill sets every element of data to v.
+//
+//kylix:hotpath
 func Fill(data []float32, v float32) {
 	for i := range data {
 		data[i] = v

@@ -6,6 +6,8 @@
 // groups at layer i all share the same refined hash range, which is what
 // makes the network *nested*: the upward allgather retraces the downward
 // scatter-reduce through the same groups.
+//
+//kylix:deterministic
 package topo
 
 import (

@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
-# The full PR gate, for environments without make: vet, build, tests,
-# and the race lane over the concurrency-critical packages.
+# The full PR gate, for environments without make: vet (standard plus
+# the kylix-vet invariant analyzers), build, tests, and the race lane
+# over the concurrency-critical packages.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -8,14 +9,19 @@ cd "$(dirname "$0")/.."
 echo "== go vet ./..."
 go vet ./...
 
+echo "== kylix-vet (hotpathalloc, lockobs, determinism, commcheck)"
+mkdir -p bin
+go build -o bin/kylix-vet ./cmd/kylix-vet
+go vet -vettool=bin/kylix-vet ./...
+
 echo "== go build ./..."
 go build ./...
 
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race -short (faultnet, tcpnet, replica, trace, obs)"
-go test -race -short ./internal/faultnet/... ./internal/tcpnet/... ./internal/replica/... ./internal/trace/... ./internal/obs/...
+echo "== go test -race -short (comm, core, faultnet, tcpnet, replica, trace, obs)"
+go test -race -short ./internal/comm/... ./internal/core/... ./internal/faultnet/... ./internal/tcpnet/... ./internal/replica/... ./internal/trace/... ./internal/obs/...
 
 echo "== bench gate (warm Reduce must be allocation-free)"
 scripts/bench.sh --gate

@@ -1,0 +1,68 @@
+#!/usr/bin/env sh
+# Optional deep-lint lane: staticcheck and govulncheck at the versions
+# pinned in tools/tools.go, fetched with `go install <module>@<version>`
+# into a throwaway GOBIN so go.mod stays dependency-free.
+#
+# Both tools need the module proxy. In hermetic/offline environments the
+# fetch step fails and the lane SKIPS (exit 0) with a notice — the
+# required gate is `make check`, which runs the in-tree kylix-vet suite
+# and has no network dependency. Once a tool is fetched, its findings
+# are filtered through scripts/lint-allow.txt: a finding line matching
+# any pattern there is accepted, anything else fails the lane.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+STATICCHECK_VERSION=$(sed -n 's/.*StaticcheckVersion = "\([^"]*\)".*/\1/p' tools/tools.go)
+GOVULNCHECK_VERSION=$(sed -n 's/.*GovulncheckVersion = "\([^"]*\)".*/\1/p' tools/tools.go)
+[ -n "$STATICCHECK_VERSION" ] || { echo "lint: cannot read StaticcheckVersion from tools/tools.go" >&2; exit 1; }
+[ -n "$GOVULNCHECK_VERSION" ] || { echo "lint: cannot read GovulncheckVersion from tools/tools.go" >&2; exit 1; }
+
+GOBIN=$(mktemp -d)
+PATTERNS=$(mktemp)
+trap 'rm -rf "$GOBIN" "$PATTERNS"' EXIT
+# Allowlist, comments and blanks stripped; the seed pattern ^$ can never
+# match a finding line, so an effectively empty allowlist allows nothing.
+{ echo '^$'; grep -v '^#' scripts/lint-allow.txt | grep -v '^[[:space:]]*$' || true; } > "$PATTERNS"
+
+fetch() {
+	# go install <module>@<version>; failure means no proxy access.
+	GOBIN="$GOBIN" go install "$1@$2" >/dev/null 2>&1
+}
+
+run_filtered() {
+	name=$1
+	shift
+	out=$(mktemp)
+	if "$@" > "$out" 2>&1; then
+		echo "== $name clean"
+		rm -f "$out"
+		return 0
+	fi
+	if grep -v -f "$PATTERNS" "$out" | grep -q .; then
+		echo "== $name findings (not allowlisted):"
+		grep -v -f "$PATTERNS" "$out"
+		rm -f "$out"
+		return 1
+	fi
+	echo "== $name: allowlisted findings only"
+	rm -f "$out"
+	return 0
+}
+
+status=0
+
+if fetch honnef.co/go/tools/cmd/staticcheck "$STATICCHECK_VERSION"; then
+	run_filtered "staticcheck $STATICCHECK_VERSION" "$GOBIN/staticcheck" ./... || status=1
+else
+	echo "== staticcheck: module proxy unreachable, skipping (offline build)"
+fi
+
+if fetch golang.org/x/vuln/cmd/govulncheck "$GOVULNCHECK_VERSION"; then
+	run_filtered "govulncheck $GOVULNCHECK_VERSION" "$GOBIN/govulncheck" ./... || status=1
+else
+	echo "== govulncheck: module proxy unreachable, skipping (offline build)"
+fi
+
+[ "$status" -eq 0 ] && echo "lint OK"
+exit "$status"

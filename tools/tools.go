@@ -1,0 +1,19 @@
+//go:build lint_tools
+
+// Package tools pins the versions of the out-of-module developer tools
+// used by the optional deep-lint lane (scripts/lint.sh, `make lint`).
+//
+// The build tag keeps this file out of every ordinary build — the repo
+// has no module dependencies and must stay buildable offline. The tools
+// are fetched on demand with `go install <module>@<version>` into a
+// throwaway GOBIN, so go.mod is never touched; scripts/lint.sh extracts
+// the versions below so there is a single place to bump them.
+package tools
+
+// Pinned tool versions, one source of truth for scripts/lint.sh.
+const (
+	// StaticcheckVersion pins honnef.co/go/tools/cmd/staticcheck.
+	StaticcheckVersion = "v0.5.1"
+	// GovulncheckVersion pins golang.org/x/vuln/cmd/govulncheck.
+	GovulncheckVersion = "v1.1.3"
+)

@@ -190,6 +190,120 @@ func testChaosSoak(t *testing.T, transport kylix.Transport) {
 	t.Logf("%v soak: %d rounds, %d kills, stats %+v", transport, soakRounds, len(soakVictims), st)
 }
 
+// reconfigRound is one round of the evolving-sets soak: rank q's sets
+// gain a fresh shared feature every other round (so the incremental
+// pass sees changed and unchanged generations alike), and the values
+// are round- and rank-dependent non-trivial floats.
+func reconfigRound(q, round int) (in, out []int32, vals []float32) {
+	neighbour := int32(100 + (q+1)%soakLogical)
+	shared := int32(200 + round/2)
+	out = []int32{0, 1, int32(100 + q), shared}
+	in = []int32{0, 1, neighbour, shared}
+	vals = []float32{
+		float32(q+1) * 0.1 * float32(round+1),
+		1.0 / float32(q+2),
+		float32(q*100 + round),
+		float32(q+3) / float32(round+2),
+	}
+	return in, out, vals
+}
+
+// runReconfigSoak drives soakRounds evolving-set rounds over one
+// long-lived Reduction per node — Configure once, then Reconfigure
+// every round — and returns each physical rank's per-round config
+// digest and reduced values.
+func runReconfigSoak(t *testing.T, transport kylix.Transport, plan kylix.FaultPlan) (digests [][]uint64, results [][][]float32) {
+	t.Helper()
+	cluster, err := kylix.NewCluster(soakPhys, soakOpts(transport, plan)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	digests = make([][]uint64, soakRounds)
+	results = make([][][]float32, soakRounds)
+	for r := range digests {
+		digests[r] = make([]uint64, soakPhys)
+		results[r] = make([][]float32, soakPhys)
+	}
+	var mu sync.Mutex
+	err = cluster.Run(func(node *kylix.Node) error {
+		p := node.PhysicalRank()
+		q := node.Rank()
+		var red *kylix.Reduction
+		for r := 0; r < soakRounds; r++ {
+			in, out, vals := reconfigRound(q, r)
+			var err error
+			if red == nil {
+				red, err = node.Configure(in, out)
+			} else {
+				err = red.Reconfigure(in, out)
+			}
+			if err != nil {
+				return err
+			}
+			res, err := red.Reduce(vals)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			digests[r][p] = red.ConfigDigest()
+			results[r][p] = res
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("%v reconfigure soak: %v", transport, err)
+	}
+	return digests, results
+}
+
+// testReconfigureChaosSoak proves incremental reconfiguration is
+// fault-transparent: a cluster whose sets evolve every round under
+// message drops, duplicates, delays and reordering must end every round
+// with routing state (config digest) and reduced values bit-identical
+// to a fault-free run of the same schedule.
+func testReconfigureChaosSoak(t *testing.T, transport kylix.Transport) {
+	baseline, baseRes := runReconfigSoak(t, transport, kylix.FaultPlan{Seed: 53})
+	plan := kylix.FaultPlan{
+		Seed:      53,
+		Faulty:    []int{8, 9, 10, 11, 12, 13, 14, 15}, // upper replicas: §V's survivable regime
+		Drop:      0.10,
+		Duplicate: 0.15,
+		Delay:     0.25,
+		MaxDelay:  2 * time.Millisecond,
+		Reorder:   0.08,
+	}
+	chaos, chaosRes := runReconfigSoak(t, transport, plan)
+	for r := 0; r < soakRounds; r++ {
+		for p := 0; p < soakPhys; p++ {
+			if chaos[r][p] != baseline[r][p] {
+				t.Errorf("round %d rank %d: chaos config digest %#x differs from fault-free %#x",
+					r, p, chaos[r][p], baseline[r][p])
+			}
+			if !bitsEqual(chaosRes[r][p], baseRes[r][p]) {
+				t.Errorf("round %d rank %d: chaos reduce %v differs from fault-free %v",
+					r, p, chaosRes[r][p], baseRes[r][p])
+			}
+		}
+		// Replicas of one logical rank must also agree with each other.
+		for p := soakLogical; p < soakPhys; p++ {
+			if chaos[r][p] != chaos[r][p-soakLogical] {
+				t.Errorf("round %d: replica digests of logical %d disagree", r, p-soakLogical)
+			}
+		}
+	}
+}
+
+func TestReconfigureChaosSoakMemory(t *testing.T) { testReconfigureChaosSoak(t, kylix.TransportMemory) }
+
+func TestReconfigureChaosSoakTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP soak skipped in -short")
+	}
+	testReconfigureChaosSoak(t, kylix.TransportTCP)
+}
+
 func TestChaosSoakMemory(t *testing.T) { testChaosSoak(t, kylix.TransportMemory) }
 
 func TestChaosSoakTCP(t *testing.T) {

@@ -154,7 +154,7 @@ const tracedReduceRounds = 3
 // "Kylix" traffic profile, visible on a timeline.
 func runTraced(sc bench.Scale, traceOut, metricsAddr string) error {
 	degrees := factorDegrees(sc.Machines)
-	opts := []kylix.Option{kylix.WithObservability()}
+	opts := []kylix.Option{kylix.WithObservability(), kylix.WithTrace()}
 	if len(degrees) > 1 {
 		opts = append(opts, kylix.WithDegrees(degrees...))
 	}
@@ -196,6 +196,18 @@ func runTraced(sc bench.Scale, traceOut, metricsAddr string) error {
 				return err
 			}
 		}
+		// Exercise the incremental path: one priming pass (stores the
+		// received pieces), one warm unchanged pass (all two-byte
+		// markers), so the reconfigure counters below have both flavours.
+		if err := red.Reconfigure(set, set); err != nil {
+			return err
+		}
+		if err := red.Reconfigure(set, set); err != nil {
+			return err
+		}
+		if _, err := red.Reduce(vals); err != nil {
+			return err
+		}
 		return nil
 	})
 	if err != nil {
@@ -205,6 +217,9 @@ func runTraced(sc bench.Scale, traceOut, metricsAddr string) error {
 
 	o := cluster.Observability()
 	if err := o.WriteTimeline(os.Stdout); err != nil {
+		return err
+	}
+	if err := printConfigCompression(cluster, o); err != nil {
 		return err
 	}
 	if traceOut != "" {
@@ -220,6 +235,42 @@ func runTraced(sc bench.Scale, traceOut, metricsAddr string) error {
 			return err
 		}
 		fmt.Printf("\nChrome trace written to %s (load in chrome://tracing)\n", traceOut)
+	}
+	return nil
+}
+
+// printConfigCompression renders the per-layer raw-vs-encoded volume of
+// the configuration phases: what the index sets cost on the wire with
+// the compressed codec against what the old 8-byte-per-key format would
+// have shipped, plus the incremental-reconfigure layer counters.
+func printConfigCompression(cluster *kylix.Cluster, o *kylix.Observatory) error {
+	rep, err := cluster.Traffic(4)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nconfig wire compression (index codec, per layer):\n")
+	fmt.Printf("%-14s %5s %14s %14s %7s\n", "phase", "layer", "encodedBytes", "rawBytes", "x")
+	for _, lt := range rep.Layers {
+		if lt.Phase != kylix.PhaseConfig && lt.Phase != kylix.PhaseConfigReduce {
+			continue
+		}
+		if lt.Layer == 0 || lt.Bytes == 0 {
+			continue
+		}
+		fmt.Printf("%-14s %5d %14d %14d %6.2fx\n",
+			lt.Phase, lt.Layer, lt.Bytes, lt.RawBytes, float64(lt.RawBytes)/float64(lt.Bytes))
+	}
+	reg := o.Registry()
+	enc := reg.Counter("config_bytes_encoded").Value()
+	raw := reg.Counter("config_bytes_raw").Value()
+	if enc > 0 {
+		fmt.Printf("config sets total: encoded %d, raw-equivalent %d (%.2fx smaller)\n",
+			enc, raw, float64(raw)/float64(enc))
+	}
+	fast := reg.Counter("reconfigure_fast_layers").Value()
+	full := reg.Counter("reconfigure_full_layers").Value()
+	if fast+full > 0 {
+		fmt.Printf("reconfigure layers: %d reused unions (fast), %d rebuilt\n", fast, full)
 	}
 	return nil
 }

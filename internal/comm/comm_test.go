@@ -105,8 +105,43 @@ func TestBytesPayloadRoundTrip(t *testing.T) {
 }
 
 func TestEmptyPayloads(t *testing.T) {
-	for _, p := range []Payload{&Keys{}, &Floats{}, &KeysVals{}, &Bytes{}} {
+	for _, p := range []Payload{&Keys{}, &Floats{}, &KeysVals{}, &Bytes{}, &InOut{}, &Combined{}, &Delta{}, &Delta{InSame: true, OutSame: true}} {
 		roundTrip(t, p)
+	}
+}
+
+func TestDeltaPayloadRoundTrip(t *testing.T) {
+	in := sparse.MustNewSet([]int32{1, 2, 3})
+	p := &Delta{OutSame: true, In: in}
+	q := roundTrip(t, p).(*Delta)
+	if q.InSame || !q.OutSame || !q.In.Equal(in) || len(q.Out) != 0 {
+		t.Fatalf("delta mismatch: %+v", q)
+	}
+	// The all-same marker is two bytes regardless of the sets it stands for.
+	if n := (&Delta{InSame: true, OutSame: true}).WireSize(); n != 2 {
+		t.Fatalf("all-same delta costs %d bytes, want 2", n)
+	}
+}
+
+// TestCompressedWireSavings pins the headline property of the v2 config
+// wire format: on an eighth-density index set (the Zipf workload regime
+// of Figure 4), the compressed encoding is at most 1/3 of the raw
+// 8-byte-per-key format.
+func TestCompressedWireSavings(t *testing.T) {
+	idx := make([]int32, 0, 4096)
+	for i := int32(0); len(idx) < 4096; i += 8 {
+		idx = append(idx, i)
+	}
+	set := sparse.MustNewSet(idx)
+	p := &InOut{In: set, Out: set}
+	wire, raw := p.WireSize(), p.RawWireSize()
+	if wire*3 > raw {
+		t.Fatalf("compressed %d bytes vs raw %d: want <= 1/3", wire, raw)
+	}
+	// Floats do not compress; RawWireSize falls back to WireSize.
+	f := &Floats{Vals: []float32{1, 2}}
+	if RawWireSize(f) != f.WireSize() {
+		t.Fatal("RawWireSize of a value payload diverged from WireSize")
 	}
 }
 

@@ -20,7 +20,7 @@ func TestDecodeRandomBytesNeverPanics(t *testing.T) {
 		rng.Read(buf)
 		if trial%3 == 0 && n > 0 {
 			// Bias toward valid discriminators so deeper paths run.
-			buf[0] = byte(1 + rng.Intn(7))
+			buf[0] = byte(1 + rng.Intn(11))
 		}
 		func() {
 			defer func() {
@@ -51,6 +51,9 @@ func TestEncodeDecodeQuick(t *testing.T) {
 			&Bytes{Data: data},
 			&InOut{In: keys, Out: keys},
 			&Combined{In: keys, Out: keys, Vals: vals},
+			&Delta{In: keys, Out: keys},
+			&Delta{InSame: true, Out: keys},
+			&Delta{InSame: true, OutSame: true},
 		}
 		for _, p := range payloads {
 			buf := p.AppendTo(nil)

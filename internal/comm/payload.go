@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"kylix/internal/sparse"
 )
@@ -24,8 +25,28 @@ type Payload interface {
 	Clone() Payload
 }
 
-// Payload type discriminators on the wire (6 and 7 live in
-// payload_config.go).
+// RawSizer is implemented by payloads whose wire encoding compresses
+// index sets. RawWireSize reports what the same payload would cost in
+// the uncompressed 8-byte-per-key format, so traffic accounting can
+// expose raw-vs-encoded compression ratios per layer.
+type RawSizer interface {
+	RawWireSize() int
+}
+
+// RawWireSize returns p's size in the uncompressed wire format: the
+// RawSizer value for compressed payloads, WireSize for everything else
+// (value payloads are not compressed, so the two coincide).
+func RawWireSize(p Payload) int {
+	if rs, ok := p.(RawSizer); ok {
+		return rs.RawWireSize()
+	}
+	return p.WireSize()
+}
+
+// Payload type discriminators on the wire. 1–4 are the original
+// fixed-width formats; 6, 7 and the compressed 8–11 live in
+// payload_config.go. Decoders accept every discriminator ever assigned;
+// encoders emit the compressed forms for index-set payloads.
 const (
 	wireKeys     = 1
 	wireFloats   = 2
@@ -33,9 +54,46 @@ const (
 	wireBytes    = 4
 )
 
-// Keys carries a sorted index set (configuration pass).
+// wireMemo caches a payload's encoded form so that WireSize (charged by
+// the traffic recorder on every transport) and AppendTo (run by the TCP
+// write loop) encode at most once per payload, even when a payload is
+// fanned out to many receivers. Payloads flow through fault-injecting
+// transports that re-Send retained pointers from a drain goroutine, so
+// the memo must be safe for concurrent first use: sync.Once guards the
+// encode.
+//
+// size is an optional fast path preset by decoders (single-threaded,
+// before the payload is shared): it answers WireSize without
+// re-encoding a payload that just arrived off the wire.
+type wireMemo struct {
+	size int
+	once sync.Once
+	buf  []byte
+}
+
+// bytes returns the memoized encoding, running enc on first use.
+func (m *wireMemo) bytes(enc func() []byte) []byte {
+	m.once.Do(func() { m.buf = enc() })
+	return m.buf
+}
+
+// wireSize returns the encoded size. Every encoding starts with a
+// discriminator byte, so size 0 always means "not yet known".
+func (m *wireMemo) wireSize(enc func() []byte) int {
+	if n := m.size; n > 0 {
+		return n
+	}
+	return len(m.bytes(enc))
+}
+
+// Keys carries a sorted index set (configuration pass). It encodes with
+// the compressed index codec (sparse.AppendCompressed); the keys must
+// therefore be MakeKey-derived, which every Set built by sparse.NewSet
+// is.
 type Keys struct {
 	Keys sparse.Set
+
+	memo wireMemo
 }
 
 // Floats carries a value block (reduce and gather passes).
@@ -73,18 +131,20 @@ func (p *Bytes) Clone() Payload {
 	return &Bytes{Data: append([]byte(nil), p.Data...)}
 }
 
+func (p *Keys) encode() []byte {
+	return sparse.AppendCompressed([]byte{wireKeysC}, p.Keys)
+}
+
 // WireSize implements Payload.
-func (p *Keys) WireSize() int { return 1 + 4 + 8*len(p.Keys) }
+func (p *Keys) WireSize() int { return p.memo.wireSize(p.encode) }
 
 // AppendTo implements Payload.
 func (p *Keys) AppendTo(buf []byte) []byte {
-	buf = append(buf, wireKeys)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Keys)))
-	for _, k := range p.Keys {
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(k))
-	}
-	return buf
+	return append(buf, p.memo.bytes(p.encode)...)
 }
+
+// RawWireSize implements RawSizer.
+func (p *Keys) RawWireSize() int { return 1 + 4 + 8*len(p.Keys) }
 
 // WireSize implements Payload.
 func (p *Floats) WireSize() int { return 1 + 4 + 4*len(p.Vals) }

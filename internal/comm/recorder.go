@@ -25,7 +25,19 @@ type Recorder interface {
 	Record(from, to int, tag Tag, bytes int)
 }
 
-// NopRecorder discards all samples.
+// RawRecorder is an optional Recorder extension for transports that
+// also know a payload's uncompressed size (RawWireSize). Transports
+// prefer RecordRaw when the recorder implements it, so compression
+// ratios surface in traffic reports without a second accounting pass.
+type RawRecorder interface {
+	Recorder
+	RecordRaw(from, to int, tag Tag, wireBytes, rawBytes int)
+}
+
+// NopRecorder discards all samples. Transports special-case it: when
+// the configured recorder is a NopRecorder they skip the WireSize call
+// entirely, so untraced runs never pay for encoding payloads that
+// in-memory delivery would not otherwise serialize.
 type NopRecorder struct{}
 
 // Record implements Recorder.

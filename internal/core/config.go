@@ -19,26 +19,32 @@ import (
 // accounting matches the paper's Figure 5 convention), merges the pieces
 // it receives into per-layer unions, and keeps the position maps that
 // let reduction run in constant time per element.
+//
+// The pass allocates only what the returned Config retains: transient
+// state (receive staging, union work arenas, split offsets) lives in a
+// machine-level scratch reused across configurations, and per-layer
+// retained slices are carved from single blocks.
 func (m *Machine) Configure(inSet, outSet sparse.Set) (cfgOut *Config, err error) {
 	if !inSet.IsSorted() || !outSet.IsSorted() {
 		return nil, fmt.Errorf("core: Configure requires sorted, deduplicated Sets")
 	}
 	round := m.nextRound()
-	cfg := &Config{mach: m, inSet: inSet, outSet: outSet}
+	cfg := &Config{mach: m, inSet: inSet, outSet: outSet,
+		layers: make([]layerState, m.bf.Layers())}
 	tr := m.opts.Tracer
 	outer := tr.Begin(comm.KindConfig, 0)
 	defer func() { outer.Err = err; tr.End(&outer) }()
 
 	inCur, outCur := inSet, outSet
 	for layer := 1; layer <= m.bf.Layers(); layer++ {
+		ls := &cfg.layers[layer-1]
 		sp := tr.Begin(comm.KindConfig, layer)
-		ls, err := m.configureLayer(layer, round, inCur, outCur, nil, nil, nil, &sp)
+		err := m.configureLayer(ls, layer, round, inCur, outCur, nil, nil, nil, &sp)
 		sp.Err = err
 		tr.End(&sp)
 		if err != nil {
 			return nil, fmt.Errorf("core: rank %d config layer %d: %w", m.Rank(), layer, err)
 		}
-		cfg.layers = append(cfg.layers, *ls)
 		inCur, outCur = ls.inUnion, ls.outUnion
 	}
 	if err := cfg.finishBottom(inCur, outCur); err != nil {
@@ -47,22 +53,28 @@ func (m *Machine) Configure(inSet, outSet sparse.Set) (cfgOut *Config, err error
 	return cfg, nil
 }
 
-// configureLayer executes one layer of the downward pass. When vals is
-// non-nil the pass is fused with reduction: out pieces carry their
-// values, and the returned accumulator (via *accOut) holds the combined
-// layer result (the §III combined configure+reduce). The caller's span
-// sp accumulates the layer's wire bytes and group size.
-func (m *Machine) configureLayer(layer int, round uint32, inCur, outCur sparse.Set, vals []float32, accOut *[]float32, tagKindOverride *comm.Kind, sp *obs.Span) (*layerState, error) {
+// configureLayer executes one layer of the downward pass, filling the
+// caller's layerState. When vals is non-nil the pass is fused with
+// reduction: out pieces carry their values, and the returned accumulator
+// (via *accOut) holds the combined layer result (the §III combined
+// configure+reduce). The caller's span sp accumulates the layer's wire
+// bytes and group size.
+//
+// Byte accounting is gated on the tracer being live: sizing a
+// configuration payload runs the index codec, which is worth paying for
+// observability but not for a span that will be discarded.
+func (m *Machine) configureLayer(ls *layerState, layer int, round uint32, inCur, outCur sparse.Set, vals []float32, accOut *[]float32, tagKindOverride *comm.Kind, sp *obs.Span) error {
+	cs := m.ensureCfgScratch()
 	d := m.bf.Degree(layer)
-	group := m.bf.Group(m.Rank(), layer)
+	group := cs.groupOf[layer-1]
 	parent := m.bf.RangeAt(m.Rank(), layer-1)
-	sp.Peers = len(group)
+	sp.Peers = d
 
-	ls := &layerState{
-		group:      group,
-		inOffsets:  sparse.SplitOffsets(inCur, parent, d),
-		outOffsets: sparse.SplitOffsets(outCur, parent, d),
-	}
+	// Both offset slices come from one retained block.
+	offs := make([]int32, 2*(d+1))
+	ls.group = group
+	ls.inOffsets = sparse.SplitOffsetsInto(offs[:d+1:d+1], inCur, parent, d)
+	ls.outOffsets = sparse.SplitOffsetsInto(offs[d+1:], outCur, parent, d)
 
 	kind := comm.KindConfig
 	if tagKindOverride != nil {
@@ -70,81 +82,131 @@ func (m *Machine) configureLayer(layer int, round uint32, inCur, outCur sparse.S
 	}
 	tag := comm.MakeTag(kind, layer, round)
 	w := m.opts.Width
+	tr := m.opts.Tracer
+	obsOn := tr.Enabled()
 
-	// Send piece t to the member owning sub-range t.
-	for t, member := range group {
-		inPiece := sparse.Piece(inCur, ls.inOffsets, t)
-		outPiece := sparse.Piece(outCur, ls.outOffsets, t)
-		var p comm.Payload
-		if vals == nil {
-			p = &comm.InOut{In: inPiece, Out: outPiece}
-		} else {
-			p = &comm.Combined{
-				In:   inPiece,
-				Out:  outPiece,
-				Vals: vals[int(ls.outOffsets[t])*w : int(ls.outOffsets[t+1])*w],
+	// Send piece t to the member owning sub-range t. The payload headers
+	// cannot come from machine scratch — transports may retain the
+	// pointers past this call (fault-injecting fabrics re-Send them) —
+	// but one block covers the whole group.
+	if vals == nil {
+		hdrs := make([]comm.InOut, d)
+		for t, member := range group {
+			p := &hdrs[t]
+			p.In = sparse.Piece(inCur, ls.inOffsets, t)
+			p.Out = sparse.Piece(outCur, ls.outOffsets, t)
+			if obsOn {
+				enc := p.WireSize()
+				sp.BytesOut += int64(enc)
+				tr.CountConfigBytes(int64(p.RawWireSize()), int64(enc))
+			}
+			if err := m.ep.Send(member, tag, p); err != nil {
+				return err
 			}
 		}
-		sp.BytesOut += int64(p.WireSize())
-		if err := m.ep.Send(member, tag, p); err != nil {
-			return nil, err
+	} else {
+		hdrs := make([]comm.Combined, d)
+		for t, member := range group {
+			p := &hdrs[t]
+			p.In = sparse.Piece(inCur, ls.inOffsets, t)
+			p.Out = sparse.Piece(outCur, ls.outOffsets, t)
+			p.Vals = vals[int(ls.outOffsets[t])*w : int(ls.outOffsets[t+1])*w]
+			if obsOn {
+				enc := p.WireSize()
+				sp.BytesOut += int64(enc)
+				tr.CountConfigBytes(int64(p.RawWireSize()), int64(enc))
+			}
+			if err := m.ep.Send(member, tag, p); err != nil {
+				return err
+			}
 		}
 	}
 
-	// Receive one piece per member, in arrival order (this is the cold
-	// path, so the singleton groups are built per call).
-	inPieces := make([]sparse.Set, d)
-	outPieces := make([]sparse.Set, d)
-	valPieces := make([][]float32, d)
-	myRange := parent.Sub(d, m.bf.Digit(m.Rank(), layer))
-	singles := make([][]int, d)
-	backing := make([]int, d)
-	copy(backing, group)
-	for t := range singles {
-		singles[t] = backing[t : t+1 : t+1]
+	// Receive one piece per member, in arrival order, staged in the
+	// machine scratch.
+	inP, outP, valP, seen := cs.inP[:d], cs.outP[:d], cs.valP[:d], cs.seen[:d]
+	for t := range seen {
+		seen[t] = false
 	}
-	seen := make([]bool, d)
+	myRange := parent.Sub(d, m.bf.Digit(m.Rank(), layer))
 	for received := 0; received < d; {
-		from, p, err := m.ep.RecvGroup(singles, tag)
+		from, p, err := m.ep.RecvGroup(cs.groups[layer-1], tag)
 		if err != nil {
-			return nil, fmt.Errorf("recv: %w", err)
+			return fmt.Errorf("recv: %w", err)
 		}
 		t := memberIndex(group, from)
 		if t < 0 {
-			return nil, fmt.Errorf("piece from %d outside group", from)
+			return fmt.Errorf("piece from %d outside group", from)
 		}
 		if seen[t] {
 			continue // duplicate delivery
 		}
-		sp.BytesIn += int64(p.WireSize())
 		switch q := p.(type) {
 		case *comm.InOut:
-			inPieces[t], outPieces[t] = q.In, q.Out
+			inP[t], outP[t] = q.In, q.Out
 		case *comm.Combined:
-			inPieces[t], outPieces[t], valPieces[t] = q.In, q.Out, q.Vals
+			inP[t], outP[t], valP[t] = q.In, q.Out, q.Vals
 		default:
-			return nil, fmt.Errorf("unexpected payload %T from %d", p, from)
+			return fmt.Errorf("unexpected payload %T from %d", p, from)
 		}
-		if err := sparse.CheckInRange(outPieces[t], myRange); err != nil {
-			return nil, fmt.Errorf("piece from %d: %w", from, err)
+		if err := sparse.CheckInRange(outP[t], myRange); err != nil {
+			return fmt.Errorf("piece from %d: %w", from, err)
+		}
+		if obsOn {
+			sp.BytesIn += int64(p.WireSize())
 		}
 		seen[t] = true
 		received++
 	}
-	ls.inUnion, ls.inMaps = sparse.UnionWithMaps(inPieces)
-	ls.outUnion, ls.outMaps = sparse.UnionWithMaps(outPieces)
+	m.buildUnions(ls, inP, outP)
 
 	if vals != nil {
+		// The fused accumulator is freshly allocated, not arena-carved:
+		// it becomes the next layer's vals, whose segments outlive this
+		// call inside retained Combined payloads.
 		acc := make([]float32, len(ls.outUnion)*w)
 		if id := m.opts.Reducer.Identity(); id != 0 {
 			sparse.Fill(acc, id)
 		}
 		for t := range group {
-			sparse.CombineInto(m.opts.Reducer, acc, ls.outMaps[t], valPieces[t], w)
+			sparse.CombineInto(m.opts.Reducer, acc, ls.outMaps[t], valP[t], w)
 		}
 		*accOut = acc
 	}
-	return ls, nil
+	// Drop staged references so the scratch does not pin received
+	// payload memory past the pass.
+	for t := range inP {
+		inP[t], outP[t], valP[t] = nil, nil, nil
+	}
+	return nil
+}
+
+// buildUnions computes a layer's in/out unions and position maps from
+// the received pieces. The unions are merged in the machine's reusable
+// arena and cloned out; the 2d position maps are carved from a single
+// data block, so the whole step costs four retained allocations.
+func (m *Machine) buildUnions(ls *layerState, inPieces, outPieces []sparse.Set) {
+	d := len(inPieces)
+	total := 0
+	for t := 0; t < d; t++ {
+		total += len(inPieces[t]) + len(outPieces[t])
+	}
+	data := make([]int32, total)
+	hdr := make([][]int32, 2*d)
+	ls.inMaps = hdr[:d:d]
+	ls.outMaps = hdr[d:]
+	off := 0
+	for t, p := range inPieces {
+		ls.inMaps[t] = data[off : off+len(p) : off+len(p)]
+		off += len(p)
+	}
+	for t, p := range outPieces {
+		ls.outMaps[t] = data[off : off+len(p) : off+len(p)]
+		off += len(p)
+	}
+	uni := &m.cfg.uni
+	ls.inUnion = uni.UnionMaps(inPieces, ls.inMaps).Clone()
+	ls.outUnion = uni.UnionMaps(outPieces, ls.outMaps).Clone()
 }
 
 // finishBottom builds the turnaround map from the bottom in-union into

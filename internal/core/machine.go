@@ -67,6 +67,10 @@ type Machine struct {
 	bf    *topo.Butterfly
 	opts  Options
 	round uint32 // tag sequence; advances identically on every machine
+	// cfg is the machine-level configuration-pass scratch (receive
+	// groups, piece staging, union arenas), built lazily and shared by
+	// every Config this machine produces.
+	cfg *cfgScratch
 }
 
 // NewMachine binds an endpoint to a butterfly topology. The topology's
@@ -119,6 +123,12 @@ type layerState struct {
 	// group[t] into the unions: outMaps are the f maps applied during
 	// scatter-reduce, inMaps the g maps applied during allgather.
 	inMaps, outMaps [][]int32
+	// recvIn[t]/recvOut[t] are private copies of the pieces received from
+	// group[t], retained so an incremental Reconfigure can substitute the
+	// stored piece when a neighbour sends a same-as-before marker. They
+	// are populated by the first Reconfigure over the Config (Configure
+	// leaves them nil; see Config.reconfigReady).
+	recvIn, recvOut []sparse.Set
 }
 
 // Config is the reusable result of a configuration pass: for fixed in
@@ -139,6 +149,16 @@ type Config struct {
 	// scratch is the reusable two-generation reduction arena, built
 	// lazily on the first Reduce so Configure-only uses pay nothing.
 	scratch *scratch
+	// reconfigReady records that a Reconfigure pass has populated every
+	// layer's recvIn/recvOut. The first Reconfigure on a Config ships
+	// full pieces unconditionally (Configure does not retain received
+	// pieces), stores them, and sets this flag; later passes may then
+	// send and accept same-as-before markers.
+	reconfigReady bool
+	// poisoned is set when a Reconfigure fails mid-collective: some
+	// layers hold new routing state and others old, so every later use
+	// of the Config must error rather than silently misroute.
+	poisoned bool
 }
 
 // InSet returns the configured in-set in key order. The values returned

@@ -35,6 +35,9 @@ import (
 //kylix:hotpath
 func (c *Config) Reduce(outVals []float32) (res []float32, err error) {
 	m := c.mach
+	if c.poisoned {
+		return nil, fmt.Errorf("core: rank %d: Config poisoned by a failed Reconfigure; rebuild with Configure", m.Rank())
+	}
 	w := m.opts.Width
 	if len(outVals) != len(c.outSet)*w {
 		return nil, fmt.Errorf("core: rank %d: Reduce got %d values, want %d (|out|=%d x width %d)",
@@ -42,7 +45,7 @@ func (c *Config) Reduce(outVals []float32) (res []float32, err error) {
 	}
 	round := m.nextRound()
 	s := c.ensureScratch()
-	g := s.flip()
+	g := c.flip(s)
 	tr := m.opts.Tracer
 	tr.CountRound()
 	tr.CountArenaFlip()
@@ -237,7 +240,8 @@ func (m *Machine) ConfigureReduce(inSet, outSet sparse.Set, outVals []float32) (
 			m.Rank(), len(outVals), len(outSet)*w)
 	}
 	round := m.nextRound()
-	cfg := &Config{mach: m, inSet: inSet, outSet: outSet}
+	cfg := &Config{mach: m, inSet: inSet, outSet: outSet,
+		layers: make([]layerState, m.bf.Layers())}
 	tr := m.opts.Tracer
 	tr.CountRound()
 	outer := tr.Begin(comm.KindConfigReduce, 0)
@@ -247,15 +251,15 @@ func (m *Machine) ConfigureReduce(inSet, outSet sparse.Set, outVals []float32) (
 	inCur, outCur := inSet, outSet
 	cur := outVals
 	for layer := 1; layer <= m.bf.Layers(); layer++ {
+		ls := &cfg.layers[layer-1]
 		var acc []float32
 		sp := tr.Begin(comm.KindConfigReduce, layer)
-		ls, err := m.configureLayer(layer, round, inCur, outCur, cur, &acc, &kind, &sp)
+		err := m.configureLayer(ls, layer, round, inCur, outCur, cur, &acc, &kind, &sp)
 		sp.Err = err
 		tr.End(&sp)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: rank %d config+reduce layer %d: %w", m.Rank(), layer, err)
 		}
-		cfg.layers = append(cfg.layers, *ls)
 		inCur, outCur = ls.inUnion, ls.outUnion
 		cur = acc
 	}
@@ -263,7 +267,7 @@ func (m *Machine) ConfigureReduce(inSet, outSet sparse.Set, outVals []float32) (
 		return nil, nil, err
 	}
 	s := cfg.ensureScratch()
-	g := s.flip()
+	g := cfg.flip(s)
 	tr.CountArenaFlip()
 	inVals, err := cfg.gatherUp(cur, round, s, g)
 	if err != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"kylix/internal/comm"
+	"kylix/internal/sparse"
 )
 
 // genBufs is one generation of a Config's reusable reduction buffers.
@@ -39,75 +40,144 @@ type genBufs struct {
 // either finish reading a payload before the receiver can complete the
 // round it belongs to, or deep-copy it up front, so the same bound
 // covers them.)
+//
+// Generations are built lazily: a fused ConfigureReduce performs one
+// allgather and then often hands the Config to a caller that never
+// Reduces again, so eagerly sizing both generations doubled the
+// configuration pass's footprint for nothing (the BenchmarkConfigureReduce16
+// regression tracked in EXPERIMENTS.md). The first flip into a
+// generation pays its build; a Config that settles into steady-state
+// reduction touches both exactly once.
 type scratch struct {
-	gen  int
-	bufs [2]genBufs
+	gen   int
+	bufs  [2]genBufs
+	ready [2]bool
 	// stage holds arrival-order receipts until they can be folded in
 	// canonical member order; sized to the widest layer group. Non-nil
-	// entries double as duplicate-delivery guards.
+	// entries double as duplicate-delivery guards. Shared from the
+	// machine-level cfgScratch (one goroutine per machine, and each
+	// Reduce clears it before use).
 	stage []*comm.Floats
 	// groups[i][t] is the singleton group {layers[i].group[t]} — the
 	// RecvGroup argument that makes receives pure arrival-order with no
-	// cancellation.
+	// cancellation. Shared from the machine-level cfgScratch: the layer
+	// groups are fixed by the topology, not by the Config.
 	groups [][][]int
 }
 
-// flip advances to the next generation and returns its buffers.
-func (s *scratch) flip() *genBufs {
+// flip advances to the next generation — building it on first use — and
+// returns its buffers.
+func (c *Config) flip(s *scratch) *genBufs {
 	s.gen ^= 1
+	if !s.ready[s.gen] {
+		c.buildGen(s, s.gen)
+	}
 	return &s.bufs[s.gen]
 }
 
-// ensureScratch builds the Config's arena on first use. Sizes are fully
-// determined by the configuration, so this runs once per Config; every
-// later Reduce is allocation-free.
+// ensureScratch builds the Config's receive state on first use; the
+// per-generation value buffers follow lazily at each generation's first
+// flip. Sizes are fully determined by the configuration, so every warm
+// Reduce is allocation-free.
 //
 //kylix:coldpath
 func (c *Config) ensureScratch() *scratch {
 	if c.scratch != nil {
 		return c.scratch
 	}
+	cs := c.mach.ensureCfgScratch()
+	c.scratch = &scratch{stage: cs.stage, groups: cs.groups}
+	return c.scratch
+}
+
+// buildGen sizes one generation of the reduction arena.
+//
+//kylix:coldpath
+func (c *Config) buildGen(s *scratch, gen int) {
 	w := c.mach.opts.Width
-	s := &scratch{groups: make([][][]int, len(c.layers))}
-	maxDeg := 0
+	g := &s.bufs[gen]
+	g.acc = make([][]float32, len(c.layers))
+	g.scatter = make([][]comm.Floats, len(c.layers))
+	g.gather = make([][]comm.Floats, len(c.layers))
+	g.next = make([][]float32, len(c.layers))
+	g.inVals = make([]float32, len(c.bottomIn())*w)
 	for i := range c.layers {
 		ls := &c.layers[i]
-		d := len(ls.group)
+		g.acc[i] = make([]float32, len(ls.outUnion)*w)
+		g.scatter[i] = make([]comm.Floats, len(ls.group))
+		g.gather[i] = make([]comm.Floats, len(ls.group))
+		for t := range ls.group {
+			g.gather[i][t].Vals = make([]float32, len(ls.inMaps[t])*w)
+		}
+		below := c.inSet
+		if i > 0 {
+			below = c.layers[i-1].inUnion
+		}
+		g.next[i] = make([]float32, len(below)*w)
+	}
+	s.ready[gen] = true
+}
+
+// cfgScratch is the machine-level scratch of the configuration pass:
+// everything transient that configureLayer used to allocate per call
+// but whose shape depends only on the topology (receive groups, piece
+// staging, union arenas). One instance serves every Configure /
+// ConfigureReduce / Reconfigure on the Machine — machines are
+// single-goroutine by contract, and nothing here survives a pass except
+// as reusable capacity.
+type cfgScratch struct {
+	// groupOf[layer-1] is this machine's layer group (topology-fixed;
+	// retained read-only by every Config's layerStates).
+	groupOf [][]int
+	// groups[layer-1][t] is the singleton receive group {groupOf[t]}.
+	groups [][][]int
+	// stage is the reduction's arrival-order staging (see scratch.stage).
+	stage []*comm.Floats
+	// inP/outP/valP/seen stage one layer's received configuration
+	// pieces, indexed by group slot; sized to the widest layer.
+	inP, outP []sparse.Set
+	valP      [][]float32
+	seen      []bool
+	// uni is the tree-union arena; unions are cloned out of it into the
+	// retained layerState, so only the final deduplicated keys are paid
+	// for per configuration.
+	uni sparse.UnionScratch
+	// offs stages candidate split offsets during Reconfigure's
+	// compare-before-commit step (2*(maxDeg+1) entries).
+	offs []int32
+}
+
+// ensureCfgScratch builds the machine's configuration scratch on first
+// use.
+//
+//kylix:coldpath
+func (m *Machine) ensureCfgScratch() *cfgScratch {
+	if m.cfg != nil {
+		return m.cfg
+	}
+	L := m.bf.Layers()
+	cs := &cfgScratch{groupOf: make([][]int, L), groups: make([][][]int, L)}
+	maxDeg := 0
+	for layer := 1; layer <= L; layer++ {
+		group := m.bf.Group(m.Rank(), layer)
+		d := len(group)
 		if d > maxDeg {
 			maxDeg = d
 		}
-		singles := make([]int, d)
-		copy(singles, ls.group)
-		s.groups[i] = make([][]int, d)
-		for t := range singles {
-			s.groups[i][t] = singles[t : t+1 : t+1]
+		cs.groupOf[layer-1] = group
+		cs.groups[layer-1] = make([][]int, d)
+		for t := range group {
+			cs.groups[layer-1][t] = group[t : t+1 : t+1]
 		}
 	}
-	s.stage = make([]*comm.Floats, maxDeg)
-	for gen := range s.bufs {
-		g := &s.bufs[gen]
-		g.acc = make([][]float32, len(c.layers))
-		g.scatter = make([][]comm.Floats, len(c.layers))
-		g.gather = make([][]comm.Floats, len(c.layers))
-		g.next = make([][]float32, len(c.layers))
-		g.inVals = make([]float32, len(c.bottomIn())*w)
-		for i := range c.layers {
-			ls := &c.layers[i]
-			g.acc[i] = make([]float32, len(ls.outUnion)*w)
-			g.scatter[i] = make([]comm.Floats, len(ls.group))
-			g.gather[i] = make([]comm.Floats, len(ls.group))
-			for t := range ls.group {
-				g.gather[i][t].Vals = make([]float32, len(ls.inMaps[t])*w)
-			}
-			below := c.inSet
-			if i > 0 {
-				below = c.layers[i-1].inUnion
-			}
-			g.next[i] = make([]float32, len(below)*w)
-		}
-	}
-	c.scratch = s
-	return s
+	cs.stage = make([]*comm.Floats, maxDeg)
+	cs.inP = make([]sparse.Set, maxDeg)
+	cs.outP = make([]sparse.Set, maxDeg)
+	cs.valP = make([][]float32, maxDeg)
+	cs.seen = make([]bool, maxDeg)
+	cs.offs = make([]int32, 2*(maxDeg+1))
+	m.cfg = cs
+	return cs
 }
 
 // memberIndex locates a rank in a layer group (groups are small — the

@@ -39,6 +39,15 @@ type Observatory struct {
 	groupWait    *Histogram
 	faultCounts  map[string]*Counter
 
+	// Configuration-pass accounting: wire bytes in the compressed
+	// encoding vs. what the raw 8-byte-per-key format would have cost,
+	// and the incremental-reconfigure layer outcomes (fast = the layer
+	// reused its previous unions and maps; full = it recomputed them).
+	configBytesEnc    *Counter
+	configBytesRaw    *Counter
+	reconfigFastLayer *Counter
+	reconfigFullLayer *Counter
+
 	layerBytes [8][maxLayerMetric + 1]atomic.Pointer[Counter]
 }
 
@@ -67,6 +76,10 @@ func New(m, spanCap int) *Observatory {
 		groupWait:    reg.Histogram("recv_group_wait_ns"),
 		faultCounts:  make(map[string]*Counter, len(FaultEventNames)),
 	}
+	o.configBytesEnc = reg.Counter("config_bytes_encoded")
+	o.configBytesRaw = reg.Counter("config_bytes_raw")
+	o.reconfigFastLayer = reg.Counter("reconfigure_fast_layers")
+	o.reconfigFullLayer = reg.Counter("reconfigure_full_layers")
 	o.trans = NewTransportMetrics(reg)
 	for _, ev := range FaultEventNames {
 		o.faultCounts[ev] = reg.Counter("fault_" + ev)

@@ -98,6 +98,35 @@ func (t *Tracer) CountArenaFlip() {
 	}
 }
 
+// Enabled reports whether spans are actually recorded. Hot paths whose
+// instrumentation itself has a cost beyond filling a Span — the config
+// pass would run the index codec just to know its wire sizes — gate
+// that work on Enabled rather than paying it for a discarded span.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// CountConfigBytes accounts one configuration payload: its compressed
+// wire size and what the raw 8-byte-per-key format would have cost.
+func (t *Tracer) CountConfigBytes(rawBytes, encBytes int64) {
+	if t != nil {
+		t.o.configBytesRaw.Add(rawBytes)
+		t.o.configBytesEnc.Add(encBytes)
+	}
+}
+
+// CountReconfigureLayer records one layer outcome of an incremental
+// reconfiguration: fast when the layer reused its previous unions and
+// position maps, full when it had to recompute them.
+func (t *Tracer) CountReconfigureLayer(fast bool) {
+	if t == nil {
+		return
+	}
+	if fast {
+		t.o.reconfigFastLayer.Inc()
+	} else {
+		t.o.reconfigFullLayer.Inc()
+	}
+}
+
 // RecordError closes a synthetic span carrying an error that was not
 // bracketed by Begin/End (e.g. a timed-out receive observed at the
 // transport): the span covers the wait that failed.

@@ -1,0 +1,178 @@
+package sparse
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"slices"
+	"sync"
+)
+
+// Compressed index-set wire format.
+//
+// Raw key Sets cost 8 bytes per feature on the wire, and the hash half
+// of every Key is incompressible noise. But the hash is redundant:
+// hash32 is a fixed bijection, so the receiver can rebuild the exact
+// Key from the 32-bit index alone. The codec therefore transmits only
+// the indices, sorted by index value (not key order), delta-encoded as
+// varints, with a run-length escape for the dense stretches that
+// dominate the lower butterfly layers (paper Figure 4: union density
+// approaches 1 toward the bottom, where consecutive indices abound).
+//
+// One encoded set ("block", version 1, selected by the payload
+// discriminators in internal/comm) is:
+//
+//	block   := uvarint(n)                      // number of indices
+//	           [ uvarint(first) token* ]       // present iff n > 0
+//	token   := uvarint(v)
+//	  v&1 == 0  →  gap:  next = prev + 2 + v>>1   // delta ≥ 2
+//	  v&1 == 1  →  run:  v>>1 ≥ 1 consecutive deltas of exactly 1
+//
+// Blocks are self-delimiting (the count says when to stop), so payloads
+// concatenate them without length prefixes. The encoder is canonical:
+// runs are maximal, so two runs are never adjacent and every delta-1
+// step is inside a run. Re-encoding a decoded block is therefore
+// byte-identical, which the transports rely on when they memoize
+// encodings.
+//
+// A typical sparse piece (density ~1/8, deltas ~8) costs ~1 byte per
+// index; a fully dense range costs ~10 bits total regardless of length.
+// Worst case (adversarial alternating gaps under 2^7) is 1 byte per
+// index — still 8x under the raw format.
+
+// maxCompressedKeys bounds the decoded size of one block. A run token
+// claims up to 2^63 indices in three bytes, so without a cap a hostile
+// 4-byte message could demand gigabytes. 2^26 keys (512 MiB of Set) is
+// far above any per-piece set this protocol ships; the encoder refuses
+// the same bound so the two sides agree on what is representable.
+const maxCompressedKeys = 1 << 26
+
+// codecBuf is the pooled per-encode scratch: the index projection of
+// the set being encoded, sorted by index value.
+type codecBuf struct {
+	idx []int32
+}
+
+var codecPool = sync.Pool{New: func() any { return new(codecBuf) }}
+
+// AppendCompressed appends the compressed encoding of s to dst and
+// returns the extended buffer. s must be a valid Set (sorted by key,
+// distinct indices) with at most maxCompressedKeys entries; duplicate
+// indices panic rather than corrupt the stream.
+//
+//kylix:hotpath
+func AppendCompressed(dst []byte, s Set) []byte {
+	if len(s) > maxCompressedKeys {
+		panic("sparse: AppendCompressed: set exceeds maxCompressedKeys")
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	if len(s) == 0 {
+		return dst
+	}
+	cb := codecPool.Get().(*codecBuf)
+	if cap(cb.idx) < len(s) {
+		//kylix:allow hotpathalloc:make -- pooled scratch grows to the largest set seen, then is reused
+		cb.idx = make([]int32, len(s))
+	}
+	idx := cb.idx[:len(s)]
+	for i, k := range s {
+		idx[i] = k.Index()
+	}
+	slices.Sort(idx)
+
+	prev := idx[0]
+	dst = binary.AppendUvarint(dst, uint64(uint32(prev)))
+	run := uint64(0)
+	for _, x := range idx[1:] {
+		d := uint32(x - prev)
+		prev = x
+		if d == 1 {
+			run++
+			continue
+		}
+		if d == 0 {
+			panic("sparse: AppendCompressed: duplicate index in Set")
+		}
+		if run > 0 {
+			dst = binary.AppendUvarint(dst, run<<1|1)
+			run = 0
+		}
+		dst = binary.AppendUvarint(dst, uint64(d-2)<<1)
+	}
+	if run > 0 {
+		dst = binary.AppendUvarint(dst, run<<1|1)
+	}
+	codecPool.Put(cb)
+	return dst
+}
+
+// DecodeCompressed parses one compressed block from buf, appends the
+// decoded keys (in key order) to dst, and returns the extended Set and
+// the unconsumed remainder of buf. The decoded keys are rebuilt with
+// MakeKey, so a hostile peer cannot inject hash/index-inconsistent
+// Keys. Indices beyond int32 range, empty run tokens, counts over
+// maxCompressedKeys, and truncated streams all error.
+//
+//kylix:hotpath
+func DecodeCompressed(dst Set, buf []byte) (Set, []byte, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, nil, fmt.Errorf("sparse: compressed set: bad count varint")
+	}
+	buf = buf[sz:]
+	if n == 0 {
+		return dst, buf, nil
+	}
+	if n > maxCompressedKeys {
+		return nil, nil, fmt.Errorf("sparse: compressed set claims %d keys (limit %d)", n, maxCompressedKeys)
+	}
+	first, sz := binary.Uvarint(buf)
+	if sz <= 0 || first > math.MaxInt32 {
+		return nil, nil, fmt.Errorf("sparse: compressed set: bad first index")
+	}
+	buf = buf[sz:]
+	base := len(dst)
+	dst = slices.Grow(dst, int(n))
+	//kylix:allow hotpathalloc:append -- grown above to the exact decoded size; never reallocates
+	dst = append(dst, MakeKey(int32(first)))
+	cur := uint64(first)
+	for uint64(len(dst)-base) < n {
+		tok, sz := binary.Uvarint(buf)
+		if sz <= 0 {
+			return nil, nil, fmt.Errorf("sparse: compressed set: truncated token stream")
+		}
+		buf = buf[sz:]
+		if tok&1 == 1 {
+			k := tok >> 1
+			if k == 0 {
+				return nil, nil, fmt.Errorf("sparse: compressed set: empty run token")
+			}
+			if uint64(len(dst)-base)+k > n {
+				return nil, nil, fmt.Errorf("sparse: compressed set: run overflows declared count")
+			}
+			if cur+k > math.MaxInt32 {
+				return nil, nil, fmt.Errorf("sparse: compressed set: index overflows int32")
+			}
+			for i := uint64(0); i < k; i++ {
+				cur++
+				//kylix:allow hotpathalloc:append -- grown above to the exact decoded size; never reallocates
+				dst = append(dst, MakeKey(int32(cur)))
+			}
+		} else {
+			cur += (tok >> 1) + 2
+			if cur > math.MaxInt32 {
+				return nil, nil, fmt.Errorf("sparse: compressed set: index overflows int32")
+			}
+			//kylix:allow hotpathalloc:append -- grown above to the exact decoded size; never reallocates
+			dst = append(dst, MakeKey(int32(cur)))
+		}
+	}
+	// The stream carries indices in index order; Sets are key (hash)
+	// ordered. One sort restores the invariant.
+	slices.Sort(dst[base:])
+	return dst, buf, nil
+}
+
+// RawEncodedSize is the wire cost of a set in the uncompressed 8-byte
+// key format, for raw-vs-encoded accounting.
+func RawEncodedSize(s Set) int { return 8 * len(s) }

@@ -1,0 +1,209 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func codecRoundTrip(t *testing.T, s Set) []byte {
+	t.Helper()
+	buf := AppendCompressed(nil, s)
+	got, rest, err := DecodeCompressed(nil, buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("decode left %d unconsumed bytes", len(rest))
+	}
+	if !got.Equal(s) {
+		t.Fatalf("round trip mismatch: got %d keys, want %d", len(got), len(s))
+	}
+	// Canonical encoder: re-encoding the decoded set is byte-identical.
+	if again := AppendCompressed(nil, got); string(again) != string(buf) {
+		t.Fatalf("re-encode not byte-identical")
+	}
+	return buf
+}
+
+func TestCodecEdgeCases(t *testing.T) {
+	dense := make([]int32, 10000)
+	for i := range dense {
+		dense[i] = int32(i + 7)
+	}
+	alternating := make([]int32, 0, 4096)
+	for x := int32(0); len(alternating) < 4096; x += 2 + x%3 {
+		alternating = append(alternating, x)
+	}
+	cases := []struct {
+		name string
+		idx  []int32
+		// maxBytes, when >0, asserts a compression bound.
+		maxBytes int
+	}{
+		{"empty", nil, 1},
+		{"single key", []int32{12345}, 0},
+		{"single zero", []int32{0}, 2},
+		{"max index", []int32{math.MaxInt32}, 0},
+		{"min and max", []int32{0, math.MaxInt32}, 0},
+		{"long dense run", dense, 16}, // ~10k keys in a handful of bytes
+		{"adversarial alternating gaps", alternating, 2 + 5 + len(alternating)},
+		{"pair adjacent", []int32{41, 42}, 0},
+		{"gap of two", []int32{10, 12}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := codecRoundTrip(t, MustNewSet(tc.idx))
+			if tc.maxBytes > 0 && len(buf) > tc.maxBytes {
+				t.Fatalf("encoded %d keys into %d bytes, want <= %d", len(tc.idx), len(buf), tc.maxBytes)
+			}
+		})
+	}
+}
+
+func TestCodecAppendsToDst(t *testing.T) {
+	a := MustNewSet([]int32{5, 9, 100})
+	b := MustNewSet([]int32{6, 7, 8})
+	buf := AppendCompressed(nil, a)
+	buf = AppendCompressed(buf, b)
+	gotA, rest, err := DecodeCompressed(nil, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, rest, err := DecodeCompressed(nil, rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 || !gotA.Equal(a) || !gotB.Equal(b) {
+		t.Fatal("concatenated blocks did not round-trip")
+	}
+	// Decoding into a non-empty dst appends after the existing keys.
+	combined, _, err := DecodeCompressed(gotA, AppendCompressed(nil, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(combined) != len(a)+len(b) {
+		t.Fatalf("append decode produced %d keys", len(combined))
+	}
+}
+
+func TestCodecDecodeErrors(t *testing.T) {
+	valid := AppendCompressed(nil, MustNewSet([]int32{1, 2, 3, 100, 2000}))
+	cases := map[string][]byte{
+		"empty input":     {},
+		"truncated count": {0x80},
+		"missing first":   {5},
+		"truncated token": valid[:len(valid)-1],
+		"empty run token": {2, 0, 1},
+		"run overflow":    {2, 0, 9},                          // run of 4 but count says 2
+		"count too large": {0xFF, 0xFF, 0xFF, 0xFF, 0x7F},     // ~34e9 keys
+	}
+	// Index overflow: first = MaxInt32, then a gap token pushes past it.
+	overflow := AppendCompressed(nil, MustNewSet([]int32{math.MaxInt32}))
+	overflow[0] = 2 // claim two keys
+	overflow = append(overflow, 0) // gap of 2 beyond MaxInt32
+	cases["index overflow"] = overflow
+	for name, buf := range cases {
+		if _, _, err := DecodeCompressed(nil, buf); err == nil {
+			t.Errorf("%s: want error, got none", name)
+		}
+	}
+	// Every strict prefix of a valid encoding fails or under-delivers.
+	for cut := 0; cut < len(valid); cut++ {
+		got, rest, err := DecodeCompressed(nil, valid[:cut])
+		if err == nil && len(rest) == 0 && len(got) == 5 {
+			t.Errorf("prefix %d decoded to the full set", cut)
+		}
+	}
+}
+
+// FuzzKeysCodec round-trips arbitrary index sets and hammers the
+// decoder with arbitrary bytes. Properties: encode→decode is lossless,
+// re-encode is byte-identical (canonical form), and no input makes the
+// decoder panic or return an out-of-range index.
+func FuzzKeysCodec(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{1, 2, 3, 4, 250, 251, 252}, []byte{2, 0, 1})
+	f.Add([]byte{0, 0, 0, 0}, []byte{0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Fuzz(func(t *testing.T, raw []byte, wire []byte) {
+		// Part 1: round-trip a set derived from raw (pairs of bytes →
+		// indices, occasionally stretched into dense runs).
+		idx := make([]int32, 0, len(raw))
+		for i := 0; i+1 < len(raw); i += 2 {
+			base := int32(raw[i])<<8 | int32(raw[i+1])
+			idx = append(idx, base)
+			if raw[i]%5 == 0 { // seed a dense run
+				for j := int32(1); j < int32(raw[i+1]%17); j++ {
+					idx = append(idx, base+j)
+				}
+			}
+		}
+		s := MustNewSet(idx)
+		buf := AppendCompressed(nil, s)
+		got, rest, err := DecodeCompressed(nil, buf)
+		if err != nil {
+			t.Fatalf("decode of valid encoding failed: %v", err)
+		}
+		if len(rest) != 0 || !got.Equal(s) {
+			t.Fatalf("round trip mismatch (%d keys in, %d out, %d rest)", len(s), len(got), len(rest))
+		}
+		if again := AppendCompressed(nil, got); string(again) != string(buf) {
+			t.Fatal("re-encode not canonical")
+		}
+		// Part 2: the decoder must survive arbitrary bytes — error or
+		// valid Set, never a panic, never an invalid key.
+		got, _, err = DecodeCompressed(nil, wire)
+		if err == nil {
+			if !got.IsSorted() {
+				t.Fatal("decoder produced unsorted set from arbitrary bytes")
+			}
+			for _, k := range got {
+				if k != MakeKey(k.Index()) {
+					t.Fatal("decoder produced hash-inconsistent key")
+				}
+			}
+		}
+	})
+}
+
+func benchmarkCodecSet(density int) Set {
+	rng := rand.New(rand.NewSource(7))
+	idx := make([]int32, 0, 4096)
+	x := int32(0)
+	for len(idx) < 4096 {
+		x += 1 + int32(rng.Intn(density))
+		idx = append(idx, x)
+	}
+	return MustNewSet(idx)
+}
+
+func BenchmarkKeysCodec(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		density int
+	}{{"dense", 1}, {"eighth", 15}, {"sparse", 200}} {
+		s := benchmarkCodecSet(bc.density)
+		enc := AppendCompressed(nil, s)
+		b.Run("encode/"+bc.name, func(b *testing.B) {
+			b.SetBytes(int64(8 * len(s)))
+			b.ReportAllocs()
+			buf := make([]byte, 0, len(enc))
+			for i := 0; i < b.N; i++ {
+				buf = AppendCompressed(buf[:0], s)
+			}
+			b.ReportMetric(float64(8*len(s))/float64(len(enc)), "compression-x")
+		})
+		b.Run("decode/"+bc.name, func(b *testing.B) {
+			b.SetBytes(int64(8 * len(s)))
+			b.ReportAllocs()
+			dst := make(Set, 0, len(s))
+			for i := 0; i < b.N; i++ {
+				var err error
+				dst, _, err = DecodeCompressed(dst[:0], enc)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

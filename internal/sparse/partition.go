@@ -13,7 +13,13 @@ import "fmt"
 // a receiving node all lie in the same sub-range, maximizing overlap in
 // the union below.
 func SplitOffsets(s Set, r Range, d int) []int32 {
-	offsets := make([]int32, d+1)
+	return SplitOffsetsInto(make([]int32, d+1), s, r, d)
+}
+
+// SplitOffsetsInto is SplitOffsets writing into a caller-provided slice,
+// which must have d+1 entries; it returns the same slice.
+func SplitOffsetsInto(offsets []int32, s Set, r Range, d int) []int32 {
+	offsets[0] = 0
 	for t := 1; t < d; t++ {
 		sub := r.Sub(d, t)
 		offsets[t] = int32(s.LowerBound(sub.Lo))

@@ -97,10 +97,16 @@ func (s Set) Clone() Set {
 	return out
 }
 
-// Equal reports whether two Sets hold exactly the same keys.
+// Equal reports whether two Sets hold exactly the same keys. Aliasing
+// slices short-circuit without a scan — the incremental reconfiguration
+// path compares layer inputs that are often literally the previous
+// union, so the pointer test turns a linear pass into O(1).
 func (s Set) Equal(t Set) bool {
 	if len(s) != len(t) {
 		return false
+	}
+	if len(s) == 0 || &s[0] == &t[0] {
+		return true
 	}
 	for i := range s {
 		if s[i] != t[i] {

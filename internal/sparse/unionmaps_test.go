@@ -1,0 +1,42 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUnionMapsQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		k := 1 + rng.Intn(9)
+		sets := make([]Set, k)
+		maps := make([][]int32, k)
+		for i := range sets {
+			n := rng.Intn(30)
+			idx := make([]int32, n)
+			for j := range idx {
+				idx[j] = int32(rng.Intn(40))
+			}
+			sets[i] = MustNewSet(idx)
+			maps[i] = make([]int32, len(sets[i]))
+		}
+		var u UnionScratch
+		got := u.UnionMaps(sets, maps)
+		want, wantMaps := UnionWithMaps(sets)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: union len %d want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: union[%d] = %d want %d", trial, i, got[i], want[i])
+			}
+		}
+		for s := range maps {
+			for j := range maps[s] {
+				if maps[s][j] != wantMaps[s][j] {
+					t.Fatalf("trial %d: maps[%d][%d] = %d want %d (k=%d)", trial, s, j, maps[s][j], wantMaps[s][j], k)
+				}
+			}
+		}
+	}
+}

@@ -109,6 +109,12 @@ type Node struct {
 	box   *comm.Mailbox
 	ln    net.Listener
 
+	// record is false when the recorder is a NopRecorder, letting Send
+	// skip WireSize (loopback sends never serialize otherwise); rawRec
+	// is set when the recorder also accounts uncompressed sizes.
+	record bool
+	rawRec comm.RawRecorder
+
 	mu      sync.Mutex
 	peers   map[int]*peer
 	inbound []net.Conn
@@ -226,6 +232,10 @@ func Listen(rank int, addrs []string, opts Options) (*Node, error) {
 		recvSeq: make([]uint64, len(addrs)),
 	}
 	n.addrs[rank] = ln.Addr().String()
+	if _, nop := opts.Recorder.(comm.NopRecorder); !nop {
+		n.record = true
+		n.rawRec, _ = opts.Recorder.(comm.RawRecorder)
+	}
 	if opts.RecvObserver != nil {
 		if ro := opts.RecvObserver(rank); ro != nil {
 			n.box.SetRecvObserver(ro)
@@ -254,7 +264,13 @@ func (n *Node) Send(to int, tag comm.Tag, p comm.Payload) error {
 	if to < 0 || to >= len(n.addrs) {
 		return fmt.Errorf("tcpnet: send to rank %d out of [0,%d)", to, len(n.addrs))
 	}
-	n.opts.Recorder.Record(n.rank, to, tag, p.WireSize())
+	if n.record {
+		if n.rawRec != nil {
+			n.rawRec.RecordRaw(n.rank, to, tag, p.WireSize(), comm.RawWireSize(p))
+		} else {
+			n.opts.Recorder.Record(n.rank, to, tag, p.WireSize())
+		}
+	}
 	if to == n.rank {
 		// Loopback without the kernel round-trip, mirroring the paper's
 		// treatment of a node's own packets.

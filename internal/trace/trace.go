@@ -25,10 +25,17 @@ type LayerTraffic struct {
 	// paper's Figure 5 counts "packets to its own").
 	Msgs  int64
 	Bytes int64
+	// RawBytes is what the same messages would have cost in the
+	// uncompressed wire format (8 bytes per index key). For value-only
+	// phases it equals Bytes; for configuration phases the ratio
+	// RawBytes/Bytes is the codec's compression factor at that layer.
+	RawBytes int64
 	// SelfMsgs/SelfBytes count the self-send subset, so callers can also
-	// report pure wire traffic.
-	SelfMsgs  int64
-	SelfBytes int64
+	// report pure wire traffic; SelfRawBytes is their uncompressed
+	// equivalent, so raw wire traffic is RawBytes - SelfRawBytes.
+	SelfMsgs     int64
+	SelfBytes    int64
+	SelfRawBytes int64
 	// MaxNodeBytes/MaxNodeMsgs are the largest per-sender totals; phase
 	// completion time is governed by the busiest node.
 	MaxNodeBytes int64
@@ -49,7 +56,9 @@ type cellKey struct {
 // its own totals plus per-receiver attribution.
 type senderCell struct {
 	msgs, bytes         int64
+	rawBytes            int64
 	selfMsgs, selfBytes int64
+	selfRawBytes        int64
 	recvMsgs, recvBytes []int64 // indexed by receiver rank
 }
 
@@ -86,6 +95,12 @@ func NewCollector(m int) *Collector {
 // would silently skew MaxNode* (a bogus rank is a caller bug, not
 // traffic).
 func (c *Collector) Record(from, to int, tag comm.Tag, bytes int) {
+	c.RecordRaw(from, to, tag, bytes, bytes)
+}
+
+// RecordRaw implements comm.RawRecorder: like Record, with the
+// payload's uncompressed size accounted alongside its wire size.
+func (c *Collector) RecordRaw(from, to int, tag comm.Tag, bytes, rawBytes int) {
 	if from < 0 || from >= c.m || to < 0 || to >= c.m {
 		c.invalid.Add(1)
 		return
@@ -100,9 +115,11 @@ func (c *Collector) Record(from, to int, tag comm.Tag, bytes int) {
 	}
 	cl.msgs++
 	cl.bytes += int64(bytes)
+	cl.rawBytes += int64(rawBytes)
 	if from == to {
 		cl.selfMsgs++
 		cl.selfBytes += int64(bytes)
+		cl.selfRawBytes += int64(rawBytes)
 	}
 	cl.recvMsgs[to]++
 	cl.recvBytes[to] += int64(bytes)
@@ -136,8 +153,10 @@ func (c *Collector) Layers() []LayerTraffic {
 			}
 			a.lt.Msgs += cl.msgs
 			a.lt.Bytes += cl.bytes
+			a.lt.RawBytes += cl.rawBytes
 			a.lt.SelfMsgs += cl.selfMsgs
 			a.lt.SelfBytes += cl.selfBytes
+			a.lt.SelfRawBytes += cl.selfRawBytes
 			// The shard index is the sender, so a shard's cell totals are
 			// exactly that sender's contribution.
 			if cl.bytes > a.lt.MaxNodeBytes {

@@ -240,6 +240,40 @@ func (r *Reduction) Reduce(outVals []float32) ([]float32, error) {
 	return permuteIn(gathered, r.inPerm, w), nil
 }
 
+// Reconfigure rebinds the Reduction to new index sets incrementally,
+// reusing the routing state the change does not touch: unchanged pieces
+// cross the wire as two-byte markers and layers whose inputs did not
+// move keep their unions and position maps. It is the cheap path when
+// sets evolve slowly between reductions (a few indices enter or leave);
+// when most indices change, a fresh Configure or ConfigureReduce costs
+// the same and is simpler to reason about.
+//
+// Reconfigure is collective: every live node must call it in the same
+// round order (with its own, possibly unchanged, sets). It is safe
+// exactly where Reduce is — same cluster membership, same topology,
+// same SPMD call sequence. On error the Reduction is poisoned and must
+// be replaced via Configure; see Config.Reconfigure.
+func (r *Reduction) Reconfigure(in, out []int32) error {
+	n := r.node
+	inSet, inPerm, outSet, outPerm, err := n.prepareSets(in, out)
+	if err != nil {
+		return err
+	}
+	if err := r.cfg.Reconfigure(inSet, outSet); err != nil {
+		return err
+	}
+	r.inPerm, r.outPerm = inPerm, outPerm
+	r.nIn, r.nOut = len(in), len(out)
+	return nil
+}
+
+// ConfigDigest returns a 64-bit fingerprint of the Reduction's routing
+// state (sets, groups, offsets, unions, position maps, bottom
+// turnaround). Two nodes — or two runs — whose digests agree route
+// identically; the chaos suite uses it to prove reconfiguration under
+// faults converges to exactly the fault-free state.
+func (r *Reduction) ConfigDigest() uint64 { return r.cfg.Digest() }
+
 // permuteOut reorders caller-order values into key order.
 func permuteOut(vals []float32, perm []int32, setLen, width, nOut int) ([]float32, error) {
 	if len(vals) != nOut*width {

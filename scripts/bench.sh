@@ -2,15 +2,23 @@
 # Hot-path and figure benchmarks with memory accounting.
 #
 #   scripts/bench.sh            # run benchmarks, print results, write
-#                               # BENCH_reduce.json (ns/op, B/op,
-#                               # allocs/op per benchmark)
+#                               # BENCH_reduce.json and BENCH_config.json
+#                               # (ns/op, B/op, allocs/op per benchmark)
 #   scripts/bench.sh --gate     # additionally fail if either warm Reduce
 #                               # benchmark (plain or with observability)
-#                               # allocates (>0 allocs/op), or if the
+#                               # allocates (>0 allocs/op), if the
 #                               # observability-enabled run is more than
 #                               # KYLIX_BENCH_TOLERANCE percent (default
 #                               # 10) slower than the number recorded in
-#                               # BENCH_reduce.json
+#                               # BENCH_reduce.json, if the configuration
+#                               # pass (BenchmarkConfigure8x4x2) is no
+#                               # longer >=1.5x faster (tolerance-widened)
+#                               # than the archived pre-rework baseline
+#                               # in scripts/bench_config_baseline.txt,
+#                               # or if a warm
+#                               # unchanged-sets Reconfigure costs more
+#                               # than 10(1+tol/100)% of the full fused
+#                               # ConfigureReduce on the same topology
 #
 # BENCH_reduce.json is the checked-in record of the hot-path numbers;
 # regenerate it when the hot path changes and commit both runs'
@@ -33,12 +41,17 @@ if [ -f BENCH_reduce.json ]; then
 fi
 
 out="$(mktemp)"
-trap 'rm -f "$out"' EXIT
+cfgout="$(mktemp)"
+trap 'rm -f "$out" "$cfgout"' EXIT
 
 echo "== hot-path benchmarks (internal/bench, internal/core, internal/sparse)"
 go test ./internal/bench/ -run '^$' -bench 'BenchmarkReduceWarmQuick|BenchmarkReduceWarmObs' -benchtime 2s -benchmem | tee "$out"
 go test ./internal/core/ -run '^$' -bench 'BenchmarkReduce|BenchmarkConfigure|BenchmarkTreeAllreduce' -benchtime 1s -benchmem | tee -a "$out"
 go test ./internal/sparse/ -run '^$' -bench 'BenchmarkCombineInto|BenchmarkGatherInto|BenchmarkTreeUnion$|BenchmarkUnionWithMaps' -benchtime 1s -benchmem | tee -a "$out"
+
+echo "== configuration benchmarks (configure / reconfigure / index codec)"
+go test ./internal/core/ -run '^$' -bench 'BenchmarkConfigure8x4x2|BenchmarkConfigureReduce16|BenchmarkConfigureReduce8x4x2|BenchmarkReconfigureWarm' -benchtime 2s -benchmem | tee "$cfgout"
+go test ./internal/sparse/ -run '^$' -bench 'BenchmarkKeysCodec' -benchtime 1s -benchmem | tee -a "$cfgout"
 
 echo "== figure benchmarks (quick scale, 1 iteration each)"
 go test . -run '^$' -bench 'BenchmarkFigure' -benchtime 1x -benchmem | tee -a "$out"
@@ -84,6 +97,24 @@ baseline="scripts/bench_baseline.txt"
 } > "$json"
 echo "== wrote $json"
 
+# BENCH_config.json is the same record for the configuration pass:
+# "before" is the archived pre-rework output (raw 8-byte wire format,
+# eager scratch, tree-union + per-piece map scans), "after" is this run.
+cfgjson="BENCH_config.json"
+cfgbaseline="scripts/bench_config_baseline.txt"
+{
+    echo "{"
+    if [ -f "$cfgbaseline" ]; then
+        printf '  "before": {\n'
+        parse "$cfgbaseline"
+        printf '\n  },\n'
+    fi
+    printf '  "after": {\n'
+    parse "$cfgout"
+    printf '\n  }\n}\n'
+} > "$cfgjson"
+echo "== wrote $cfgjson"
+
 if [ "$gate" = 1 ]; then
     for b in BenchmarkReduceWarmQuick BenchmarkReduceWarmObs; do
         allocs="$(awk -v b="$b" '$1 ~ "^"b { for (i = 2; i <= NF; i++) if ($(i) == "allocs/op") print $(i-1) }' "$out")"
@@ -108,4 +139,46 @@ if [ "$gate" = 1 ]; then
     else
         echo "bench gate OK: warm Reduce (plain and observed) allocation-free (no recorded WarmObs baseline to compare)"
     fi
+
+    # Configuration-pass gate: the rework's contract is a >=1.5x
+    # Configure8x4x2 speedup over the archived pre-rework baseline.
+    # Anchoring to the fixed baseline (not the previous run's number)
+    # keeps the gate stable on a 1-core box with ~10% run-to-run noise —
+    # a self-referential gate ratchets on a lucky fast run and then
+    # flakes on the next ordinary one.
+    cfg_ns="$(awk '/^BenchmarkConfigure8x4x2/ { for (i = 2; i <= NF; i++) if ($(i) == "ns/op") print $(i-1) }' "$cfgout")"
+    if [ -z "$cfg_ns" ]; then
+        echo "bench gate: BenchmarkConfigure8x4x2 did not run" >&2
+        exit 1
+    fi
+    base_cfg_ns=""
+    if [ -f "$cfgbaseline" ]; then
+        base_cfg_ns="$(awk '/^BenchmarkConfigure8x4x2/ { for (i = 2; i <= NF; i++) if ($(i) == "ns/op") print $(i-1) }' "$cfgbaseline")"
+    fi
+    if [ -n "$base_cfg_ns" ]; then
+        if awk -v cur="$cfg_ns" -v base="$base_cfg_ns" -v tol="$tol" \
+            'BEGIN { exit !(cur * 1.5 > base * (1 + tol / 100)) }'; then
+            echo "bench gate: Configure8x4x2 speedup eroded: $cfg_ns ns/op vs pre-rework $base_cfg_ns (<1.5x with ${tol}% slack)" >&2
+            exit 1
+        fi
+        echo "bench gate OK: Configure8x4x2 $cfg_ns ns/op is $(awk -v c="$cfg_ns" -v b="$base_cfg_ns" 'BEGIN { printf "%.2f", b / c }')x faster than pre-rework $base_cfg_ns"
+    else
+        echo "bench gate OK: Configure8x4x2 $cfg_ns ns/op (no archived baseline to compare)"
+    fi
+
+    # Incremental-reconfigure gate: a warm unchanged-sets Reconfigure
+    # must stay a small fraction (<=10%, tolerance-widened) of the full
+    # fused ConfigureReduce on the same 64-machine topology.
+    rec_ns="$(awk '/^BenchmarkReconfigureWarm/ { for (i = 2; i <= NF; i++) if ($(i) == "ns/op") print $(i-1) }' "$cfgout")"
+    full_ns="$(awk '/^BenchmarkConfigureReduce8x4x2/ { for (i = 2; i <= NF; i++) if ($(i) == "ns/op") print $(i-1) }' "$cfgout")"
+    if [ -z "$rec_ns" ] || [ -z "$full_ns" ]; then
+        echo "bench gate: reconfigure benchmarks did not run" >&2
+        exit 1
+    fi
+    if awk -v rec="$rec_ns" -v full="$full_ns" -v tol="$tol" \
+        'BEGIN { exit !(rec > full * 0.10 * (1 + tol / 100)) }'; then
+        echo "bench gate: warm Reconfigure too slow: $rec_ns ns/op vs full ConfigureReduce $full_ns (>10%+${tol}% slack)" >&2
+        exit 1
+    fi
+    echo "bench gate OK: warm Reconfigure $rec_ns ns/op is $(awk -v r="$rec_ns" -v f="$full_ns" 'BEGIN { printf "%.1f", 100 * r / f }')% of full ConfigureReduce $full_ns"
 fi

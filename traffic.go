@@ -30,6 +30,12 @@ type LayerTraffic struct {
 	Msgs      int64
 	Bytes     int64
 	WireBytes int64
+	// RawBytes is what the same messages would have cost in the
+	// uncompressed wire format (8 bytes per index key); the ratio
+	// RawBytes/Bytes is the index codec's compression factor at this
+	// layer. Value-only phases ship no index sets, so there it equals
+	// Bytes.
+	RawBytes int64
 	// MaxNodeRecvBytes is the heaviest single receiver's byte volume in
 	// this layer — the fan-in hotspot the cost model's incast term
 	// penalizes.
@@ -63,13 +69,30 @@ func (r *TrafficReport) TotalBytes(phase Phase) int64 {
 	return total
 }
 
+// TotalRawBytes is TotalBytes for the uncompressed-equivalent volume:
+// what the same traffic would have cost before the compressed index
+// wire format.
+func (r *TrafficReport) TotalRawBytes(phase Phase) int64 {
+	var total int64
+	for _, lt := range r.Layers {
+		if phase == "" || lt.Phase == phase {
+			total += lt.RawBytes
+		}
+	}
+	return total
+}
+
 // String renders a per-layer table.
 func (r *TrafficReport) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-14s %5s %12s %14s %14s %14s %10s\n", "phase", "layer", "msgs", "bytes", "wireBytes", "maxRecvBytes", "modelSec")
+	fmt.Fprintf(&b, "%-14s %5s %12s %14s %14s %14s %14s %6s %10s\n", "phase", "layer", "msgs", "bytes", "rawBytes", "wireBytes", "maxRecvBytes", "x", "modelSec")
 	for _, lt := range r.Layers {
-		fmt.Fprintf(&b, "%-14s %5d %12d %14d %14d %14d %10.4f\n",
-			lt.Phase, lt.Layer, lt.Msgs, lt.Bytes, lt.WireBytes, lt.MaxNodeRecvBytes, lt.ModelSec)
+		ratio := 1.0
+		if lt.Bytes > 0 {
+			ratio = float64(lt.RawBytes) / float64(lt.Bytes)
+		}
+		fmt.Fprintf(&b, "%-14s %5d %12d %14d %14d %14d %14d %6.2f %10.4f\n",
+			lt.Phase, lt.Layer, lt.Msgs, lt.Bytes, lt.RawBytes, lt.WireBytes, lt.MaxNodeRecvBytes, ratio, lt.ModelSec)
 	}
 	fmt.Fprintf(&b, "modelled: config %.4fs, reduce %.4fs\n", r.ConfigSec, r.ReduceSec)
 	return b.String()
@@ -99,7 +122,7 @@ func buildTrafficReport(col *trace.Collector, model netsim.Model, threads int) *
 	for i, lt := range raw {
 		row := LayerTraffic{
 			Phase: phaseOf(lt.Kind), Layer: lt.Layer,
-			Msgs: lt.Msgs, Bytes: lt.Bytes, WireBytes: lt.Bytes - lt.SelfBytes,
+			Msgs: lt.Msgs, Bytes: lt.Bytes, WireBytes: lt.Bytes - lt.SelfBytes, RawBytes: lt.RawBytes,
 			MaxNodeRecvBytes: lt.MaxNodeRecvBytes,
 		}
 		if i < len(rep.Layers) {

@@ -2,14 +2,15 @@
 # vet (including the kylix-vet invariant analyzers), build, the whole
 # test suite, the race lane over the packages with the heaviest
 # concurrency (transports, mailbox, reduction core, fault fabric,
-# replication), and the allocation gate on the warm reduction hot path.
+# replication, membership), the elastic-membership chaos soak, and the
+# allocation gate on the warm reduction hot path.
 
 GO ?= go
 KYLIX_VET := bin/kylix-vet
 
-.PHONY: check vet kylix-vet build test race benchgate bench profile fuzz lint
+.PHONY: check vet kylix-vet build test race soak benchgate bench profile fuzz lint
 
-check: vet build test race benchgate
+check: vet build test race soak benchgate
 
 # Standard go vet plus the project invariant suite (hotpathalloc,
 # lockobs, determinism, commcheck) run through the same vet driver, so
@@ -31,9 +32,16 @@ test:
 # Short-mode race lane: the concurrency-critical packages under the race
 # detector. Short mode keeps it minutes, not tens of minutes. comm and
 # core ride along since the mailbox free lists and the arena flip are
-# exactly where a data race would corrupt results silently.
+# exactly where a data race would corrupt results silently; membership is
+# the gossip control plane, whose agents are all ticker-vs-receiver races.
 race:
-	$(GO) test -race -short ./internal/comm/... ./internal/core/... ./internal/faultnet/... ./internal/tcpnet/... ./internal/replica/... ./internal/trace/... ./internal/obs/...
+	$(GO) test -race -short ./internal/comm/... ./internal/core/... ./internal/faultnet/... ./internal/tcpnet/... ./internal/replica/... ./internal/trace/... ./internal/obs/... ./internal/membership/...
+
+# The elastic-membership chaos soak: scripted joins, leaves and
+# replacements with machines and the coordinator killed mid-transition,
+# on both transports, checked bit-identical against a fresh cluster.
+soak:
+	$(GO) test -run 'TestElasticChurn|TestTCPChurnSoak' -count=1 . ./internal/replica/
 
 # Hot-path benchmarks with memory accounting; writes BENCH_reduce.json.
 bench:

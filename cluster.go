@@ -7,6 +7,7 @@ import (
 
 	"kylix/internal/comm"
 	"kylix/internal/faultnet"
+	"kylix/internal/membership"
 	"kylix/internal/memnet"
 	"kylix/internal/netsim"
 	"kylix/internal/obs"
@@ -23,11 +24,17 @@ type Cluster struct {
 	cfg       config
 	bf        *topo.Butterfly
 	phys      int
+	capacity  int
 	mem       *memnet.Network
 	tcp       []*tcpnet.Node
 	fabric    *faultnet.Fabric
 	collector *trace.Collector
 	obs       *obs.Observatory
+	// Elastic control plane (nil without WithElastic): one membership
+	// agent per provisioned rank plus the operator-side service, and the
+	// gate that drains in-flight Runs before each epoch cutover.
+	svc  *membership.Service
+	gate runGate
 	// roundBase is where the next Run's tag sequence starts; successive
 	// runs over the same transports must never reuse tags (stale
 	// replica-race cancellations would swallow them).
@@ -53,17 +60,25 @@ func NewCluster(m int, opts ...Option) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	capacity := m
+	if cfg.elastic != nil {
+		if cfg.elastic.Spares < 0 {
+			return nil, fmt.Errorf("kylix: spare count %d must be >= 0", cfg.elastic.Spares)
+		}
+		cfg.elastic.defaults()
+		capacity = m + cfg.elastic.Spares
+	}
 
 	if cfg.observe {
-		cfg.obsv = obs.New(m, 0)
+		cfg.obsv = obs.New(capacity, 0)
 	}
-	c := &Cluster{cfg: cfg, bf: bf, phys: m, obs: cfg.obsv}
+	c := &Cluster{cfg: cfg, bf: bf, phys: m, capacity: capacity, obs: cfg.obsv}
 	if cfg.faults != nil {
 		fab, err := faultnet.New(*cfg.faults)
 		if err != nil {
 			return nil, err
 		}
-		fab.InitSize(m)
+		fab.InitSize(capacity)
 		if c.obs != nil {
 			fab.SetObserver(c.obs.FaultObserver())
 		}
@@ -71,17 +86,17 @@ func NewCluster(m int, opts ...Option) (*Cluster, error) {
 	}
 	var rec comm.Recorder = comm.NopRecorder{}
 	if cfg.trace {
-		c.collector = trace.NewCollector(m)
+		c.collector = trace.NewCollector(capacity)
 		rec = c.collector
 	}
 	switch cfg.transport {
 	case TransportMemory:
-		c.mem = memnet.New(m,
+		c.mem = memnet.New(capacity,
 			memnet.WithRecorder(rec),
 			memnet.WithRecvTimeout(cfg.recvTimeout),
 			memnet.WithRecvObserver(c.obs.RecvObserver))
 	case TransportTCP:
-		nodes, err := tcpnet.LocalCluster(m, tcpnet.Options{
+		nodes, err := tcpnet.LocalCluster(capacity, tcpnet.Options{
 			RecvTimeout:  cfg.recvTimeout,
 			Recorder:     rec,
 			RecvObserver: c.obs.RecvObserver,
@@ -94,7 +109,57 @@ func NewCluster(m int, opts ...Option) (*Cluster, error) {
 	default:
 		return nil, fmt.Errorf("kylix: unknown transport %d", cfg.transport)
 	}
+	if cfg.elastic != nil {
+		c.startElastic(m)
+	}
 	return c, nil
+}
+
+// startElastic spins up the membership control plane: one agent per
+// provisioned rank (members and spares alike) gossiping over the same
+// transports as the data plane, plus the operator-side service.
+func (c *Cluster) startElastic(m int) {
+	e := c.cfg.elastic
+	members := make([]int, m)
+	for i := range members {
+		members[i] = i
+	}
+	initial := membership.Record{
+		Epoch:   1,
+		Leader:  0,
+		Members: members,
+		Degrees: c.bf.Degrees(),
+	}
+	var met *obs.MembershipMetrics
+	if c.obs != nil {
+		met = obs.NewMembershipMetrics(c.obs.Registry())
+	} else {
+		met = obs.NewMembershipMetrics(nil)
+	}
+	opts := membership.Options{
+		Heartbeat:    e.Heartbeat,
+		SuspectAfter: e.SuspectAfter,
+		DrainTimeout: e.DrainTimeout,
+		AutoEvict:    !e.DisableAutoEvict,
+		Replication:  c.cfg.replication,
+		Seed:         e.Seed,
+		Drain:        c.gate.drain,
+		Metrics:      met,
+	}
+	agents := make([]*membership.Agent, c.capacity)
+	for r := 0; r < c.capacity; r++ {
+		var ep comm.Endpoint
+		if c.mem != nil {
+			ep = c.mem.Endpoint(r)
+		} else {
+			ep = c.tcp[r]
+		}
+		if c.fabric != nil {
+			ep = c.fabric.Wrap(ep)
+		}
+		agents[r] = membership.NewAgent(r, ep, initial, opts)
+	}
+	c.svc = membership.NewService(agents, func(r int) bool { return !c.deadRank(r) })
 }
 
 func buildTopology(cfg config, logical int) (*topo.Butterfly, error) {
@@ -119,33 +184,57 @@ func buildTopology(cfg config, logical int) (*topo.Butterfly, error) {
 	return bf, nil
 }
 
-// Size returns the physical machine count.
-func (c *Cluster) Size() int { return c.phys }
+// Size returns the physical machine count — for an elastic cluster,
+// the current epoch's member count.
+func (c *Cluster) Size() int {
+	if c.svc != nil {
+		return len(c.snapshot().Members)
+	}
+	return c.phys
+}
 
 // LogicalSize returns the machine count the topology spans (Size divided
 // by the replication factor).
-func (c *Cluster) LogicalSize() int { return c.bf.M() }
+func (c *Cluster) LogicalSize() int { return c.Size() / c.cfg.replication }
 
-// Degrees returns the butterfly degrees in use.
-func (c *Cluster) Degrees() []int { return c.bf.Degrees() }
+// Degrees returns the butterfly degrees in use — for an elastic
+// cluster, the current epoch's degrees.
+func (c *Cluster) Degrees() []int {
+	if c.svc != nil {
+		return c.snapshot().Degrees
+	}
+	return c.bf.Degrees()
+}
 
 // Kill marks a physical machine dead — at any point, including
 // mid-round. With WithFaults the kill goes through the fault fabric and
 // works on both transports; otherwise it requires TransportMemory. A
 // replicated cluster keeps functioning as long as every replica group
-// retains a live member.
+// retains a live member. Killing an already-dead machine is idempotent
+// and reports it with a *DeadNodeError.
 func (c *Cluster) Kill(rank int) error {
-	if c.fabric != nil {
+	if rank < 0 || rank >= c.capacity {
+		return fmt.Errorf("kylix: rank %d outside provisioned cluster [0,%d)", rank, c.capacity)
+	}
+	if c.deadRank(rank) {
+		return &DeadNodeError{Rank: rank}
+	}
+	switch {
+	case c.fabric != nil:
 		c.fabric.Kill(rank)
 		if c.mem != nil {
 			c.mem.Kill(rank)
 		}
-		return nil
-	}
-	if c.mem == nil {
+	case c.mem != nil:
+		c.mem.Kill(rank)
+	default:
 		return fmt.Errorf("kylix: failure injection without WithFaults requires TransportMemory")
 	}
-	c.mem.Kill(rank)
+	if c.svc != nil {
+		if a := c.svc.Agent(rank); a != nil {
+			a.Stop()
+		}
+	}
 	return nil
 }
 
@@ -168,7 +257,29 @@ func (c *Cluster) Observability() *Observatory { return c.obs }
 // from any machine fails the run. Runs may be repeated on the same
 // cluster (failures can be injected in between); each run's message tags
 // continue where the previous run's stopped.
+//
+// On an elastic cluster each Run executes over the current epoch's
+// membership: the member ranks run fn over a dense view of the
+// surviving machines, on the epoch's own butterfly — exactly the
+// cluster shape a fresh deployment of those machines would have.
 func (c *Cluster) Run(fn func(*Node) error) error {
+	// Epoch snapshot: members == nil means the static full cluster.
+	var members []int
+	bf := c.bf
+	if c.svc != nil {
+		rec := c.snapshot()
+		ebf, err := topo.New(rec.Degrees)
+		if err != nil {
+			return fmt.Errorf("kylix: epoch %d degrees %v: %w", rec.Epoch, rec.Degrees, err)
+		}
+		if ebf.M() != len(rec.Members)/c.cfg.replication {
+			return fmt.Errorf("kylix: epoch %d degrees %v span %d machines, membership has %d logical",
+				rec.Epoch, rec.Degrees, ebf.M(), len(rec.Members)/c.cfg.replication)
+		}
+		members, bf = rec.Members, ebf
+	}
+	c.gate.enter()
+	defer c.gate.exit()
 	base := c.roundBase.Load()
 	var maxUsed atomic.Uint32
 	body := func(ep comm.Endpoint) error {
@@ -176,7 +287,14 @@ func (c *Cluster) Run(fn func(*Node) error) error {
 		if c.fabric != nil {
 			ep = c.fabric.Wrap(ep)
 		}
-		node, err := newNode(ep, c.bf, c.cfg, base)
+		if members != nil {
+			view, verr := membership.NewView(ep, members)
+			if verr != nil {
+				return verr
+			}
+			ep = view
+		}
+		node, err := newNode(ep, bf, c.cfg, base, physRank)
 		if err != nil {
 			return err
 		}
@@ -198,13 +316,25 @@ func (c *Cluster) Run(fn func(*Node) error) error {
 	}
 	var err error
 	if c.mem != nil {
-		err = memnet.Run(c.mem, body)
+		err = memnet.Run(c.mem, body, members...)
 	} else {
-		errc := make(chan error, c.phys)
-		for _, tn := range c.tcp {
-			go func(ep comm.Endpoint) { errc <- body(ep) }(tn)
+		ranks := members
+		if ranks == nil {
+			ranks = make([]int, len(c.tcp))
+			for i := range ranks {
+				ranks[i] = i
+			}
 		}
-		for range c.tcp {
+		errc := make(chan error, len(ranks))
+		started := 0
+		for _, r := range ranks {
+			if c.deadRank(r) {
+				continue
+			}
+			started++
+			go func(ep comm.Endpoint) { errc <- body(ep) }(c.tcp[r])
+		}
+		for i := 0; i < started; i++ {
 			if e := <-errc; e != nil && err == nil {
 				err = e
 			}
@@ -232,9 +362,12 @@ func (c *Cluster) ResetTraffic() {
 	}
 }
 
-// Close releases all transports (flushing any in-flight injected
-// faults first).
+// Close releases all transports (stopping the membership control plane
+// and flushing any in-flight injected faults first).
 func (c *Cluster) Close() {
+	if c.svc != nil {
+		c.svc.Stop()
+	}
 	if c.fabric != nil {
 		c.fabric.Close()
 	}
@@ -252,6 +385,9 @@ func ListenNode(rank int, addrs []string, opts ...Option) (*Node, error) {
 	cfg := defaultConfig()
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.elastic != nil {
+		return nil, fmt.Errorf("kylix: WithElastic requires an in-process Cluster (membership agents span every rank)")
 	}
 	if cfg.replication < 1 || len(addrs)%cfg.replication != 0 {
 		return nil, fmt.Errorf("kylix: %d machines not divisible by replication %d", len(addrs), cfg.replication)
@@ -290,7 +426,7 @@ func ListenNode(rank int, addrs []string, opts ...Option) (*Node, error) {
 		ep = fab.Wrap(tn)
 		closer = &fabricCloser{fab: fab, under: tn}
 	}
-	node, err := newNode(ep, bf, cfg, 0)
+	node, err := newNode(ep, bf, cfg, 0, rank)
 	if err != nil {
 		_ = tn.Close()
 		return nil, err

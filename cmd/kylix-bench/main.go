@@ -12,6 +12,8 @@
 //	kylix-bench -trace-out t.json  # run a live traced allreduce instead,
 //	                               # writing a Chrome trace (chrome://tracing)
 //	kylix-bench -metrics-addr :0   # ... and serve /metrics, /trace, /timeline
+//	kylix-bench -elastic           # live elastic run: allreduce, a live
+//	                               # membership transition, allreduce again
 package main
 
 import (
@@ -38,6 +40,7 @@ func main() {
 		memprofile  = flag.String("memprofile", "", "write a heap profile taken after the experiments to this file")
 		traceOut    = flag.String("trace-out", "", "run a live observed allreduce and write its Chrome trace_event JSON here (instead of the modelled experiments)")
 		metricsAddr = flag.String("metrics-addr", "", "with the live run: serve /metrics, /trace and /timeline on this address until interrupted")
+		elastic     = flag.Bool("elastic", false, "run a live elastic-membership demo: allreduce, a live Join transition, allreduce on the new epoch (epoch metrics on -metrics-addr)")
 	)
 	flag.Parse()
 
@@ -81,6 +84,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *elastic {
+		if err := runElastic(sc, *metricsAddr); err != nil {
+			fmt.Fprintf(os.Stderr, "kylix-bench: elastic run: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *traceOut != "" || *metricsAddr != "" {
 		if err := runTraced(sc, *traceOut, *metricsAddr); err != nil {
 			fmt.Fprintf(os.Stderr, "kylix-bench: traced run: %v\n", err)
@@ -236,6 +246,96 @@ func runTraced(sc bench.Scale, traceOut, metricsAddr string) error {
 		}
 		fmt.Printf("\nChrome trace written to %s (load in chrome://tracing)\n", traceOut)
 	}
+	return nil
+}
+
+// runElastic runs a live elastic-membership demonstration: an observed
+// allreduce on the initial epoch, a live Join transition that grows the
+// membership onto spare machines, and a second allreduce on the new
+// epoch's re-derived butterfly. The control plane's epoch metrics
+// (epoch_current, epoch_transitions, drain_ns, hb_rtt_ns) are printed
+// afterwards and, with -metrics-addr, are visible on /metrics while the
+// transition happens.
+func runElastic(sc bench.Scale, metricsAddr string) error {
+	m := sc.Machines
+	const spares = 2
+	opts := []kylix.Option{
+		kylix.WithObservability(),
+		kylix.WithElastic(kylix.ElasticOptions{Spares: spares}),
+	}
+	if degrees := factorDegrees(m); len(degrees) > 1 {
+		opts = append(opts, kylix.WithDegrees(degrees...))
+	}
+	cluster, err := kylix.NewCluster(m, opts...)
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	if metricsAddr != "" {
+		srv, err := kylix.ServeMetrics(metricsAddr, cluster.Observability())
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("metrics on http://%s/metrics (epoch gauges update live)\n", srv.Addr)
+	}
+
+	nnz := int(sc.N / 8)
+	if nnz < 64 {
+		nnz = 64
+	}
+	reduceOnce := func() error {
+		return cluster.Run(func(node *kylix.Node) error {
+			set := zipfSet(sc.Seed+int64(node.Rank())*7919, sc.N, nnz)
+			vals := make([]float32, len(set))
+			for i := range vals {
+				vals[i] = 1
+			}
+			red, _, err := node.ConfigureReduce(set, set, vals)
+			if err != nil {
+				return err
+			}
+			_, err = red.Reduce(vals)
+			return err
+		})
+	}
+
+	fmt.Printf("elastic run: m=%d spares=%d epoch=%d degrees=%v n=%d nnz/node=%d\n",
+		cluster.Size(), spares, cluster.Epoch(), cluster.Degrees(), sc.N, nnz)
+	start := time.Now()
+	if err := reduceOnce(); err != nil {
+		return err
+	}
+	fmt.Printf("epoch %d allreduce complete in %v\n",
+		cluster.Epoch(), time.Since(start).Round(time.Millisecond))
+
+	fmt.Printf("joining spare machines %d, %d ...\n", m, m+1)
+	start = time.Now()
+	if err := cluster.Join(m, m+1); err != nil {
+		return err
+	}
+	fmt.Printf("transition to epoch %d committed in %v: %d members, degrees=%v\n",
+		cluster.Epoch(), time.Since(start).Round(time.Millisecond),
+		cluster.Size(), cluster.Degrees())
+	start = time.Now()
+	if err := reduceOnce(); err != nil {
+		return err
+	}
+	fmt.Printf("epoch %d allreduce complete in %v\n\n",
+		cluster.Epoch(), time.Since(start).Round(time.Millisecond))
+
+	snap := cluster.Metrics().Snapshot()
+	fmt.Printf("epoch metrics:\n")
+	fmt.Printf("  epoch_current        %d\n", snap.Gauges["epoch_current"])
+	fmt.Printf("  epoch_transitions    %d\n", snap.Counters["epoch_transitions"])
+	fmt.Printf("  epoch_stale_rejected %d\n", snap.Counters["epoch_stale_rejected"])
+	drain := snap.Histograms["drain_ns"]
+	fmt.Printf("  drain_ns             count=%d p50=%v max=%v\n",
+		drain.Count, time.Duration(drain.P50), time.Duration(drain.Max))
+	rtt := snap.Histograms["hb_rtt_ns"]
+	fmt.Printf("  hb_rtt_ns            count=%d p50=%v p99=%v\n",
+		rtt.Count, time.Duration(rtt.P50), time.Duration(rtt.P99))
 	return nil
 }
 

@@ -1,0 +1,286 @@
+package kylix
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"kylix/internal/comm"
+)
+
+// elasticOpts returns control-plane timings tuned for test convergence
+// on the memory transport, where gossip delivery is instant.
+func elasticOpts(spares int) ElasticOptions {
+	return ElasticOptions{
+		Spares:           spares,
+		Heartbeat:        2 * time.Millisecond,
+		SuspectAfter:     60 * time.Millisecond,
+		DrainTimeout:     time.Second,
+		ProposeTimeout:   30 * time.Second,
+		DisableAutoEvict: true, // the soaks script their own evictions
+		Seed:             11,
+	}
+}
+
+// elasticOptsFor adapts the timings to the transport: over real TCP
+// sockets a 2ms heartbeat across 20 ranks floods the writers (gossip
+// latency then exceeds the suspicion window and the control plane
+// flaps), so the TCP soak paces gossip an order of magnitude slower.
+func elasticOptsFor(transport Transport, spares int) ElasticOptions {
+	o := elasticOpts(spares)
+	if transport == TransportTCP {
+		o.Heartbeat = 15 * time.Millisecond
+		o.SuspectAfter = 300 * time.Millisecond
+	}
+	return o
+}
+
+// reduceEpoch runs one allreduce over the cluster's current membership:
+// logical rank q contributes q+1 to the shared feature 0 and to a
+// private feature 100+q. It returns per-logical-rank result vectors and
+// routing digests. A Config digest fingerprints one rank's routing
+// state, so all replicas of the same logical rank must agree on it —
+// and a churned cluster's per-rank digests must equal a fresh cluster's
+// (the all-survivors-agree cutover oracle).
+func reduceEpoch(t *testing.T, c *Cluster) (map[int][]float32, map[int]uint64) {
+	t.Helper()
+	logical := c.LogicalSize()
+	var mu sync.Mutex
+	results := make(map[int][]float32, logical)
+	digests := make(map[int][]uint64, logical)
+	err := c.Run(func(n *Node) error {
+		q := n.Rank()
+		in := []int32{0}
+		out := []int32{0, int32(100 + q)}
+		vals := []float32{float32(q + 1), float32(q + 1)}
+		red, res, err := n.ConfigureReduce(in, out, vals)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		results[q] = res
+		digests[q] = append(digests[q], red.ConfigDigest())
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("epoch %d run: %v", c.Epoch(), err)
+	}
+	want := float32(0)
+	for q := 0; q < logical; q++ {
+		want += float32(q + 1)
+	}
+	outDigests := map[int]uint64{}
+	for q := 0; q < logical; q++ {
+		if results[q] == nil {
+			t.Fatalf("epoch %d: logical rank %d produced no result", c.Epoch(), q)
+		}
+		if results[q][0] != want {
+			t.Fatalf("epoch %d logical %d: shared sum %f, want %f", c.Epoch(), q, results[q][0], want)
+		}
+		for _, d := range digests[q] {
+			if d != digests[q][0] {
+				t.Fatalf("epoch %d logical %d: replicas disagree on routing digest: %x", c.Epoch(), q, digests[q])
+			}
+		}
+		outDigests[q] = digests[q][0]
+	}
+	return results, outDigests
+}
+
+// runElasticChurn is the acceptance soak: a replicated elastic cluster
+// survives scripted joins, leaves and replacements — with machines and
+// the membership coordinator killed mid-sequence, and a partition that
+// heals — and its post-churn reduction is bit-identical to a freshly
+// built cluster of the final membership.
+func runElasticChurn(t *testing.T, transport Transport) {
+	const (
+		m      = 16
+		s      = 2
+		spares = 4
+	)
+	c, err := NewCluster(m,
+		WithTransport(transport),
+		WithReplication(s),
+		WithElastic(elasticOptsFor(transport, spares)),
+		WithFaults(FaultPlan{Seed: 99}),
+		WithRecvTimeout(15*time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fab := c.Faults()
+
+	if c.Epoch() != 1 || c.Size() != m || c.Capacity() != m+spares {
+		t.Fatalf("initial epoch/size/capacity = %d/%d/%d", c.Epoch(), c.Size(), c.Capacity())
+	}
+	reduceEpoch(t, c) // epoch 1 baseline
+
+	// Scripted churn. Member counts stay divisible by s throughout.
+	if err := c.Join(16, 17); err != nil { // 16 -> 18 members
+		t.Fatalf("join: %v", err)
+	}
+	if c.Epoch() != 2 || c.Size() != 18 {
+		t.Fatalf("post-join epoch/size = %d/%d", c.Epoch(), c.Size())
+	}
+	reduceEpoch(t, c)
+
+	// A machine dies; its replica partner carries its group until the
+	// dead rank is swapped for a spare.
+	if err := c.Kill(5); err != nil {
+		t.Fatalf("kill 5: %v", err)
+	}
+	if err := c.Replace(5, 18); err != nil {
+		t.Fatalf("replace 5->18: %v", err)
+	}
+	reduceEpoch(t, c)
+
+	// Kill the membership coordinator itself at its next control-plane
+	// send: the proposal must survive its death and commit through the
+	// successor coordinator.
+	leader := c.Members()[0]
+	fab.KillOnKind(leader, comm.KindControl)
+	if err := c.Replace(leader, 19); err != nil {
+		t.Fatalf("replace dead coordinator %d->19: %v", leader, err)
+	}
+	if !fab.Killed(leader) {
+		t.Fatalf("coordinator %d was never killed by the armed fault", leader)
+	}
+	reduceEpoch(t, c)
+
+	// A partition splits the membership gossip and heals; the following
+	// transition must still converge every survivor.
+	members := c.Members()
+	fab.Partition(members[:4], members[4:])
+	time.Sleep(50 * time.Millisecond)
+	fab.Heal()
+	if err := c.Leave(16, 17); err != nil { // 18 -> 16 members
+		t.Fatalf("leave: %v", err)
+	}
+	final, digests := reduceEpoch(t, c)
+
+	// The churned cluster must behave exactly like a freshly built
+	// cluster of the same final membership: per-rank routing digests
+	// identical (the cutover oracle) and results bit-identical.
+	fresh, err := NewCluster(c.Size(),
+		WithReplication(s),
+		WithDegrees(c.Degrees()...),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	freshResults, freshDigests := reduceEpoch(t, fresh)
+	if len(final) != len(freshResults) {
+		t.Fatalf("churned cluster has %d logical ranks, fresh has %d", len(final), len(freshResults))
+	}
+	for q, res := range final {
+		if digests[q] != freshDigests[q] {
+			t.Fatalf("logical %d: churned routing digest %x != fresh %x", q, digests[q], freshDigests[q])
+		}
+		fres := freshResults[q]
+		if len(res) != len(fres) {
+			t.Fatalf("logical %d: result lengths %d vs %d", q, len(res), len(fres))
+		}
+		for i := range res {
+			if res[i] != fres[i] {
+				t.Fatalf("logical %d: churned result %v != fresh result %v", q, res, fres)
+			}
+		}
+	}
+}
+
+func TestElasticChurnMemory(t *testing.T) {
+	runElasticChurn(t, TransportMemory)
+}
+
+func TestElasticChurnTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP elastic soak skipped in -short")
+	}
+	runElasticChurn(t, TransportTCP)
+}
+
+// TestKillIdempotent verifies Kill's structured double-kill report.
+func TestKillIdempotent(t *testing.T) {
+	c, err := NewCluster(4, WithRecvTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Kill(2); err != nil {
+		t.Fatalf("first kill: %v", err)
+	}
+	err = c.Kill(2)
+	var dne *DeadNodeError
+	if !errors.As(err, &dne) || dne.Rank != 2 {
+		t.Fatalf("second kill = %v, want DeadNodeError{Rank: 2}", err)
+	}
+	if err := c.Kill(99); err == nil {
+		t.Fatal("out-of-range kill must error")
+	}
+}
+
+// TestElasticValidation covers the construction and API guard rails.
+func TestElasticValidation(t *testing.T) {
+	c, err := NewCluster(4, WithRecvTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Join(5); err == nil {
+		t.Fatal("Join without WithElastic must error")
+	}
+	if _, err := ListenNode(0, []string{"127.0.0.1:0"}, WithElastic(ElasticOptions{})); err == nil {
+		t.Fatal("ListenNode with WithElastic must error")
+	}
+	if _, err := NewCluster(4, WithElastic(ElasticOptions{Spares: -1})); err == nil {
+		t.Fatal("negative spares must error")
+	}
+
+	e, err := NewCluster(4, WithElastic(elasticOpts(1)), WithReplication(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	// 4 -> 5 members breaks the replication divisibility.
+	if err := e.Join(4); err == nil {
+		t.Fatal("join breaking divisibility must error")
+	}
+	if err := e.Leave(99); err == nil {
+		t.Fatal("leave of a non-member must error")
+	}
+}
+
+// TestElasticEpochMetrics checks the control plane's numbers surface
+// through the observability registry after a live transition.
+func TestElasticEpochMetrics(t *testing.T) {
+	c, err := NewCluster(4,
+		WithElastic(elasticOpts(2)),
+		WithObservability(),
+		WithRecvTimeout(5*time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Join(4, 5); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	reduceEpoch(t, c)
+	snap := c.Metrics().Snapshot()
+	if got := snap.Gauges["epoch_current"]; got != 2 {
+		t.Fatalf("epoch_current = %d, want 2", got)
+	}
+	if got := snap.Counters["epoch_transitions"]; got < 1 {
+		t.Fatalf("epoch_transitions = %d, want >= 1", got)
+	}
+	if snap.Histograms["drain_ns"].Count < 1 {
+		t.Fatalf("drain_ns histogram empty: %+v", snap.Histograms["drain_ns"])
+	}
+	if snap.Histograms["hb_rtt_ns"].Count < 1 {
+		t.Fatalf("hb_rtt_ns histogram empty: %+v", snap.Histograms["hb_rtt_ns"])
+	}
+}

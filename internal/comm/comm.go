@@ -34,6 +34,11 @@ const (
 	// KindApp is reserved for application-level traffic (e.g. the
 	// MapReduce baseline's shuffle).
 	KindApp
+	// KindControl carries the membership control plane's epoch-stamped
+	// gossip (heartbeats, epoch proposals, acknowledgements). Control
+	// traffic shares the transports with the data plane but lives in its
+	// own kind so tags never collide with protocol rounds.
+	KindControl
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -49,6 +54,8 @@ func (k Kind) String() string {
 		return "config+reduce"
 	case KindApp:
 		return "app"
+	case KindControl:
+		return "control"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -105,8 +105,53 @@ func TestBytesPayloadRoundTrip(t *testing.T) {
 }
 
 func TestEmptyPayloads(t *testing.T) {
-	for _, p := range []Payload{&Keys{}, &Floats{}, &KeysVals{}, &Bytes{}, &InOut{}, &Combined{}, &Delta{}, &Delta{InSame: true, OutSame: true}} {
+	for _, p := range []Payload{&Keys{}, &Floats{}, &KeysVals{}, &Bytes{}, &InOut{}, &Combined{}, &Delta{}, &Delta{InSame: true, OutSame: true}, &Control{}} {
 		roundTrip(t, p)
+	}
+}
+
+func TestControlPayloadRoundTrip(t *testing.T) {
+	p := &Control{
+		Op:          3,
+		Epoch:       42,
+		Leader:      1,
+		Members:     []int32{0, 1, 2, 5},
+		Degrees:     []int32{2, 2},
+		PropEpoch:   43,
+		PropLeader:  2,
+		PropMembers: []int32{0, 1, 2, 5, 7, 9},
+		PropDegrees: []int32{3},
+		Ack:         0xdeadbeefcafe,
+		Clock:       123456789,
+		Echo:        987654321,
+	}
+	q := roundTrip(t, p.Clone()).(*Control)
+	if q.Op != p.Op || q.Epoch != p.Epoch || q.Leader != p.Leader ||
+		q.PropEpoch != p.PropEpoch || q.PropLeader != p.PropLeader ||
+		q.Ack != p.Ack || q.Clock != p.Clock || q.Echo != p.Echo {
+		t.Fatalf("control scalar mismatch: %+v vs %+v", q, p)
+	}
+	for _, pair := range [][2][]int32{
+		{q.Members, p.Members}, {q.Degrees, p.Degrees},
+		{q.PropMembers, p.PropMembers}, {q.PropDegrees, p.PropDegrees},
+	} {
+		if len(pair[0]) != len(pair[1]) {
+			t.Fatalf("control slice length mismatch: %v vs %v", pair[0], pair[1])
+		}
+		for i := range pair[0] {
+			if pair[0][i] != pair[1][i] {
+				t.Fatalf("control slice mismatch: %v vs %v", pair[0], pair[1])
+			}
+		}
+	}
+	if !q.StalerThan(43) || q.StalerThan(42) {
+		t.Fatal("StalerThan broken")
+	}
+	// Clone must not share slice memory with the original.
+	c := p.Clone().(*Control)
+	c.Members[0] = 99
+	if p.Members[0] == 99 {
+		t.Fatal("Clone shares Members memory")
 	}
 }
 

@@ -20,7 +20,7 @@ func TestDecodeRandomBytesNeverPanics(t *testing.T) {
 		rng.Read(buf)
 		if trial%3 == 0 && n > 0 {
 			// Bias toward valid discriminators so deeper paths run.
-			buf[0] = byte(1 + rng.Intn(11))
+			buf[0] = byte(1 + rng.Intn(12))
 		}
 		func() {
 			defer func() {
@@ -31,6 +31,14 @@ func TestDecodeRandomBytesNeverPanics(t *testing.T) {
 			_, _ = DecodePayload(buf)
 		}()
 	}
+}
+
+func keys32(raw []uint16) []int32 {
+	out := make([]int32, len(raw))
+	for i, r := range raw {
+		out[i] = int32(r)
+	}
+	return out
 }
 
 // TestEncodeDecodeQuick round-trips randomized payloads of every type.
@@ -54,6 +62,10 @@ func TestEncodeDecodeQuick(t *testing.T) {
 			&Delta{In: keys, Out: keys},
 			&Delta{InSame: true, Out: keys},
 			&Delta{InSame: true, OutSame: true},
+			&Control{Op: 1, Epoch: uint64(len(vals)), Leader: 3,
+				Members: keys32(keysRaw), Degrees: []int32{2, 2},
+				PropEpoch: uint64(len(data)), PropMembers: keys32(keysRaw),
+				Ack: 7, Clock: int64(len(keysRaw)), Echo: 9},
 		}
 		for _, p := range payloads {
 			buf := p.AppendTo(nil)

@@ -260,6 +260,8 @@ func DecodePayload(buf []byte) (Payload, error) {
 		data := make([]byte, n)
 		copy(data, buf)
 		return &Bytes{Data: data}, nil
+	case wireControl:
+		return decodeControlPayload(buf)
 	default:
 		return decodeConfigPayload(kind, buf)
 	}

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"kylix/internal/comm"
@@ -160,6 +161,35 @@ type Config struct {
 	// of the Config must error rather than silently misroute.
 	poisoned bool
 }
+
+// ErrPoisoned is the sentinel for a Config whose routing state diverged
+// mid-Reconfigure. Match with errors.Is(err, ErrPoisoned); the concrete
+// error is a *PoisonedError carrying the rank. A poisoned Config can
+// never be repaired in place — recovery is a fresh Configure (or, under
+// elastic membership, a fresh epoch).
+var ErrPoisoned = errors.New("core: Config poisoned by a failed Reconfigure; rebuild with Configure")
+
+// PoisonedError is the structured form of ErrPoisoned: it records which
+// rank refused the operation so SPMD callers can tell a local poison
+// from a peer's.
+type PoisonedError struct {
+	// Rank is the machine whose Config is poisoned.
+	Rank int
+}
+
+// Error implements error.
+func (e *PoisonedError) Error() string {
+	return fmt.Sprintf("core: rank %d: Config poisoned by a failed Reconfigure; rebuild with Configure", e.Rank)
+}
+
+// Is makes errors.Is(err, ErrPoisoned) match a *PoisonedError.
+func (e *PoisonedError) Is(target error) bool { return target == ErrPoisoned }
+
+// Poisoned reports whether a failed Reconfigure has made the Config
+// unusable. Callers seeing true must rebuild via Configure; the elastic
+// membership layer uses it to route recovery into a fresh epoch instead
+// of retrying a doomed Reduction.
+func (c *Config) Poisoned() bool { return c.poisoned }
 
 // InSet returns the configured in-set in key order. The values returned
 // by Reduce align with it.

@@ -38,7 +38,7 @@ var deltaUnchanged = &comm.Delta{InSame: true, OutSame: true}
 func (c *Config) Reconfigure(inSet, outSet sparse.Set) (err error) {
 	m := c.mach
 	if c.poisoned {
-		return fmt.Errorf("core: rank %d: Config poisoned by a failed Reconfigure; rebuild with Configure", m.Rank())
+		return &PoisonedError{Rank: m.Rank()}
 	}
 	// A set equal to the currently configured one is sorted by
 	// construction; the warm unchanged-sets path gets away with two O(1)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -201,11 +202,19 @@ func TestReconfigureErrorPoisons(t *testing.T) {
 		if err := cfg.Reconfigure(uncovered, s); err == nil {
 			t.Fatal("strict Reconfigure accepted an uncovered in-set")
 		}
-		if err := cfg.Reconfigure(s, s); err == nil {
-			t.Error("Reconfigure succeeded on a poisoned Config")
+		if !cfg.Poisoned() {
+			t.Error("Poisoned() false after a mid-collective Reconfigure failure")
 		}
-		if _, err := cfg.Reduce(make([]float32, len(s))); err == nil {
-			t.Error("Reduce succeeded on a poisoned Config")
+		if err := cfg.Reconfigure(s, s); !errors.Is(err, ErrPoisoned) {
+			t.Errorf("Reconfigure on a poisoned Config: got %v, want ErrPoisoned", err)
+		}
+		_, err = cfg.Reduce(make([]float32, len(s)))
+		if !errors.Is(err, ErrPoisoned) {
+			t.Errorf("Reduce on a poisoned Config: got %v, want ErrPoisoned", err)
+		}
+		var pe *PoisonedError
+		if !errors.As(err, &pe) || pe.Rank != 0 {
+			t.Errorf("poisoned error not structured: %v", err)
 		}
 		return nil
 	})

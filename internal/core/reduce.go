@@ -36,7 +36,7 @@ import (
 func (c *Config) Reduce(outVals []float32) (res []float32, err error) {
 	m := c.mach
 	if c.poisoned {
-		return nil, fmt.Errorf("core: rank %d: Config poisoned by a failed Reconfigure; rebuild with Configure", m.Rank())
+		return nil, &PoisonedError{Rank: m.Rank()}
 	}
 	w := m.opts.Width
 	if len(outVals) != len(c.outSet)*w {

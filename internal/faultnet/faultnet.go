@@ -151,6 +151,10 @@ type Fabric struct {
 	killed   []atomic.Bool
 	sends    []atomic.Int64
 	killsFor [][]Kill // per-rank kill schedule
+	// killKind[rank] holds an armed one-shot protocol-step kill: the
+	// value is comm.Kind+1 (0 = unarmed), and the rank crash-stops on
+	// its next send of that kind. See KillOnKind.
+	killKind []atomic.Int32
 
 	mu      sync.Mutex
 	eps     []comm.Endpoint // underlying endpoint per rank (closed on Kill)
@@ -265,6 +269,7 @@ func (f *Fabric) InitSize(size int) {
 		f.killed = make([]atomic.Bool, size)
 		f.sends = make([]atomic.Int64, size)
 		f.killsFor = make([][]Kill, size)
+		f.killKind = make([]atomic.Int32, size)
 		for _, k := range f.plan.Kills {
 			if k.Rank < size {
 				f.killsFor[k.Rank] = append(f.killsFor[k.Rank], k)
@@ -296,6 +301,21 @@ func (f *Fabric) Kill(rank int) {
 	if ep != nil {
 		_ = ep.Close()
 	}
+}
+
+// KillOnKind arms a one-shot protocol-step kill: the rank crash-stops
+// at its next send of a message of the given kind (the send fails with
+// comm.ErrClosed). Unlike the send-count Kills of the plan, the trigger
+// is a protocol step, not a logical clock — which is how chaos suites
+// land a crash exactly when a membership coordinator broadcasts its
+// next control message mid-transition, independent of how many
+// heartbeats it sent before. Arming again replaces a pending trigger;
+// arming for a dead or out-of-range rank is a no-op.
+func (f *Fabric) KillOnKind(rank int, kind comm.Kind) {
+	if f.killKind == nil || rank < 0 || rank >= f.size {
+		return
+	}
+	f.killKind[rank].Store(int32(kind) + 1)
 }
 
 // Killed reports whether a machine has crash-stopped (manually or by a
@@ -531,6 +551,12 @@ func (e *endpoint) Send(to int, tag comm.Tag, p comm.Payload) error {
 	count := f.sends[e.rank].Add(1)
 	for _, k := range f.killsFor[e.rank] {
 		if count > int64(k.AfterSends) {
+			f.Kill(e.rank)
+			return comm.ErrClosed
+		}
+	}
+	if kk := f.killKind[e.rank].Load(); kk != 0 && tag.Kind() == comm.Kind(kk-1) {
+		if f.killKind[e.rank].CompareAndSwap(kk, 0) {
 			f.Kill(e.rank)
 			return comm.ErrClosed
 		}

@@ -309,3 +309,47 @@ func TestPlanValidation(t *testing.T) {
 		t.Fatalf("valid plan rejected: %v", err)
 	}
 }
+
+// TestKillOnKind pins the protocol-step fault point: an armed rank
+// survives sends of other kinds, crash-stops exactly on its next send
+// of the armed kind, and the trigger is one-shot.
+func TestKillOnKind(t *testing.T) {
+	fab, err := New(Plan{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := memnet.New(2, memnet.WithRecvTimeout(5*time.Second))
+	t.Cleanup(net.Close)
+	a := fab.Wrap(net.Endpoint(0))
+	b := fab.Wrap(net.Endpoint(1))
+
+	fab.KillOnKind(0, comm.KindControl)
+
+	// A send of a different kind passes through untouched.
+	dataTag := comm.MakeTag(comm.KindApp, 0, 1)
+	if err := a.Send(1, dataTag, &comm.Floats{Vals: []float32{1}}); err != nil {
+		t.Fatalf("non-armed kind send failed: %v", err)
+	}
+	if _, err := b.Recv(0, dataTag); err != nil {
+		t.Fatalf("non-armed kind not delivered: %v", err)
+	}
+
+	// The armed kind crash-stops the sender.
+	ctlTag := comm.MakeTag(comm.KindControl, 0, 0)
+	if err := a.Send(1, ctlTag, &comm.Control{Epoch: 1}); !errors.Is(err, comm.ErrClosed) {
+		t.Fatalf("armed kind send: got %v, want ErrClosed", err)
+	}
+	if !fab.Killed(0) {
+		t.Fatal("rank 0 not killed by KillOnKind")
+	}
+	// One-shot: other ranks are unaffected and can still send control.
+	if err := b.Send(1, ctlTag, &comm.Control{Epoch: 1}); err != nil {
+		t.Fatalf("bystander control send failed: %v", err)
+	}
+	if _, err := b.Recv(1, ctlTag); err != nil {
+		t.Fatalf("bystander control not delivered: %v", err)
+	}
+	// Arming a dead or out-of-range rank is a no-op.
+	fab.KillOnKind(0, comm.KindApp)
+	fab.KillOnKind(99, comm.KindApp)
+}

@@ -1,0 +1,205 @@
+package membership
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// pollEvery is the Service's convergence-poll granularity.
+const pollEvery = 2 * time.Millisecond
+
+// Service is the operator-side facade over a cluster's agents: it
+// routes membership changes to whichever agent currently coordinates,
+// retries across leader failover (the coordinator dying mid-transition
+// included), and answers "has everyone converged" for cutover checks.
+// It holds one agent per provisioned physical rank; which of them are
+// usable at any instant is delegated to the alive predicate (in
+// production, transport/fault-fabric liveness).
+type Service struct {
+	agents []*Agent
+	alive  func(rank int) bool
+}
+
+// NewService wraps the per-rank agents. alive reports external
+// liveness for a physical rank (nil = always alive); a stopped agent is
+// unusable regardless.
+func NewService(agents []*Agent, alive func(rank int) bool) *Service {
+	return &Service{agents: agents, alive: alive}
+}
+
+// Agent returns the agent for a physical rank (nil if out of range).
+func (s *Service) Agent(rank int) *Agent {
+	if rank < 0 || rank >= len(s.agents) {
+		return nil
+	}
+	return s.agents[rank]
+}
+
+// Stop shuts down every agent.
+func (s *Service) Stop() {
+	for _, a := range s.agents {
+		if a != nil {
+			a.Stop()
+		}
+	}
+}
+
+func (s *Service) usable(rank int) bool {
+	a := s.Agent(rank)
+	if a == nil || a.Stopped() {
+		return false
+	}
+	return s.alive == nil || s.alive(rank)
+}
+
+// Snapshot returns the most advanced committed record any usable agent
+// holds (falling back to unusable agents' records if none are usable,
+// so a fully wedged cluster still reports its last known epoch).
+func (s *Service) Snapshot() Record {
+	var best Record
+	found := false
+	for rank, a := range s.agents {
+		if a == nil || !s.usable(rank) {
+			continue
+		}
+		if r := a.Record(); !found || r.Supersedes(best) {
+			best, found = r, true
+		}
+	}
+	if !found {
+		for _, a := range s.agents {
+			if a == nil {
+				continue
+			}
+			if r := a.Record(); r.Supersedes(best) {
+				best = r
+			}
+		}
+	}
+	return best
+}
+
+// convergedOn reports whether every usable member agent of rec has
+// committed exactly rec and settled back to Stable.
+func (s *Service) convergedOn(rec Record) bool {
+	want := rec.Digest()
+	live := 0
+	for _, m := range rec.Members {
+		if !s.usable(m) {
+			continue
+		}
+		live++
+		a := s.Agent(m)
+		if a.Record().Digest() != want || !a.Settled() {
+			return false
+		}
+	}
+	return live > 0
+}
+
+// WaitConverged blocks until all usable members of the newest epoch
+// agree on it bit-for-bit (by Record digest) and have settled, or the
+// timeout passes. Returns the converged record.
+func (s *Service) WaitConverged(timeout time.Duration) (Record, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		rec := s.Snapshot()
+		if rec.Epoch != 0 && s.convergedOn(rec) {
+			return rec, nil
+		}
+		if time.Now().After(deadline) {
+			return rec, fmt.Errorf("membership: convergence timed out at epoch %d", rec.Epoch)
+		}
+		time.Sleep(pollEvery)
+	}
+}
+
+// reflected reports whether rec shows the change applied: every added
+// rank present, every removed rank gone.
+func reflected(ch Change, rec Record) bool {
+	for _, a := range ch.Add {
+		if !rec.HasMember(a) {
+			return false
+		}
+	}
+	for _, r := range ch.Remove {
+		if rec.HasMember(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// Propose drives a membership change to commitment, retrying across
+// leader handoff, busy transitions, and coordinator death (when the
+// submitting leader is killed mid-transition the change is resubmitted
+// to its successor). Validation failures — an invalid delta — abort
+// immediately. On success the committed record reflecting the change is
+// returned; call WaitConverged to wait for every survivor to settle on
+// it.
+func (s *Service) Propose(ch Change, timeout time.Duration) (Record, error) {
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	hint := -1
+	submitted := false
+	for {
+		rec := s.Snapshot()
+		// The reflected shortcut only applies once a submission was
+		// accepted: before that, a vacuously-satisfied change (removing a
+		// rank that was never a member) must still reach Apply and fail
+		// validation rather than silently "succeed".
+		if submitted && rec.Epoch != 0 && reflected(ch, rec) {
+			return rec, nil // committed (possibly by a prior attempt)
+		}
+		if time.Now().After(deadline) {
+			if lastErr == nil {
+				lastErr = errors.New("no usable coordinator")
+			}
+			return rec, fmt.Errorf("membership: propose timed out at epoch %d: %w", rec.Epoch, lastErr)
+		}
+		leader := hint
+		hint = -1
+		if leader < 0 || !s.usable(leader) {
+			leader = LeaderOf(rec.Members, func(r int) bool { return !s.usable(r) })
+		}
+		a := s.Agent(leader)
+		if a == nil {
+			lastErr = fmt.Errorf("no agent for coordinator %d", leader)
+			time.Sleep(pollEvery)
+			continue
+		}
+		target, err := a.Submit(ch)
+		var nle *NotLeaderError
+		switch {
+		case err == nil:
+			submitted = true
+			// Accepted: poll for the commit to surface; if the epoch
+			// moves past our target without the change (a competing
+			// transition won), loop and resubmit.
+			for time.Now().Before(deadline) {
+				cur := s.Snapshot()
+				if reflected(ch, cur) {
+					return cur, nil
+				}
+				if cur.Epoch >= target.Epoch {
+					break // superseded without our change: resubmit
+				}
+				if a.Stopped() || !s.usable(leader) {
+					break // coordinator died mid-transition: resubmit
+				}
+				time.Sleep(pollEvery)
+			}
+			lastErr = fmt.Errorf("proposal for epoch %d did not commit", target.Epoch)
+		case errors.As(err, &nle):
+			hint = nle.Leader
+			lastErr = err
+			time.Sleep(pollEvery)
+		case errors.Is(err, ErrBusy), errors.Is(err, ErrStopped), errors.Is(err, ErrNotMember):
+			lastErr = err
+			time.Sleep(pollEvery)
+		default:
+			return rec, err // the change itself is invalid
+		}
+	}
+}

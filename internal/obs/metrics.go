@@ -291,6 +291,11 @@ type TransportMetrics struct {
 	// ResendRingHigh is the high-watermark frame occupancy across all
 	// peer resend rings.
 	ResendRingHigh *Gauge
+	// ReconnectRetries is the per-outage distribution of dial attempts:
+	// one sample each time a stream is re-established or given up on,
+	// recording how many dials the outage cost. An endless-reconnect
+	// loop against a departed peer shows up here as a fat tail.
+	ReconnectRetries *Histogram
 }
 
 // NewTransportMetrics registers the transport metric set in r (nil r
@@ -302,5 +307,45 @@ func NewTransportMetrics(r *Registry) *TransportMetrics {
 		StreamsLost:       r.Counter("tcp_streams_lost"),
 		DedupHits:         r.Counter("tcp_dedup_hits"),
 		ResendRingHigh:    r.Gauge("tcp_resend_ring_high"),
+		ReconnectRetries:  r.Histogram("tcp_reconnect_retries"),
+	}
+}
+
+// MembershipMetrics bundles the elastic control plane's numbers:
+// current epoch, transition counts, drain latencies and the heartbeat
+// round-trip distribution. Constructed by NewMembershipMetrics so the
+// membership agents can record unconditionally — a nil registry yields
+// live, unregistered metrics.
+type MembershipMetrics struct {
+	// EpochCurrent is the highest committed epoch number any agent has
+	// adopted.
+	EpochCurrent *Gauge
+	// EpochTransitions counts epoch adoptions across all agents (each
+	// agent's cutover to a newer committed record increments it once).
+	EpochTransitions *Counter
+	// DrainNs is the distribution of drain (bounded quiesce) durations
+	// in nanoseconds, one sample per adoption.
+	DrainNs *Histogram
+	// HeartbeatRTT is the distribution of control-plane heartbeat
+	// round-trip times in nanoseconds, measured via clock echoes.
+	HeartbeatRTT *Histogram
+	// StaleEpochRejected counts control messages rejected because they
+	// carried an epoch older than the receiver's committed one.
+	StaleEpochRejected *Counter
+	// Suspected counts peer-suspicion events (a member's heartbeats
+	// went quiet past the suspicion window).
+	Suspected *Counter
+}
+
+// NewMembershipMetrics registers the membership metric set in r (nil r
+// gives unregistered metrics).
+func NewMembershipMetrics(r *Registry) *MembershipMetrics {
+	return &MembershipMetrics{
+		EpochCurrent:       r.Gauge("epoch_current"),
+		EpochTransitions:   r.Counter("epoch_transitions"),
+		DrainNs:            r.Histogram("drain_ns"),
+		HeartbeatRTT:       r.Histogram("hb_rtt_ns"),
+		StaleEpochRejected: r.Counter("epoch_stale_rejected"),
+		Suspected:          r.Counter("membership_suspected"),
 	}
 }

@@ -34,10 +34,14 @@ func Wrap(ep comm.Endpoint, s int) (comm.Endpoint, error) {
 
 // LogicalRank maps a physical rank to the logical rank it plays in an
 // s-replicated cluster of physical size m.
+//
+//kylix:deterministic
 func LogicalRank(physRank, m, s int) int { return physRank % (m / s) }
 
 // Replicas lists the physical machines playing logical rank q in an
 // s-replicated cluster of physical size m, primary first.
+//
+//kylix:deterministic
 func Replicas(q, m, s int) []int {
 	logical := m / s
 	out := make([]int, s)
@@ -51,6 +55,8 @@ func Replicas(q, m, s int) []int {
 // machine failures a factor-2 replicated m-machine network absorbs
 // before some replica group is entirely dead — the sqrt(m)-ish bound the
 // paper cites from the birthday paradox. (~sqrt(pi*m/2) for s=2.)
+//
+//kylix:deterministic
 func BirthdayBound(m int) float64 { return math.Sqrt(math.Pi * float64(m) / 2) }
 
 type endpoint struct {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"kylix/internal/comm"
+	"kylix/internal/obs"
 )
 
 // flakyProxy sits between a sender and a real node's listener,
@@ -282,5 +283,46 @@ func TestHealthyClusterCloseReportsNoError(t *testing.T) {
 		if err := n.Close(); err != nil {
 			t.Fatalf("healthy close returned %v", err)
 		}
+	}
+}
+
+// TestReconnectBackoffCapAndRetryMetric pins the bounded-backoff
+// contract: against a peer that is gone for good, the dial loop keeps
+// probing at the capped rate until the budget expires, and the attempt
+// count of the outage lands in the ReconnectRetries histogram — an
+// endless-reconnect loop is visible and bounded, not silent and
+// unbounded.
+func TestReconnectBackoffCapAndRetryMetric(t *testing.T) {
+	reg := obs.NewRegistry()
+	tm := obs.NewTransportMetrics(reg)
+	addrs := []string{"127.0.0.1:0", "127.0.0.1:1"} // port 1: nothing listens
+	n, err := Listen(0, addrs, Options{
+		DialTimeout:         500 * time.Millisecond,
+		MaxReconnectBackoff: 10 * time.Millisecond,
+		RecvTimeout:         time.Second,
+		Metrics:             tm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.Send(1, comm.MakeTag(comm.KindApp, 0, 0), &comm.Bytes{Data: []byte("void")}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for tm.StreamsLost.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stream never declared lost")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := tm.ReconnectRetries.Count(); got < 1 {
+		t.Fatalf("ReconnectRetries recorded %d outages, want >= 1", got)
+	}
+	// With the backoff capped at 10ms over a 500ms budget, the loop must
+	// have kept probing — an uncapped doubling schedule would sleep most
+	// of the budget away in two or three waits.
+	if got := tm.ReconnectRetries.Max(); got < 10 {
+		t.Fatalf("outage cost %d dial attempts, want >= 10 (backoff cap not applied?)", got)
 	}
 }

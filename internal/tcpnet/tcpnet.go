@@ -56,6 +56,12 @@ type Options struct {
 	// reconnecting (with exponential backoff + jitter) before the peer
 	// is declared dead (default 15s).
 	ReconnectTimeout time.Duration
+	// MaxReconnectBackoff caps the exponential backoff between redial
+	// attempts (default 400ms). A lower ceiling makes a churn-heavy
+	// cluster re-establish streams faster at the cost of more dial
+	// traffic against peers that are gone for good; the attempt count
+	// per outage is surfaced via Metrics.ReconnectRetries either way.
+	MaxReconnectBackoff time.Duration
 	// ResendBuffer is how many recent frames each peer stream retains
 	// for replay after a reconnect (default 4096). Frames older than
 	// the ring that were lost in flight are unrecoverable — the ring
@@ -88,6 +94,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ReconnectTimeout == 0 {
 		o.ReconnectTimeout = 15 * time.Second
+	}
+	if o.MaxReconnectBackoff == 0 {
+		o.MaxReconnectBackoff = 400 * time.Millisecond
 	}
 	if o.ResendBuffer == 0 {
 		o.ResendBuffer = 4096
@@ -433,6 +442,7 @@ func (n *Node) writeLoop(to int, pr *peer) {
 		disconnect()
 		deadline := time.Now().Add(budget)
 		backoff := 5 * time.Millisecond
+		attempts := int64(0)
 		for {
 			select {
 			case <-n.done:
@@ -445,9 +455,11 @@ func (n *Node) writeLoop(to int, pr *peer) {
 			// instead of a clean budget-exhausted return.
 			remain := time.Until(deadline)
 			if remain <= 0 {
+				n.opts.Metrics.ReconnectRetries.Observe(attempts)
 				return false
 			}
 			n.opts.Metrics.ReconnectAttempts.Inc()
+			attempts++
 			c, err := net.DialTimeout("tcp", n.addrs[to], remain)
 			if err == nil {
 				if tc, ok := c.(*net.TCPConn); ok {
@@ -465,23 +477,29 @@ func (n *Node) writeLoop(to int, pr *peer) {
 					conn = c
 					dialed = true
 					n.opts.Metrics.Reconnects.Inc()
+					n.opts.Metrics.ReconnectRetries.Observe(attempts)
 					return true
 				}
 				_ = c.Close()
 			}
 			if time.Now().After(deadline) {
+				n.opts.Metrics.ReconnectRetries.Observe(attempts)
 				return false
 			}
 			// Exponential backoff with jitter so a rebooting peer is not
-			// hammered in lockstep by every survivor.
+			// hammered in lockstep by every survivor, capped so a long
+			// outage keeps probing at a steady rate.
 			sleep := backoff/2 + time.Duration(rng.Int63n(int64(backoff)))
 			select {
 			case <-n.done:
 				return false
 			case <-time.After(sleep):
 			}
-			if backoff < 400*time.Millisecond {
+			if backoff < n.opts.MaxReconnectBackoff {
 				backoff *= 2
+				if backoff > n.opts.MaxReconnectBackoff {
+					backoff = n.opts.MaxReconnectBackoff
+				}
 			}
 		}
 	}

@@ -27,8 +27,11 @@ type Node struct {
 	channels []*Node
 }
 
-func newNode(ep comm.Endpoint, bf *topo.Butterfly, cfg config, roundBase uint32) (*Node, error) {
-	physRank := ep.Rank()
+// newNode builds one machine's handle. physRank is the machine's
+// position in the physical cluster — distinct from ep.Rank() when ep is
+// a membership view (dense member rank) or a replication wrapper
+// (logical rank); observability is keyed by the physical identity.
+func newNode(ep comm.Endpoint, bf *topo.Butterfly, cfg config, roundBase uint32, physRank int) (*Node, error) {
 	lep, err := wrapReplication(ep, cfg)
 	if err != nil {
 		return nil, err

@@ -52,6 +52,7 @@ type config struct {
 	trace       bool
 	faults      *faultnet.Plan
 	observe     bool
+	elastic     *ElasticOptions
 	// obsv is the live Observatory once construction wired it (set by
 	// NewCluster/ListenNode when observe is on, then read by newNode).
 	obsv *obs.Observatory

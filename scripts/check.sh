@@ -20,8 +20,11 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race -short (comm, core, faultnet, tcpnet, replica, trace, obs)"
-go test -race -short ./internal/comm/... ./internal/core/... ./internal/faultnet/... ./internal/tcpnet/... ./internal/replica/... ./internal/trace/... ./internal/obs/...
+echo "== go test -race -short (comm, core, faultnet, tcpnet, replica, trace, obs, membership)"
+go test -race -short ./internal/comm/... ./internal/core/... ./internal/faultnet/... ./internal/tcpnet/... ./internal/replica/... ./internal/trace/... ./internal/obs/... ./internal/membership/...
+
+echo "== elastic membership chaos soak (both transports)"
+go test -run 'TestElasticChurn|TestTCPChurnSoak' -count=1 . ./internal/replica/
 
 echo "== bench gate (warm Reduce must be allocation-free)"
 scripts/bench.sh --gate

@@ -31,6 +31,110 @@ func BenchmarkReduceWarmObs(b *testing.B) {
 	benchReduceWarm(b, obs.New(QuickScale().Machines, 0))
 }
 
+// BenchmarkReduceWarmW4 and BenchmarkReduceWarmW4Workers are the
+// Figure 7 contrast: the same warm width-4 reduction with the combine
+// stage serial vs sharded across a 4-worker pool. Both run with full
+// observability and must stay allocation-free — the pool's pass-scoped
+// goroutines are recycled, not allocated. The workload is sized so the
+// layer pieces clear par's sharding threshold (the shards/op metric
+// reports how much of the pass actually forked); on boxes with fewer
+// cores than workers the parallel variant measures overhead, which is
+// why scripts/bench.sh gates the speedup only at >=4 cores.
+func BenchmarkReduceWarmW4(b *testing.B) {
+	benchReduceWarmW4(b, 1)
+}
+
+func BenchmarkReduceWarmW4Workers(b *testing.B) {
+	benchReduceWarmW4(b, 4)
+}
+
+func benchReduceWarmW4(b *testing.B, workers int) {
+	const (
+		machines = 8
+		width    = 4
+		n        = 1 << 17
+	)
+	o := obs.New(machines, 0)
+	p := twitterProfile()
+	w, err := genWorkload(p, n, machines, QuickScale().Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Two layers (not scaleDegrees' single 8) so layer pieces stay large:
+	// a piece is ~set/4 rows, which at width 4 crosses the shard floor.
+	bf := topo.MustNew([]int{4, 2})
+
+	net := memnet.New(machines, memnet.WithRecvObserver(o.RecvObserver))
+	defer net.Close()
+
+	var ready, done sync.WaitGroup
+	start := make(chan struct{})
+	ready.Add(machines)
+	done.Add(machines)
+	errs := make([]error, machines)
+	for q := 0; q < machines; q++ {
+		go func(q int) {
+			defer done.Done()
+			fail := func(err error) {
+				errs[q] = err
+				ready.Done()
+			}
+			m, err := core.NewMachine(net.Endpoint(q), bf, core.Options{
+				Width:          width,
+				CombineWorkers: workers,
+				Tracer:         o.Node(q),
+			})
+			if err != nil {
+				fail(err)
+				return
+			}
+			set := w.sets[q]
+			vals := make([]float32, len(set)*width)
+			for j := range vals {
+				vals[j] = w.vals[q][j/width]
+			}
+			cfg, err := m.Configure(set, set)
+			if err != nil {
+				fail(err)
+				return
+			}
+			for r := 0; r < 2; r++ {
+				if _, err := cfg.Reduce(vals); err != nil {
+					fail(err)
+					return
+				}
+			}
+			ready.Done()
+			<-start
+			for i := 0; i < b.N; i++ {
+				if _, err := cfg.Reduce(vals); err != nil {
+					errs[q] = err
+					return
+				}
+			}
+		}(q)
+	}
+	ready.Wait()
+	for _, err := range errs {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	shards0 := o.Registry().Counter("combine_shards").Value()
+	b.ReportAllocs()
+	b.ResetTimer()
+	close(start)
+	done.Wait()
+	b.StopTimer()
+	for _, err := range errs {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	shards := o.Registry().Counter("combine_shards").Value() - shards0
+	b.ReportMetric(float64(shards)/float64(b.N), "shards/op")
+}
+
 func benchReduceWarm(b *testing.B, o *obs.Observatory) {
 	sc := QuickScale()
 	p := twitterProfile()

@@ -166,10 +166,10 @@ func (m *Machine) configureLayer(ls *layerState, layer int, round uint32, inCur,
 		// call inside retained Combined payloads.
 		acc := make([]float32, len(ls.outUnion)*w)
 		if id := m.opts.Reducer.Identity(); id != 0 {
-			sparse.Fill(acc, id)
+			m.pool.Fill(acc, id)
 		}
 		for t := range group {
-			sparse.CombineInto(m.opts.Reducer, acc, ls.outMaps[t], valP[t], w)
+			m.opts.Tracer.CountCombineShards(m.pool.CombineInto(m.opts.Reducer, acc, ls.outMaps[t], valP[t], w))
 		}
 		*accOut = acc
 	}

@@ -15,6 +15,7 @@ import (
 
 	"kylix/internal/comm"
 	"kylix/internal/obs"
+	"kylix/internal/par"
 	"kylix/internal/sparse"
 	"kylix/internal/topo"
 )
@@ -48,6 +49,14 @@ type Options struct {
 	// (the default) disables tracing at the cost of a nil check per
 	// span — the warm Reduce stays 0 allocs/op either way.
 	Tracer *obs.Tracer
+	// CombineWorkers sizes the machine's combine/gather worker pool:
+	// large folds and gathers are sharded by disjoint index ranges
+	// across this many goroutines (the paper's Fig 7 intra-node
+	// threading). 0 selects min(GOMAXPROCS, 4); 1 (or any negative
+	// value) runs every kernel on the machine goroutine. Results are
+	// bit-identical for every setting — sharding partitions rows, never
+	// the per-row fold order.
+	CombineWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -72,6 +81,11 @@ type Machine struct {
 	// groups, piece staging, union arenas), built lazily and shared by
 	// every Config this machine produces.
 	cfg *cfgScratch
+	// pool shards the combine/gather kernels across CombineWorkers
+	// goroutines; its workers live only within a pass (spawned at the
+	// first kernel large enough to shard, joined at pass end), so
+	// Machines never leak goroutines despite having no Close.
+	pool *par.Pool
 }
 
 // NewMachine binds an endpoint to a butterfly topology. The topology's
@@ -83,8 +97,16 @@ func NewMachine(ep comm.Endpoint, bf *topo.Butterfly, opts Options) (*Machine, e
 	if opts.Width < 0 {
 		return nil, fmt.Errorf("core: negative width %d", opts.Width)
 	}
-	return &Machine{ep: ep, bf: bf, opts: opts.withDefaults()}, nil
+	opts = opts.withDefaults()
+	workers := opts.CombineWorkers
+	if workers < 0 {
+		workers = 1
+	}
+	return &Machine{ep: ep, bf: bf, opts: opts, pool: par.NewPool(workers)}, nil
 }
+
+// CombineWorkers reports the machine's resolved worker-pool size.
+func (m *Machine) CombineWorkers() int { return m.pool.Workers() }
 
 // Rank returns the machine's rank.
 func (m *Machine) Rank() int { return m.ep.Rank() }

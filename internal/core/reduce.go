@@ -46,6 +46,10 @@ func (c *Config) Reduce(outVals []float32) (res []float32, err error) {
 	round := m.nextRound()
 	s := c.ensureScratch()
 	g := c.flip(s)
+	// The pool's workers live for this pass only: the first fold or
+	// gather big enough to shard spawns them, and the pass joins them on
+	// every exit path, so Machines never accumulate goroutines.
+	defer m.pool.End()
 	tr := m.opts.Tracer
 	tr.CountRound()
 	tr.CountArenaFlip()
@@ -95,7 +99,7 @@ func (c *Config) scatterLayer(i int, round uint32, cur []float32, s *scratch, g 
 	}
 
 	acc = g.acc[i]
-	sparse.Fill(acc, m.opts.Reducer.Identity())
+	tr.CountCombineShards(m.pool.Fill(acc, m.opts.Reducer.Identity()))
 
 	stage := s.stage[:len(ls.group)]
 	for t := range stage {
@@ -126,7 +130,11 @@ func (c *Config) scatterLayer(i int, round uint32, cur []float32, s *scratch, g 
 		stage[t] = f
 		received++
 		for folded < len(ls.group) && stage[folded] != nil {
-			sparse.CombineInto(m.opts.Reducer, acc, ls.outMaps[folded], stage[folded].Vals, w)
+			// Each staged piece is folded by the sharded kernel: its map is
+			// injective into the union, so shards touch disjoint rows and
+			// the per-row fold order — piece by piece, in member order —
+			// is exactly the serial one.
+			tr.CountCombineShards(m.pool.CombineInto(m.opts.Reducer, acc, ls.outMaps[folded], stage[folded].Vals, w))
 			folded++
 		}
 	}
@@ -149,7 +157,7 @@ func (c *Config) gatherUp(cur []float32, round uint32, s *scratch, g *genBufs) (
 	// Indices nobody contributed gather the reducer's identity (0 for
 	// sum, +Inf for min, ...), so downstream folds remain neutral.
 	inVals := g.inVals
-	sparse.GatherInto(inVals, c.bottomMap, cur, m.opts.Width, m.opts.Reducer.Identity())
+	tr.CountCombineShards(m.pool.GatherInto(inVals, c.bottomMap, cur, m.opts.Width, m.opts.Reducer.Identity()))
 
 	// Upward allgather, layer l..1.
 	for i := len(c.layers) - 1; i >= 0; i-- {
@@ -182,7 +190,7 @@ func (c *Config) gatherLayer(i int, round uint32, inVals []float32, s *scratch, 
 	sends := g.gather[i]
 	for t, member := range ls.group {
 		f := &sends[t]
-		sparse.GatherInto(f.Vals, ls.inMaps[t], inVals, w, 0)
+		tr.CountCombineShards(m.pool.GatherInto(f.Vals, ls.inMaps[t], inVals, w, 0))
 		sp.BytesOut += int64(f.WireSize())
 		if err := m.ep.Send(member, tag, f); err != nil {
 			return nil, err
@@ -242,6 +250,7 @@ func (m *Machine) ConfigureReduce(inSet, outSet sparse.Set, outVals []float32) (
 	round := m.nextRound()
 	cfg := &Config{mach: m, inSet: inSet, outSet: outSet,
 		layers: make([]layerState, m.bf.Layers())}
+	defer m.pool.End() // join any pass-scoped combine workers
 	tr := m.opts.Tracer
 	tr.CountRound()
 	outer := tr.Begin(comm.KindConfigReduce, 0)

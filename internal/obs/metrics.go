@@ -296,6 +296,16 @@ type TransportMetrics struct {
 	// recording how many dials the outage cost. An endless-reconnect
 	// loop against a departed peer shows up here as a fat tail.
 	ReconnectRetries *Histogram
+	// FramesSent counts frames first handed to the wire by the batching
+	// writer (reconnect replays not included).
+	FramesSent *Counter
+	// FramesBatched counts frames that left in a coalesced batch with at
+	// least one other frame — the wins of the writev gather path.
+	FramesBatched *Counter
+	// WritevCalls counts gather-write syscalls issued by the batching
+	// writer; FramesSent / WritevCalls is the measured frames-per-syscall
+	// ratio (1.0 means no coalescing happened).
+	WritevCalls *Counter
 }
 
 // NewTransportMetrics registers the transport metric set in r (nil r
@@ -308,6 +318,9 @@ func NewTransportMetrics(r *Registry) *TransportMetrics {
 		DedupHits:         r.Counter("tcp_dedup_hits"),
 		ResendRingHigh:    r.Gauge("tcp_resend_ring_high"),
 		ReconnectRetries:  r.Histogram("tcp_reconnect_retries"),
+		FramesSent:        r.Counter("tcp_frames_sent"),
+		FramesBatched:     r.Counter("tcp_frames_batched"),
+		WritevCalls:       r.Counter("tcp_writev_calls"),
 	}
 }
 

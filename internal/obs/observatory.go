@@ -29,15 +29,16 @@ type Observatory struct {
 	tracers []*Tracer
 	trans   *TransportMetrics
 
-	rounds       *Counter
-	arenaFlips   *Counter
-	spansDropped *Counter
-	recvMsgs     *Counter
-	recvBytes    *Counter
-	recvTimeouts *Counter
-	recvWait     *Histogram
-	groupWait    *Histogram
-	faultCounts  map[string]*Counter
+	rounds        *Counter
+	arenaFlips    *Counter
+	combineShards *Counter
+	spansDropped  *Counter
+	recvMsgs      *Counter
+	recvBytes     *Counter
+	recvTimeouts  *Counter
+	recvWait      *Histogram
+	groupWait     *Histogram
+	faultCounts   map[string]*Counter
 
 	// Configuration-pass accounting: wire bytes in the compressed
 	// encoding vs. what the raw 8-byte-per-key format would have cost,
@@ -63,18 +64,19 @@ func New(m, spanCap int) *Observatory {
 	}
 	reg := NewRegistry()
 	o := &Observatory{
-		epoch:        time.Now(),
-		reg:          reg,
-		tracers:      make([]*Tracer, m),
-		rounds:       reg.Counter("reduce_rounds"),
-		arenaFlips:   reg.Counter("arena_flips"),
-		spansDropped: reg.Counter("spans_dropped"),
-		recvMsgs:     reg.Counter("recv_msgs"),
-		recvBytes:    reg.Counter("recv_bytes"),
-		recvTimeouts: reg.Counter("recv_timeouts"),
-		recvWait:     reg.Histogram("recv_wait_ns"),
-		groupWait:    reg.Histogram("recv_group_wait_ns"),
-		faultCounts:  make(map[string]*Counter, len(FaultEventNames)),
+		epoch:         time.Now(),
+		reg:           reg,
+		tracers:       make([]*Tracer, m),
+		rounds:        reg.Counter("reduce_rounds"),
+		arenaFlips:    reg.Counter("arena_flips"),
+		combineShards: reg.Counter("combine_shards"),
+		spansDropped:  reg.Counter("spans_dropped"),
+		recvMsgs:      reg.Counter("recv_msgs"),
+		recvBytes:     reg.Counter("recv_bytes"),
+		recvTimeouts:  reg.Counter("recv_timeouts"),
+		recvWait:      reg.Histogram("recv_wait_ns"),
+		groupWait:     reg.Histogram("recv_group_wait_ns"),
+		faultCounts:   make(map[string]*Counter, len(FaultEventNames)),
 	}
 	o.configBytesEnc = reg.Counter("config_bytes_encoded")
 	o.configBytesRaw = reg.Counter("config_bytes_raw")

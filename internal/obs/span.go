@@ -98,6 +98,19 @@ func (t *Tracer) CountArenaFlip() {
 	}
 }
 
+// CountCombineShards accounts one combine/gather kernel dispatch that
+// was sharded across the worker pool: shards is the shard count the
+// kernel ran with. Serial runs (shards <= 1) are not counted — the
+// metric reads as "how much work the Fig 7 threading actually took",
+// staying zero on single-worker machines.
+//
+//kylix:hotpath
+func (t *Tracer) CountCombineShards(shards int) {
+	if t != nil && shards > 1 {
+		t.o.combineShards.Add(int64(shards))
+	}
+}
+
 // Enabled reports whether spans are actually recorded. Hot paths whose
 // instrumentation itself has a cost beyond filling a Span — the config
 // pass would run the index codec just to know its wire sizes — gate

@@ -1,0 +1,268 @@
+// Package par shards the sparse combine/gather kernels across a small
+// per-machine worker pool — the intra-node threading of the paper's
+// Figure 7, where the combine stage scales with cores until the wire
+// becomes the bottleneck.
+//
+// Sharding is by contiguous row range of the position map. Within one
+// kernel call the map is injective (piece positions into a sorted
+// union), so shards write disjoint destination rows and the per-row
+// float arithmetic is untouched: results are bit-identical to the
+// serial fold for any worker count, which is why this package may live
+// under the //kylix:deterministic contract. Callers must not hand the
+// pool a map with colliding destinations (CombineInto tolerates those
+// only serially).
+//
+// The pool is built once per machine and owns no goroutines while idle.
+// A pass (one Reduce/ConfigureReduce) lazily spawns its workers at the
+// first kernel large enough to shard and joins them at pass end, so a
+// fleet of Machines never leaks goroutines — Machines have no Close.
+// All command channels and the job slot are preallocated: a warm pass
+// through the pool performs no allocation (the goroutine launch itself
+// is recycled by the runtime's g free list).
+//
+//kylix:deterministic
+package par
+
+import (
+	"runtime"
+	"sync"
+
+	"kylix/internal/sparse"
+)
+
+// MaxDefaultWorkers caps the default pool size: past a few cores the
+// combine stage is memory-bandwidth-bound and extra workers only add
+// synchronization (the Figure 7 curve flattens the same way).
+const MaxDefaultWorkers = 4
+
+// minShardElems is the smallest number of float32 elements (rows ×
+// width) worth handing to another goroutine: the cross-goroutine
+// wake-up costs on the order of a microsecond, so a shard must carry
+// at least a few microseconds of arithmetic to win.
+const minShardElems = 8192
+
+// Default returns the default worker count: min(GOMAXPROCS, 4).
+func Default() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > MaxDefaultWorkers {
+		n = MaxDefaultWorkers
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// kernel ops.
+const (
+	opCombine uint8 = iota
+	opGather
+	opFill
+)
+
+// worker commands.
+const (
+	cmdRun = iota
+	cmdExit
+)
+
+// job is the pool's single in-flight kernel. The leader fills it, then
+// signals each engaged worker over its command channel (the channel
+// send publishes the fields); workers compute their row range from
+// their own index, so the job carries no per-shard state.
+type job struct {
+	op     uint8
+	shards int
+	width  int
+	red    sparse.Reducer
+	dst    []float32
+	m      []int32
+	src    []float32
+	fill   float32
+}
+
+// Pool is one machine's combine/gather worker pool. Like the Machine
+// that owns it, it is single-goroutine on the caller side: one kernel
+// runs at a time, with the leader goroutine taking shard 0 and parked
+// workers the rest.
+type Pool struct {
+	n   int
+	cmd []chan int // cmd[i] wakes worker i (1..n-1); buffered so the leader never blocks
+	// entry[i] is worker i's prebuilt spawn closure: a `go` statement
+	// whose callee takes arguments (a receiver counts) heap-allocates a
+	// wrapper on every launch, while `go fn()` on a stored func value
+	// hands the funcval to the runtime directly — the difference between
+	// 1 alloc per pass per worker and none.
+	entry []func()
+	job   job
+
+	running bool           // workers spawned for the current pass
+	wg      sync.WaitGroup // in-flight shards of the current job
+	exit    sync.WaitGroup // live workers of the current pass
+}
+
+// NewPool builds a pool of n workers (n < 1 selects Default()). A pool
+// of 1 never spawns goroutines: every kernel runs inline.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = Default()
+	}
+	p := &Pool{n: n, cmd: make([]chan int, n), entry: make([]func(), n)}
+	for i := 1; i < n; i++ {
+		p.cmd[i] = make(chan int, 1)
+		i := i
+		p.entry[i] = func() { p.worker(i) }
+	}
+	return p
+}
+
+// Workers returns the configured worker count.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.n
+}
+
+// shardsFor sizes a kernel's shard count by its element volume,
+// clamped to the pool.
+func (p *Pool) shardsFor(rows, width int) int {
+	if p == nil || p.n <= 1 {
+		return 1
+	}
+	shards := rows * width / minShardElems
+	if shards > p.n {
+		shards = p.n
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return shards
+}
+
+// CombineInto is the sharded sparse.CombineInto: rows of m (and the
+// matching rows of src) are split across the pool. m must be injective
+// over its non-negative entries — shards write dst concurrently and
+// rely on destination rows being disjoint. Returns the shard count
+// used (1 = ran serially).
+//
+//kylix:hotpath
+func (p *Pool) CombineInto(red sparse.Reducer, dst []float32, m []int32, src []float32, width int) int {
+	shards := p.shardsFor(len(m), width)
+	if shards <= 1 {
+		sparse.CombineInto(red, dst, m, src, width)
+		return 1
+	}
+	p.job = job{op: opCombine, shards: shards, width: width, red: red, dst: dst, m: m, src: src}
+	p.dispatch(shards)
+	return shards
+}
+
+// GatherInto is the sharded sparse.GatherInto: rows of dst (and the
+// matching rows of m) are split across the pool; src is shared
+// read-only. Returns the shard count used.
+//
+//kylix:hotpath
+func (p *Pool) GatherInto(dst []float32, m []int32, src []float32, width int, fill float32) int {
+	shards := p.shardsFor(len(m), width)
+	if shards <= 1 {
+		sparse.GatherInto(dst, m, src, width, fill)
+		return 1
+	}
+	p.job = job{op: opGather, shards: shards, width: width, dst: dst, m: m, src: src, fill: fill}
+	p.dispatch(shards)
+	return shards
+}
+
+// Fill is the sharded sparse.Fill (the accumulator reset to the
+// reducer's identity). Returns the shard count used.
+//
+//kylix:hotpath
+func (p *Pool) Fill(data []float32, v float32) int {
+	shards := p.shardsFor(len(data), 1)
+	if shards <= 1 {
+		sparse.Fill(data, v)
+		return 1
+	}
+	p.job = job{op: opFill, shards: shards, width: 1, dst: data, fill: v}
+	p.dispatch(shards)
+	return shards
+}
+
+// dispatch hands shards 1..shards-1 to parked workers, runs shard 0
+// inline, and waits for all of them. Workers are spawned lazily at the
+// first sharded kernel of a pass.
+//
+//kylix:hotpath
+func (p *Pool) dispatch(shards int) {
+	if !p.running {
+		p.running = true
+		p.exit.Add(p.n - 1)
+		for i := 1; i < p.n; i++ {
+			go p.entry[i]() //kylix:allow hotpathalloc:go — per-pass workers, joined by End; the g and the prebuilt funcval are both recycled
+		}
+	}
+	p.wg.Add(shards - 1)
+	for s := 1; s < shards; s++ {
+		p.cmd[s] <- cmdRun
+	}
+	p.runShard(0)
+	p.wg.Wait()
+}
+
+// End joins the workers spawned during the current pass. Callers defer
+// it around every pass that may shard; when nothing sharded it is a
+// field test and a return.
+//
+//kylix:hotpath
+func (p *Pool) End() {
+	if p == nil || !p.running {
+		return
+	}
+	p.running = false
+	for i := 1; i < p.n; i++ {
+		p.cmd[i] <- cmdExit
+	}
+	p.exit.Wait()
+}
+
+// worker is one pass-scoped pool goroutine: it runs its own shard of
+// each dispatched job until told to exit.
+//
+//kylix:hotpath
+func (p *Pool) worker(i int) {
+	for {
+		if <-p.cmd[i] == cmdExit {
+			p.exit.Done()
+			return
+		}
+		p.runShard(i)
+		p.wg.Done()
+	}
+}
+
+// runShard executes shard s of the current job: rows
+// [rows*s/shards, rows*(s+1)/shards) of the position map (or of dst,
+// for Fill), delegating to the serial kernels on the subslices. The
+// split is pure integer arithmetic on (rows, shards, s), so every
+// worker derives its bounds without shared per-shard state.
+//
+//kylix:hotpath
+func (p *Pool) runShard(s int) {
+	j := &p.job
+	w := j.width
+	rows := len(j.m)
+	if j.op == opFill {
+		rows = len(j.dst)
+	}
+	lo := rows * s / j.shards
+	hi := rows * (s + 1) / j.shards
+	switch j.op {
+	case opCombine:
+		sparse.CombineInto(j.red, j.dst, j.m[lo:hi], j.src[lo*w:hi*w], w)
+	case opGather:
+		sparse.GatherInto(j.dst[lo*w:hi*w], j.m[lo:hi], j.src, w, j.fill)
+	case opFill:
+		sparse.Fill(j.dst[lo:hi], j.fill)
+	}
+}

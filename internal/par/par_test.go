@@ -1,0 +1,224 @@
+package par
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kylix/internal/sparse"
+)
+
+// genMap builds an injective position map of the given length into
+// [0, dstRows): a shuffled sample of distinct destinations, with a few
+// entries knocked out to -1 (partial maps).
+func genMap(rng *rand.Rand, rows, dstRows int) []int32 {
+	perm := rng.Perm(dstRows)
+	m := make([]int32, rows)
+	for i := range m {
+		if rng.Intn(16) == 0 {
+			m[i] = -1
+			continue
+		}
+		m[i] = int32(perm[i])
+	}
+	return m
+}
+
+func genVals(rng *rand.Rand, n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(math.Float32frombits(0x3f000000 + uint32(rng.Intn(1<<21))))
+	}
+	return v
+}
+
+// TestCombineMatchesSerial proves bit-exactness of the sharded combine
+// against the serial kernel for every reducer, width and worker count.
+func TestCombineMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	reducers := []sparse.Reducer{sparse.Sum, sparse.Max, sparse.Min, sparse.Or}
+	for _, workers := range []int{1, 2, 3, 4} {
+		p := NewPool(workers)
+		for _, width := range []int{1, 2, 4} {
+			for _, rows := range []int{0, 1, 100, 5000, 40000} {
+				dstRows := rows + 7
+				m := genMap(rng, rows, dstRows)
+				src := genVals(rng, rows*width)
+				base := genVals(rng, dstRows*width)
+				for _, red := range reducers {
+					want := append([]float32(nil), base...)
+					sparse.CombineInto(red, want, m, src, width)
+					got := append([]float32(nil), base...)
+					shards := p.CombineInto(red, got, m, src, width)
+					p.End()
+					if workers == 1 && shards != 1 {
+						t.Fatalf("1-worker pool used %d shards", shards)
+					}
+					for i := range want {
+						if math.Float32bits(want[i]) != math.Float32bits(got[i]) {
+							t.Fatalf("workers=%d width=%d rows=%d red=%s: bit mismatch at %d: %x vs %x",
+								workers, width, rows, red.Name(), i, math.Float32bits(want[i]), math.Float32bits(got[i]))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGatherAndFillMatchSerial covers the other two kernels the same
+// way.
+func TestGatherAndFillMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, workers := range []int{1, 2, 4} {
+		p := NewPool(workers)
+		for _, width := range []int{1, 3, 4} {
+			for _, rows := range []int{0, 17, 6000, 33000} {
+				srcRows := rows + 3
+				m := genMap(rng, rows, srcRows)
+				src := genVals(rng, srcRows*width)
+				want := make([]float32, rows*width)
+				sparse.GatherInto(want, m, src, width, -1.5)
+				got := make([]float32, rows*width)
+				p.GatherInto(got, m, src, width, -1.5)
+
+				fwant := make([]float32, rows*width)
+				sparse.Fill(fwant, 2.25)
+				fgot := make([]float32, rows*width)
+				p.Fill(fgot, 2.25)
+				p.End()
+
+				for i := range want {
+					if math.Float32bits(want[i]) != math.Float32bits(got[i]) {
+						t.Fatalf("gather workers=%d width=%d rows=%d: mismatch at %d", workers, width, rows, i)
+					}
+					if math.Float32bits(fwant[i]) != math.Float32bits(fgot[i]) {
+						t.Fatalf("fill workers=%d width=%d rows=%d: mismatch at %d", workers, width, rows, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSmallKernelsStaySerial checks the engage threshold: tiny kernels
+// never pay the dispatch.
+func TestSmallKernelsStaySerial(t *testing.T) {
+	p := NewPool(4)
+	defer p.End()
+	m := genMap(rand.New(rand.NewSource(3)), 100, 107)
+	src := make([]float32, 100)
+	dst := make([]float32, 107)
+	if shards := p.CombineInto(sparse.Sum, dst, m, src, 1); shards != 1 {
+		t.Fatalf("100-row combine used %d shards, want 1", shards)
+	}
+	if p.running {
+		t.Fatal("serial kernel spawned workers")
+	}
+}
+
+// TestEndWithoutDispatch checks End is safe on an idle (or nil) pool
+// and that passes can repeat spawn/join cycles.
+func TestEndWithoutDispatch(t *testing.T) {
+	var nilPool *Pool
+	nilPool.End()
+	if nilPool.Workers() != 1 {
+		t.Fatal("nil pool must report 1 worker")
+	}
+	p := NewPool(3)
+	p.End() // never dispatched
+	rng := rand.New(rand.NewSource(4))
+	m := genMap(rng, 30000, 30007)
+	src := genVals(rng, 30000)
+	dst := make([]float32, 30007)
+	for pass := 0; pass < 5; pass++ {
+		if shards := p.CombineInto(sparse.Sum, dst, m, src, 1); shards < 2 {
+			t.Fatalf("pass %d: expected sharded run, got %d", pass, shards)
+		}
+		p.End()
+		if p.running {
+			t.Fatalf("pass %d: workers still running after End", pass)
+		}
+	}
+}
+
+// TestPoolHammer is the -race workout: many passes, mixed kernel sizes
+// and kinds, verifying sums so a lost or doubled shard shows up even
+// without the race detector.
+func TestPoolHammer(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := NewPool(4)
+	rows := 20000
+	m := make([]int32, rows)
+	for i := range m {
+		m[i] = int32(i)
+	}
+	src := genVals(rng, rows)
+	var serialSum, poolSum float64
+	dst := make([]float32, rows)
+	for pass := 0; pass < 200; pass++ {
+		sparse.Fill(dst, 0)
+		sparse.CombineInto(sparse.Sum, dst, m, src, 1)
+		serialSum = 0
+		for _, v := range dst {
+			serialSum += float64(v)
+		}
+		p.Fill(dst, 0)
+		p.CombineInto(sparse.Sum, dst, m, src, 1)
+		small := dst[:64]
+		p.GatherInto(small, m[:64], dst, 1, 0) // tiny: serial path interleaved
+		p.End()
+		poolSum = 0
+		for _, v := range dst {
+			poolSum += float64(v)
+		}
+		if serialSum != poolSum {
+			t.Fatalf("pass %d: pool sum %v != serial %v", pass, poolSum, serialSum)
+		}
+	}
+}
+
+// TestWarmDispatchAllocs checks the pool's steady state allocates
+// nothing: after the first pass, dispatch + End must be alloc-free
+// (goroutine launches recycle the runtime's g free list).
+func TestWarmDispatchAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := NewPool(2)
+	rows := 40000
+	m := genMap(rng, rows, rows+1)
+	src := genVals(rng, rows)
+	dst := make([]float32, rows+1)
+	// Warm up: first pass may grow runtime structures.
+	for i := 0; i < 3; i++ {
+		p.CombineInto(sparse.Sum, dst, m, src, 1)
+		p.End()
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		p.CombineInto(sparse.Sum, dst, m, src, 1)
+		p.End()
+	})
+	if avg != 0 {
+		t.Fatalf("warm sharded pass allocates %v allocs/op, want 0", avg)
+	}
+}
+
+func BenchmarkPoolCombineW4(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		name := map[int]string{1: "serial", 2: "w2", 4: "w4"}[workers]
+		b.Run(name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(7))
+			p := NewPool(workers)
+			rows := 1 << 15
+			m := genMap(rng, rows, rows+1)
+			src := genVals(rng, rows*4)
+			dst := make([]float32, (rows+1)*4)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.CombineInto(sparse.Sum, dst, m, src, 4)
+			}
+			b.StopTimer()
+			p.End()
+		})
+	}
+}

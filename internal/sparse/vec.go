@@ -127,6 +127,10 @@ func CombineInto(red Reducer, dst []float32, m []int32, src []float32, width int
 }
 
 func combineW1(red Reducer, dst []float32, m []int32, src []float32) {
+	// Pin src's length to the map's so the compiler proves src[p] in
+	// bounds once, outside the loop, keeping the sum path at one load,
+	// one bounds check (dst[q], irreducible) and one add per row.
+	src = src[:len(m)]
 	switch red.(type) {
 	case sumReducer:
 		for p, q := range m {

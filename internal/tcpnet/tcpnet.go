@@ -68,6 +68,21 @@ type Options struct {
 	// bounds memory, and is sized far beyond the in-flight window a
 	// broken socket can lose.
 	ResendBuffer int
+	// MaxBatchBytes bounds the payload bytes of one coalesced write
+	// batch (default 1 MiB): the writer drains its queue and gathers
+	// the pending frames into a single writev, closing the batch at the
+	// first frame that reaches the cap. The small sparse pieces of a
+	// deep butterfly layer thus share syscalls and packets — the Fig 2
+	// packet-size floor enforced at the sender. 1 effectively disables
+	// coalescing (every frame still leaves in one writev instead of two
+	// sequential writes).
+	MaxBatchBytes int
+	// EnableNagle leaves the kernel's Nagle algorithm on instead of
+	// setting TCP_NODELAY. The default (Nagle off) is deliberate: flush
+	// policy belongs to the batching writer, which already coalesces
+	// everything queued in a protocol burst, and the burst's last small
+	// packet must not wait on a delayed ACK.
+	EnableNagle bool
 	// FailFast makes Send return a peer's recorded stream error instead
 	// of silently dropping. Leave it off under replication (§V requires
 	// survivors to keep streaming to dead peers without erroring); turn
@@ -100,6 +115,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ResendBuffer == 0 {
 		o.ResendBuffer = 4096
+	}
+	if o.MaxBatchBytes == 0 {
+		o.MaxBatchBytes = 1 << 20
 	}
 	if o.Recorder == nil {
 		o.Recorder = comm.NopRecorder{}
@@ -216,6 +234,87 @@ func (r *ring) each(fn func(stamped) bool) bool {
 		}
 	}
 	return true
+}
+
+// maxBatchFrames caps a coalesced batch's frame count. Two iovecs per
+// frame (header, payload) keeps the largest batch at 512 iovecs, well
+// under the kernel's IOV_MAX of 1024; the batcher additionally clamps
+// to the resend ring's capacity, because a frame evicted from the ring
+// recycles its encode buffer and an eviction must therefore never land
+// on a frame still staged in the current batch (possible only if one
+// batch outgrew the whole ring).
+const maxBatchFrames = 256
+
+// batcher coalesces encoded frames into gather-write batches: one
+// writev per drained queue burst instead of two write syscalls per
+// frame. iov and the header arena are sized once — the arena must
+// never grow mid-batch, since staged iovecs point into it.
+type batcher struct {
+	iov      net.Buffers
+	hdrs     []byte
+	nf       int
+	bytes    int
+	maxF     int
+	maxBytes int
+	metrics  *obs.TransportMetrics
+}
+
+func newBatcher(ringCap, maxBytes int, m *obs.TransportMetrics) *batcher {
+	maxF := maxBatchFrames
+	if ringCap < maxF {
+		maxF = ringCap
+	}
+	if maxF < 1 {
+		maxF = 1
+	}
+	return &batcher{
+		iov:      make(net.Buffers, 2*maxF),
+		hdrs:     make([]byte, maxF*hdrSize),
+		maxF:     maxF,
+		maxBytes: maxBytes,
+		metrics:  m,
+	}
+}
+
+// stage appends one encoded frame to the open batch: its header is
+// written into the arena slot and both slices join the iovec list.
+//
+//kylix:hotpath
+func (b *batcher) stage(s stamped) {
+	h := b.hdrs[b.nf*hdrSize : (b.nf+1)*hdrSize]
+	putHeader(h, s)
+	b.iov[2*b.nf] = h
+	b.iov[2*b.nf+1] = s.data
+	b.nf++
+	b.bytes += len(s.data)
+}
+
+// full reports whether the batch must flush before staging more.
+//
+//kylix:hotpath
+func (b *batcher) full() bool { return b.nf >= b.maxF || b.bytes >= b.maxBytes }
+
+// flush gather-writes the staged frames in one writev and resets the
+// batch; false on stream failure (the frames stay in the resend ring
+// for the reconnect replay).
+//
+//kylix:hotpath
+func (b *batcher) flush(conn net.Conn) bool {
+	if b.nf == 0 {
+		return true
+	}
+	// WriteTo consumes its receiver (advancing the slice as the kernel
+	// accepts iovecs), so hand it a copy of the header; the backing
+	// array stays ours to refill.
+	bufs := b.iov[:2*b.nf]
+	b.metrics.WritevCalls.Inc()
+	b.metrics.FramesSent.Add(int64(b.nf))
+	if b.nf > 1 {
+		b.metrics.FramesBatched.Add(int64(b.nf))
+	}
+	b.nf, b.bytes = 0, 0
+	_, err := bufs.WriteTo(conn)
+	return err == nil
 }
 
 // Listen creates the node for `rank` and starts accepting on
@@ -400,6 +499,7 @@ func (n *Node) writeLoop(to int, pr *peer) {
 		conn   net.Conn
 		dialed bool     // first connection established at least once
 		spare  [][]byte // encode buffers reclaimed from ring evictions
+		batch  = newBatcher(n.opts.ResendBuffer, n.opts.MaxBatchBytes, n.opts.Metrics)
 	)
 	// encode stamps and wire-encodes a queued frame, reusing a reclaimed
 	// buffer when one is available and banking the ring's eviction.
@@ -463,7 +563,7 @@ func (n *Node) writeLoop(to int, pr *peer) {
 			c, err := net.DialTimeout("tcp", n.addrs[to], remain)
 			if err == nil {
 				if tc, ok := c.(*net.TCPConn); ok {
-					_ = tc.SetNoDelay(true)
+					_ = tc.SetNoDelay(!n.opts.EnableNagle)
 				}
 				binary.LittleEndian.PutUint32(hdr[:4], magic)
 				binary.LittleEndian.PutUint32(hdr[4:8], uint32(n.rank))
@@ -517,7 +617,7 @@ func (n *Node) writeLoop(to int, pr *peer) {
 				return
 			}
 			if tc, ok := c.(*net.TCPConn); ok {
-				_ = tc.SetNoDelay(true)
+				_ = tc.SetNoDelay(!n.opts.EnableNagle)
 			}
 			_ = c.SetWriteDeadline(time.Now().Add(2 * time.Second))
 			binary.LittleEndian.PutUint32(hdr[:4], magic)
@@ -549,12 +649,29 @@ func (n *Node) writeLoop(to int, pr *peer) {
 			shutdownFlush()
 			return
 		case f := <-pr.queue:
-			s := encode(f)
-			if conn != nil && writeFrame(conn, &hdr, s) {
+			// Coalesce: stage the frame in hand, then drain whatever the
+			// protocol burst already queued behind it — a scatter or
+			// gather layer enqueues all its pieces before the first
+			// receive can complete, so the natural flush point (the
+			// queue running dry) is the layer boundary. Each stage
+			// encodes into the resend ring first, so a mid-batch stream
+			// failure loses nothing: the reconnect replays everything.
+			batch.stage(encode(f))
+		drain:
+			for !batch.full() {
+				select {
+				case f2 := <-pr.queue:
+					batch.stage(encode(f2))
+				default:
+					break drain
+				}
+			}
+			if conn != nil && batch.flush(conn) {
 				continue
 			}
+			batch.nf, batch.bytes = 0, 0 // staged frames live on in the ring
 			// Stream broken (or not yet dialed): rebuild it. connect
-			// replays the ring, which includes this frame.
+			// replays the ring, which includes this batch's frames.
 			budget := n.opts.ReconnectTimeout
 			if !dialed {
 				budget = n.opts.DialTimeout
@@ -590,17 +707,26 @@ func newJitterRNG() *rand.Rand {
 	return rand.New(rand.NewSource(rand.Int63()))
 }
 
-// writeFrame sends one length-prefixed frame with a CRC32-C payload
-// checksum and stream sequence number; false on stream failure. The
+// putHeader encodes a frame header — size, tag, CRC32-C payload
+// checksum, stream sequence number — into a hdrSize-byte slot. The
 // checksum guards against the payload corruption the paper flags as a
 // risk of large message counts (§II-A2): a corrupted frame is detected
-// and the stream dropped — which now triggers the sender's
+// and the stream dropped — which triggers the sender's
 // reconnect-and-replay instead of silent loss.
+//
+//kylix:hotpath
+func putHeader(h []byte, s stamped) {
+	binary.LittleEndian.PutUint32(h[:4], uint32(len(s.data)))
+	binary.LittleEndian.PutUint64(h[4:12], uint64(s.tag))
+	binary.LittleEndian.PutUint32(h[12:16], crc32.Checksum(s.data, castagnoli))
+	binary.LittleEndian.PutUint64(h[16:24], s.seq)
+}
+
+// writeFrame sends one frame with two sequential writes. It remains
+// the cold-path sender (ring replay after a reconnect, shutdown
+// drain); live traffic goes through the batcher's gather writes.
 func writeFrame(conn net.Conn, hdr *[hdrSize]byte, s stamped) bool {
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(s.data)))
-	binary.LittleEndian.PutUint64(hdr[4:12], uint64(s.tag))
-	binary.LittleEndian.PutUint32(hdr[12:16], crc32.Checksum(s.data, castagnoli))
-	binary.LittleEndian.PutUint64(hdr[16:24], s.seq)
+	putHeader(hdr[:], s)
 	if _, err := conn.Write(hdr[:]); err != nil {
 		return false
 	}

@@ -37,12 +37,13 @@ func newNode(ep comm.Endpoint, bf *topo.Butterfly, cfg config, roundBase uint32,
 		return nil, err
 	}
 	mach, err := core.NewMachine(lep, bf, core.Options{
-		Width:     cfg.width,
-		Reducer:   cfg.reducer,
-		Strict:    cfg.strict,
-		Channel:   cfg.channel,
-		RoundBase: roundBase,
-		Tracer:    cfg.obsv.Node(physRank),
+		Width:          cfg.width,
+		Reducer:        cfg.reducer,
+		Strict:         cfg.strict,
+		Channel:        cfg.channel,
+		RoundBase:      roundBase,
+		Tracer:         cfg.obsv.Node(physRank),
+		CombineWorkers: cfg.combineWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -77,12 +78,13 @@ func (n *Node) Channel(ch uint8, opts ...Option) (*Node, error) {
 		return nil, fmt.Errorf("kylix: channel option conflicts with Channel(%d)", ch)
 	}
 	mach, err := core.NewMachine(n.ep, n.bf, core.Options{
-		Width:     cfg.width,
-		Reducer:   cfg.reducer,
-		Strict:    cfg.strict,
-		Channel:   ch,
-		RoundBase: n.base,
-		Tracer:    cfg.obsv.Node(n.physRank),
+		Width:          cfg.width,
+		Reducer:        cfg.reducer,
+		Strict:         cfg.strict,
+		Channel:        ch,
+		RoundBase:      n.base,
+		Tracer:         cfg.obsv.Node(n.physRank),
+		CombineWorkers: cfg.combineWorkers,
 	})
 	if err != nil {
 		return nil, err

@@ -40,19 +40,22 @@ const (
 )
 
 type config struct {
-	degrees     []int
-	binary      bool
-	transport   Transport
-	replication int
-	width       int
-	reducer     Reducer
-	strict      bool
-	recvTimeout time.Duration
-	channel     uint8
-	trace       bool
-	faults      *faultnet.Plan
-	observe     bool
-	elastic     *ElasticOptions
+	degrees        []int
+	binary         bool
+	transport      Transport
+	replication    int
+	width          int
+	reducer        Reducer
+	strict         bool
+	recvTimeout    time.Duration
+	channel        uint8
+	trace          bool
+	faults         *faultnet.Plan
+	observe        bool
+	elastic        *ElasticOptions
+	combineWorkers int
+	maxBatchBytes  int
+	nagle          bool
 	// obsv is the live Observatory once construction wired it (set by
 	// NewCluster/ListenNode when observe is on, then read by newNode).
 	obsv *obs.Observatory
@@ -107,6 +110,38 @@ func WithWidth(w int) Option {
 // WithReducer sets the combining operation (default Sum).
 func WithReducer(r Reducer) Option {
 	return func(c *config) { c.reducer = r }
+}
+
+// WithCombineWorkers sizes each machine's intra-node worker pool: large
+// combine/gather folds are sharded by disjoint index ranges across n
+// goroutines, the paper's Figure 7 threading of the combine stage.
+// 0 (the default) selects min(GOMAXPROCS, 4); 1 keeps every kernel on
+// the machine goroutine. Results are bit-identical for every setting —
+// sharding partitions rows, never the per-row fold order — and the warm
+// Reduce stays allocation-free.
+func WithCombineWorkers(n int) Option {
+	return func(c *config) { c.combineWorkers = n }
+}
+
+// WithMaxBatchBytes bounds the TCP transport's per-peer write batches:
+// queued frames are coalesced into a single gather-write (writev) of up
+// to n payload bytes, turning many small layer-piece sends into one
+// syscall — the Figure 2 packet-size floor chased at the sender. 0 (the
+// default) selects 1 MiB; 1 effectively disables coalescing (every
+// frame still goes out in one writev instead of two plain writes). The
+// memory transport ignores it.
+func WithMaxBatchBytes(n int) Option {
+	return func(c *config) { c.maxBatchBytes = n }
+}
+
+// WithNagle re-enables the kernel's Nagle algorithm on the TCP
+// transport's connections (TCP_NODELAY off). The default disables
+// Nagle and owns flush policy in the transport's batching writer —
+// frames queued in one protocol burst leave in one writev, and the last
+// packet of a burst is never held hostage to a delayed ACK. Enable it
+// only to compare against kernel-paced batching.
+func WithNagle() Option {
+	return func(c *config) { c.nagle = true }
 }
 
 // WithStrict makes configuration fail when a requested in-index has no

@@ -149,3 +149,124 @@ func TestDeliveryPermutationTCP(t *testing.T) {
 	}
 	testDeliveryPermutation(t, kylix.TransportTCP)
 }
+
+// Worker-count invariance: sharding the combine/gather folds across the
+// intra-node pool must not move a single bit — shards partition rows,
+// never the per-row fold order. The shared index block is sized so the
+// layer accumulator and gather kernels actually cross the sharding
+// threshold (the combine_shards counter proves they did), and the chaos
+// schedule permutes arrival order underneath, so the property is checked
+// where it is sharpest: sharded folds over arrival-order-staged pieces,
+// compared bitwise against the single-threaded serial fold.
+
+// wideBlock is sized so per-kernel volumes clear par's sharding
+// threshold after the butterfly splits them: a layer-1 piece is
+// wideBlock/4 rows and the bottom turnaround wideBlock/8, and at width
+// 2 both stay >= 2 x 8192 elements — the smallest kernel that shards.
+const (
+	wideRounds = 2
+	wideBlock  = 1 << 16
+)
+
+func runPermutedWide(t *testing.T, transport kylix.Transport, workers int, plan kylix.FaultPlan) ([][][]float32, int64, *kylix.FaultInjector) {
+	t.Helper()
+	const phys = 8
+	cluster, err := kylix.NewCluster(phys,
+		kylix.WithTransport(transport),
+		kylix.WithDegrees(4, 2),
+		kylix.WithWidth(2),
+		kylix.WithRecvTimeout(30*time.Second),
+		kylix.WithCombineWorkers(workers),
+		kylix.WithObservability(),
+		kylix.WithFaults(plan),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	results := make([][][]float32, phys)
+	var mu sync.Mutex
+	err = cluster.Run(func(node *kylix.Node) error {
+		q := node.Rank()
+		// Every node contributes the whole block: 8-way collisions on
+		// every index, so each accumulator row folds a full member-order
+		// chain and any fold-order slip shows up bitwise.
+		idx := make([]int32, wideBlock)
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		red, err := node.Configure(idx, idx)
+		if err != nil {
+			return err
+		}
+		vals := make([]float32, wideBlock*2)
+		var mine [][]float32
+		for r := 0; r < wideRounds; r++ {
+			for i := 0; i < wideBlock; i++ {
+				vals[2*i] = float32(q+1) * 0.001 * float32(i%97+r+1)
+				vals[2*i+1] = 1.0 / float32(q*31+i%113+r+2)
+			}
+			res, err := red.Reduce(vals)
+			if err != nil {
+				return fmt.Errorf("round %d: %w", r, err)
+			}
+			mine = append(mine, res)
+		}
+		mu.Lock()
+		results[node.PhysicalRank()] = mine
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := cluster.Metrics().Counter("combine_shards").Value()
+	return results, shards, cluster.Faults()
+}
+
+func testWorkerShardInvariance(t *testing.T, transport kylix.Transport) {
+	const seed = 7
+	chaosPlan := kylix.FaultPlan{
+		Seed:      seed,
+		Delay:     0.50,
+		MaxDelay:  2 * time.Millisecond,
+		Duplicate: 0.25,
+	}
+	serial, serialShards, _ := runPermutedWide(t, transport, 1, kylix.FaultPlan{Seed: seed})
+	if serialShards != 0 {
+		t.Fatalf("combine_shards = %d on a single-worker machine, want 0", serialShards)
+	}
+	for _, w := range []int{2, 4} {
+		t.Run(fmt.Sprintf("workers%d", w), func(t *testing.T) {
+			clean, shards, _ := runPermutedWide(t, transport, w, kylix.FaultPlan{Seed: seed})
+			if shards == 0 {
+				t.Fatalf("pool never sharded at %d workers: workload below threshold?", w)
+			}
+			chaos, _, fab := runPermutedWide(t, transport, w, chaosPlan)
+			if st := fab.Stats(); st.Delayed == 0 || st.Duplicated == 0 {
+				t.Fatalf("permutation schedule never engaged: %+v", st)
+			}
+			for p := range serial {
+				for r := 0; r < wideRounds; r++ {
+					if !bitsEqual(clean[p][r], serial[p][r]) {
+						t.Fatalf("rank %d round %d: %d-worker fold differs from serial", p, r, w)
+					}
+					if !bitsEqual(chaos[p][r], serial[p][r]) {
+						t.Fatalf("rank %d round %d: %d-worker fold under permuted delivery differs from serial", p, r, w)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestWorkerShardInvarianceMemory(t *testing.T) {
+	testWorkerShardInvariance(t, kylix.TransportMemory)
+}
+
+func TestWorkerShardInvarianceTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP worker invariance skipped in -short")
+	}
+	testWorkerShardInvariance(t, kylix.TransportTCP)
+}

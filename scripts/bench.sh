@@ -45,9 +45,12 @@ cfgout="$(mktemp)"
 trap 'rm -f "$out" "$cfgout"' EXIT
 
 echo "== hot-path benchmarks (internal/bench, internal/core, internal/sparse)"
-go test ./internal/bench/ -run '^$' -bench 'BenchmarkReduceWarmQuick|BenchmarkReduceWarmObs' -benchtime 2s -benchmem | tee "$out"
+go test ./internal/bench/ -run '^$' -bench 'BenchmarkReduceWarmQuick|BenchmarkReduceWarmObs|BenchmarkReduceWarmW4' -benchtime 2s -benchmem | tee "$out"
 go test ./internal/core/ -run '^$' -bench 'BenchmarkReduce|BenchmarkConfigure|BenchmarkTreeAllreduce' -benchtime 1s -benchmem | tee -a "$out"
 go test ./internal/sparse/ -run '^$' -bench 'BenchmarkCombineInto|BenchmarkGatherInto|BenchmarkTreeUnion$|BenchmarkUnionWithMaps' -benchtime 1s -benchmem | tee -a "$out"
+
+echo "== wire benchmarks (internal/tcpnet, real loopback sockets)"
+go test ./internal/tcpnet/ -run '^$' -bench 'BenchmarkFrameBatching' -benchtime 1s -benchmem | tee -a "$out"
 
 echo "== configuration benchmarks (configure / reconfigure / index codec)"
 go test ./internal/core/ -run '^$' -bench 'BenchmarkConfigure8x4x2|BenchmarkConfigureReduce16|BenchmarkConfigureReduce8x4x2|BenchmarkReconfigureWarm' -benchtime 2s -benchmem | tee "$cfgout"
@@ -63,18 +66,22 @@ parse() {
     BEGIN { first = 1 }
     /^Benchmark/ {
         name = $1; sub(/-[0-9]+$/, "", name)
-        ns = ""; bop = ""; aop = ""
+        ns = ""; bop = ""; aop = ""; shards = ""; fpw = ""
         for (i = 2; i <= NF; i++) {
-            if ($(i) == "ns/op")     ns  = $(i-1)
-            if ($(i) == "B/op")      bop = $(i-1)
-            if ($(i) == "allocs/op") aop = $(i-1)
+            if ($(i) == "ns/op")         ns     = $(i-1)
+            if ($(i) == "B/op")          bop    = $(i-1)
+            if ($(i) == "allocs/op")     aop    = $(i-1)
+            if ($(i) == "shards/op")     shards = $(i-1)
+            if ($(i) == "frames/writev") fpw    = $(i-1)
         }
         if (ns == "") next
         if (!first) printf ",\n"
         first = 0
         printf "    \"%s\": {\"ns_per_op\": %s", name, ns
-        if (bop != "") printf ", \"bytes_per_op\": %s", bop
-        if (aop != "") printf ", \"allocs_per_op\": %s", aop
+        if (bop != "")    printf ", \"bytes_per_op\": %s", bop
+        if (aop != "")    printf ", \"allocs_per_op\": %s", aop
+        if (shards != "") printf ", \"shards_per_op\": %s", shards
+        if (fpw != "")    printf ", \"frames_per_writev\": %s", fpw
         printf "}"
     }' "$1"
 }
@@ -116,8 +123,8 @@ cfgbaseline="scripts/bench_config_baseline.txt"
 echo "== wrote $cfgjson"
 
 if [ "$gate" = 1 ]; then
-    for b in BenchmarkReduceWarmQuick BenchmarkReduceWarmObs; do
-        allocs="$(awk -v b="$b" '$1 ~ "^"b { for (i = 2; i <= NF; i++) if ($(i) == "allocs/op") print $(i-1) }' "$out")"
+    for b in BenchmarkReduceWarmQuick BenchmarkReduceWarmObs BenchmarkReduceWarmW4 BenchmarkReduceWarmW4Workers; do
+        allocs="$(awk -v b="$b" '$1 ~ "^"b"(-[0-9]+)?$" { for (i = 2; i <= NF; i++) if ($(i) == "allocs/op") print $(i-1) }' "$out")"
         if [ -z "$allocs" ]; then
             echo "bench gate: $b did not report allocs/op" >&2
             exit 1
@@ -181,4 +188,46 @@ if [ "$gate" = 1 ]; then
         exit 1
     fi
     echo "bench gate OK: warm Reconfigure $rec_ns ns/op is $(awk -v r="$rec_ns" -v f="$full_ns" 'BEGIN { printf "%.1f", 100 * r / f }')% of full ConfigureReduce $full_ns"
+
+    # Intra-node threading gate (Figure 7): the sharded width-4 warm
+    # Reduce must actually shard, and on a box with at least as many
+    # cores as the pool has workers it must be >=2x the serial fold
+    # (tolerance-widened). Below 4 cores the workers time-slice one
+    # another and the contrast measures scheduling overhead, so only the
+    # sharding-engaged check applies.
+    w4_ns="$(awk '$1 ~ /^BenchmarkReduceWarmW4(-[0-9]+)?$/ { for (i = 2; i <= NF; i++) if ($(i) == "ns/op") print $(i-1) }' "$out")"
+    w4w_ns="$(awk '$1 ~ /^BenchmarkReduceWarmW4Workers(-[0-9]+)?$/ { for (i = 2; i <= NF; i++) if ($(i) == "ns/op") print $(i-1) }' "$out")"
+    w4w_shards="$(awk '$1 ~ /^BenchmarkReduceWarmW4Workers(-[0-9]+)?$/ { for (i = 2; i <= NF; i++) if ($(i) == "shards/op") print $(i-1) }' "$out")"
+    if [ -z "$w4_ns" ] || [ -z "$w4w_ns" ] || [ -z "$w4w_shards" ]; then
+        echo "bench gate: width-4 warm Reduce benchmarks did not run" >&2
+        exit 1
+    fi
+    if awk -v s="$w4w_shards" 'BEGIN { exit !(s <= 0) }'; then
+        echo "bench gate: BenchmarkReduceWarmW4Workers never sharded ($w4w_shards shards/op)" >&2
+        exit 1
+    fi
+    cores="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+    if [ "$cores" -ge 4 ]; then
+        if awk -v w="$w4w_ns" -v s="$w4_ns" -v tol="$tol" \
+            'BEGIN { exit !(w * 2 > s * (1 + tol / 100)) }'; then
+            echo "bench gate: sharded W4 Reduce not >=2x serial on $cores cores: $w4w_ns ns/op vs $w4_ns" >&2
+            exit 1
+        fi
+        echo "bench gate OK: sharded W4 Reduce $w4w_ns ns/op is $(awk -v w="$w4w_ns" -v s="$w4_ns" 'BEGIN { printf "%.2f", s / w }')x serial $w4_ns on $cores cores ($w4w_shards shards/op)"
+    else
+        echo "bench gate OK: sharded W4 Reduce engaged ($w4w_shards shards/op); speedup gate skipped on $cores core(s)"
+    fi
+
+    # Wire-coalescing gate: bursts of small frames over real loopback
+    # must average >=2 frames per writev — the batching writer's floor.
+    fpw="$(awk '$1 ~ /^BenchmarkFrameBatching(-[0-9]+)?$/ { for (i = 2; i <= NF; i++) if ($(i) == "frames/writev") print $(i-1) }' "$out")"
+    if [ -z "$fpw" ]; then
+        echo "bench gate: BenchmarkFrameBatching did not report frames/writev" >&2
+        exit 1
+    fi
+    if awk -v f="$fpw" 'BEGIN { exit !(f < 2) }'; then
+        echo "bench gate: frame coalescing below floor: $fpw frames/writev (want >=2)" >&2
+        exit 1
+    fi
+    echo "bench gate OK: wire batching at $fpw frames/writev"
 fi

@@ -20,8 +20,8 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race -short (comm, core, faultnet, tcpnet, replica, trace, obs, membership)"
-go test -race -short ./internal/comm/... ./internal/core/... ./internal/faultnet/... ./internal/tcpnet/... ./internal/replica/... ./internal/trace/... ./internal/obs/... ./internal/membership/...
+echo "== go test -race -short (comm, core, faultnet, tcpnet, replica, trace, obs, membership, par)"
+go test -race -short ./internal/comm/... ./internal/core/... ./internal/faultnet/... ./internal/tcpnet/... ./internal/replica/... ./internal/trace/... ./internal/obs/... ./internal/membership/... ./internal/par/...
 
 echo "== elastic membership chaos soak (both transports)"
 go test -run 'TestElasticChurn|TestTCPChurnSoak' -count=1 . ./internal/replica/

@@ -1,9 +1,11 @@
 package kylix
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 
 	"kylix/internal/comm"
 	"kylix/internal/faultnet"
@@ -12,10 +14,19 @@ import (
 	"kylix/internal/netsim"
 	"kylix/internal/obs"
 	"kylix/internal/replica"
+	"kylix/internal/stream"
 	"kylix/internal/tcpnet"
 	"kylix/internal/topo"
 	"kylix/internal/trace"
 )
+
+// ErrClusterClosed is returned by operations on a closed Cluster.
+var ErrClusterClosed = errors.New("kylix: cluster closed")
+
+// closeDrainTimeout bounds how long Close waits for in-flight Runs to
+// finish before tearing transports anyway (stragglers then fail with
+// comm.ErrClosed, which is the honest outcome of closing under load).
+const closeDrainTimeout = 5 * time.Second
 
 // Cluster is an in-process Kylix cluster: m machines connected by the
 // chosen transport, ready to run SPMD allreduce programs. For
@@ -37,8 +48,20 @@ type Cluster struct {
 	gate runGate
 	// roundBase is where the next Run's tag sequence starts; successive
 	// runs over the same transports must never reuse tags (stale
-	// replica-race cancellations would swallow them).
+	// replica-race cancellations would swallow them). Tenant streams
+	// keep their own bases — each stream id is a whole fresh tag space.
 	roundBase atomic.Uint32
+	// closed latches Cluster.Close: set exactly once (Close is
+	// idempotent), checked by every pass after it enters the run gate so
+	// the close-time drain covers it.
+	closed atomic.Bool
+	// streams admits tenant streams and allocates their never-reused
+	// ids; sched grants their passes fabric slots fairly; smet is the
+	// stream layer's metric bundle (live but unregistered without
+	// WithObservability).
+	streams *stream.Registry
+	sched   *stream.Scheduler
+	smet    *obs.StreamMetrics
 }
 
 // NewCluster creates a cluster of m physical machines. With
@@ -114,6 +137,9 @@ func NewCluster(m int, opts ...Option) (*Cluster, error) {
 	if cfg.elastic != nil {
 		c.startElastic(m)
 	}
+	c.streams = stream.NewRegistry(cfg.maxStreams)
+	c.sched = stream.NewScheduler(cfg.streamSlots)
+	c.smet = obs.NewStreamMetrics(c.obs.Registry())
 	return c, nil
 }
 
@@ -265,6 +291,25 @@ func (c *Cluster) Observability() *Observatory { return c.obs }
 // surviving machines, on the epoch's own butterfly — exactly the
 // cluster shape a fresh deployment of those machines would have.
 func (c *Cluster) Run(fn func(*Node) error) error {
+	return c.runPass(c.cfg, &c.roundBase, fn)
+}
+
+// runPass is the shared collective-pass runner behind Cluster.Run and
+// Stream.Run: it executes fn on every live machine with nodes built
+// from cfg, accounting consumed tag rounds into base so the caller's
+// next pass starts on fresh tags. cfg.stream selects the tag namespace
+// the pass's nodes mint into.
+func (c *Cluster) runPass(cfg config, base *atomic.Uint32, fn func(*Node) error) error {
+	// Enter the gate before the closed check: Close sets the flag and
+	// then drains the gate, so every pass that got past this check is
+	// covered by the close-time drain, and every pass entering after the
+	// flag is set fails here without touching the (possibly torn-down)
+	// transports.
+	c.gate.enter()
+	defer c.gate.exit()
+	if c.closed.Load() {
+		return ErrClusterClosed
+	}
 	// Epoch snapshot: members == nil means the static full cluster.
 	var members []int
 	bf := c.bf
@@ -280,9 +325,7 @@ func (c *Cluster) Run(fn func(*Node) error) error {
 		}
 		members, bf = rec.Members, ebf
 	}
-	c.gate.enter()
-	defer c.gate.exit()
-	base := c.roundBase.Load()
+	baseRound := base.Load()
 	var maxUsed atomic.Uint32
 	body := func(ep comm.Endpoint) error {
 		physRank := ep.Rank()
@@ -296,7 +339,7 @@ func (c *Cluster) Run(fn func(*Node) error) error {
 			}
 			ep = view
 		}
-		node, err := newNode(ep, bf, c.cfg, base, physRank)
+		node, err := newNode(ep, bf, cfg, baseRound, physRank)
 		if err != nil {
 			return err
 		}
@@ -342,7 +385,7 @@ func (c *Cluster) Run(fn func(*Node) error) error {
 			}
 		}
 	}
-	c.roundBase.Store(base + maxUsed.Load())
+	base.Store(baseRound + maxUsed.Load())
 	return err
 }
 
@@ -365,8 +408,17 @@ func (c *Cluster) ResetTraffic() {
 }
 
 // Close releases all transports (stopping the membership control plane
-// and flushing any in-flight injected faults first).
+// and flushing any in-flight injected faults first). It is idempotent
+// and safe concurrent with in-flight Runs: the closed flag stops new
+// passes at the run gate, then Close drains the gate (bounded by
+// closeDrainTimeout) so live passes finish before their transports are
+// torn down. A drain that times out proceeds anyway — stragglers fail
+// with comm.ErrClosed rather than hanging teardown forever.
 func (c *Cluster) Close() {
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	c.gate.drain(closeDrainTimeout)
 	if c.svc != nil {
 		c.svc.Stop()
 	}
@@ -377,6 +429,17 @@ func (c *Cluster) Close() {
 		c.mem.Close()
 	}
 	tcpnet.CloseAll(c.tcp)
+}
+
+// closeStreamTransports purges one stream's namespace from every
+// machine's mailbox on whichever transport the cluster runs.
+func (c *Cluster) closeStreamTransports(id comm.StreamID) {
+	if c.mem != nil {
+		c.mem.CloseStream(id)
+	}
+	for _, n := range c.tcp {
+		n.CloseStream(id)
+	}
 }
 
 // ListenNode joins a cross-process TCP cluster: addrs lists every
@@ -436,6 +499,7 @@ func ListenNode(rank int, addrs []string, opts ...Option) (*Node, error) {
 		return nil, err
 	}
 	node.closer = closer
+	node.tn = tn
 	return node, nil
 }
 

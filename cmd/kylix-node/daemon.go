@@ -1,0 +1,342 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"strconv"
+
+	"kylix"
+	"kylix/internal/comm"
+)
+
+// Daemon mode turns kylix-node into a long-running multi-tenant
+// service: every rank joins the fabric once and then executes stream
+// create/reduce/close commands broadcast by rank 0 over the existing
+// KindControl channel (kylix.StreamCtl, one command per sequence
+// number, every rank acks). Rank 0 additionally serves the control API
+// over HTTP:
+//
+//	POST   /streams?n=..&nnz=..&seed=..&width=..  -> create a stream
+//	POST   /streams/{id}/reduce?rounds=..&seed=.. -> warm reduction passes
+//	DELETE /streams/{id}                          -> close the stream
+//	POST   /shutdown                              -> stop every rank
+//
+// Responses carry the aggregate result digest summed over all ranks;
+// two streams created with the same parameters must report identical
+// digests no matter what else shares the fabric — the multi-tenant
+// isolation contract, checked end-to-end by the integration test.
+
+// tenant is one stream's live state on this rank.
+type tenant struct {
+	node *kylix.Node
+	red  *kylix.Reduction
+	set  []int32
+	seed int64
+	// rounds counts warm passes run so far: the value schedule is a pure
+	// function of (seed, rank, per-tenant round), so two tenants created
+	// with the same parameters stay digest-identical no matter how their
+	// commands interleave with the rest of the fabric.
+	rounds uint32
+}
+
+// daemon is the per-rank command executor plus, on rank 0, the
+// coordinator state.
+type daemon struct {
+	node    *kylix.Node
+	rank    int
+	size    int
+	tenants map[uint16]*tenant
+}
+
+// ctlResult is the coordinator's summary of one completed command.
+type ctlResult struct {
+	Stream uint16  `json:"stream"`
+	Seq    uint32  `json:"seq"`
+	Digest float64 `json:"digest"`
+	Ranks  int     `json:"ranks"`
+}
+
+// command pairs a broadcastable control message with its reply path.
+type command struct {
+	ctl   *kylix.StreamCtl
+	reply chan commandReply
+}
+
+type commandReply struct {
+	res ctlResult
+	err error
+}
+
+func runDaemon(node *kylix.Node, rank int, controlAddr string) error {
+	d := &daemon{node: node, rank: rank, size: node.Size(), tenants: map[uint16]*tenant{}}
+	if rank != 0 {
+		fmt.Printf("rank %d: daemon ready\n", rank)
+		return d.workerLoop()
+	}
+	return d.coordinate(controlAddr)
+}
+
+// workerLoop executes broadcast commands in sequence order until
+// shutdown. Receive timeouts just mean an idle fabric.
+func (d *daemon) workerLoop() error {
+	for {
+		ctl, err := d.node.ControlRecv(0, false)
+		if errors.Is(err, comm.ErrTimeout) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		stop := d.execute(ctl)
+		if stop {
+			fmt.Printf("rank %d: daemon OK\n", d.rank)
+			return nil
+		}
+	}
+}
+
+// execute runs one collective command and acks it; returns true on
+// shutdown.
+func (d *daemon) execute(ctl *kylix.StreamCtl) bool {
+	digest, err := d.apply(ctl)
+	ack := &kylix.StreamCtl{
+		Op: kylix.OpStreamAck, Seq: ctl.Seq, Stream: ctl.Stream,
+		Digest: math.Float64bits(digest),
+	}
+	if err != nil {
+		fmt.Printf("rank %d: seq %d failed: %v\n", d.rank, ctl.Seq, err)
+		ack.N = 1
+	}
+	if err := d.node.ControlSend(0, ack); err != nil {
+		fmt.Printf("rank %d: ack %d failed: %v\n", d.rank, ctl.Seq, err)
+	}
+	return ctl.Op == kylix.OpStreamShutdown
+}
+
+// apply performs the command's collective work on this rank.
+func (d *daemon) apply(ctl *kylix.StreamCtl) (float64, error) {
+	switch ctl.Op {
+	case kylix.OpStreamCreate:
+		if _, live := d.tenants[uint16(ctl.Stream)]; live {
+			return 0, fmt.Errorf("stream %d already exists", ctl.Stream)
+		}
+		snode, err := d.node.Stream(uint16(ctl.Stream), kylix.WithWidth(int(ctl.Width)))
+		if err != nil {
+			return 0, err
+		}
+		set := tenantSet(d.rank, ctl.N, int(ctl.NNZ), ctl.Seed)
+		vals := tenantVals(set, int(ctl.Width), d.rank, ctl.Seed, 0)
+		red, got, err := snode.ConfigureReduce(set, set, vals)
+		if err != nil {
+			return 0, err
+		}
+		d.tenants[uint16(ctl.Stream)] = &tenant{node: snode, red: red, set: set, seed: ctl.Seed}
+		return digestOf(got), nil
+	case kylix.OpStreamReduce:
+		tn, live := d.tenants[uint16(ctl.Stream)]
+		if !live {
+			return 0, fmt.Errorf("stream %d not open", ctl.Stream)
+		}
+		var digest float64
+		for r := uint32(1); r <= ctl.Rounds; r++ {
+			vals := tenantVals(tn.set, tn.node.Width(), d.rank, tn.seed, tn.rounds+r)
+			got, err := tn.red.Reduce(vals)
+			if err != nil {
+				return 0, err
+			}
+			digest = digestOf(got)
+		}
+		tn.rounds += ctl.Rounds
+		return digest, nil
+	case kylix.OpStreamClose:
+		if _, live := d.tenants[uint16(ctl.Stream)]; !live {
+			return 0, fmt.Errorf("stream %d not open", ctl.Stream)
+		}
+		delete(d.tenants, uint16(ctl.Stream))
+		d.node.CloseStream(uint16(ctl.Stream))
+		return 0, nil
+	case kylix.OpStreamShutdown:
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("unknown stream op %d", ctl.Op)
+	}
+}
+
+// coordinate is rank 0: an HTTP control API feeding the sequenced
+// broadcast loop, with rank 0 executing its own share of every command.
+func (d *daemon) coordinate(controlAddr string) error {
+	if controlAddr == "" {
+		return fmt.Errorf("daemon rank 0 needs -control-addr")
+	}
+	cmds := make(chan command)
+	mux := http.NewServeMux()
+	var nextStream uint16
+	enqueue := func(ctl *kylix.StreamCtl) (ctlResult, error) {
+		reply := make(chan commandReply, 1)
+		cmds <- command{ctl: ctl, reply: reply}
+		r := <-reply
+		return r.res, r.err
+	}
+	respond := func(w http.ResponseWriter, res ctlResult, err error) {
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(res)
+	}
+	qInt := func(r *http.Request, name string, def int64) int64 {
+		if s := r.URL.Query().Get(name); s != "" {
+			if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+				return v
+			}
+		}
+		return def
+	}
+	mux.HandleFunc("POST /streams", func(w http.ResponseWriter, r *http.Request) {
+		nextStream++
+		res, err := enqueue(&kylix.StreamCtl{
+			Op:     kylix.OpStreamCreate,
+			Stream: comm.StreamID(nextStream),
+			Seed:   qInt(r, "seed", 42),
+			N:      qInt(r, "n", 1<<16),
+			NNZ:    uint32(qInt(r, "nnz", 1<<10)),
+			Width:  uint32(qInt(r, "width", 1)),
+		})
+		respond(w, res, err)
+	})
+	mux.HandleFunc("POST /streams/{id}/reduce", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 16)
+		if err != nil {
+			http.Error(w, "bad stream id", http.StatusBadRequest)
+			return
+		}
+		res, qerr := enqueue(&kylix.StreamCtl{
+			Op:     kylix.OpStreamReduce,
+			Stream: comm.StreamID(id),
+			Rounds: uint32(qInt(r, "rounds", 1)),
+		})
+		respond(w, res, qerr)
+	})
+	mux.HandleFunc("DELETE /streams/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 16)
+		if err != nil {
+			http.Error(w, "bad stream id", http.StatusBadRequest)
+			return
+		}
+		res, qerr := enqueue(&kylix.StreamCtl{Op: kylix.OpStreamClose, Stream: comm.StreamID(id)})
+		respond(w, res, qerr)
+	})
+	shutdown := make(chan struct{})
+	mux.HandleFunc("POST /shutdown", func(w http.ResponseWriter, r *http.Request) {
+		res, err := enqueue(&kylix.StreamCtl{Op: kylix.OpStreamShutdown})
+		respond(w, res, err)
+		close(shutdown)
+	})
+	srv := &http.Server{Addr: controlAddr, Handler: mux}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- srv.ListenAndServe() }()
+	fmt.Printf("rank 0: daemon ready, control API on http://%s\n", controlAddr)
+
+	var seq uint32
+	for {
+		select {
+		case cmd := <-cmds:
+			seq++
+			cmd.ctl.Seq = seq
+			res, err := d.broadcast(cmd.ctl)
+			cmd.reply <- commandReply{res: res, err: err}
+			if cmd.ctl.Op == kylix.OpStreamShutdown {
+				<-shutdown
+				// Graceful: lets the /shutdown response flush first.
+				_ = srv.Shutdown(context.Background())
+				fmt.Println("rank 0: daemon OK")
+				return nil
+			}
+		case err := <-httpErr:
+			if err != nil && !errors.Is(err, http.ErrServerClosed) {
+				return err
+			}
+		}
+	}
+}
+
+// broadcast sends one command to every rank (rank 0 included — its own
+// worker share runs inline here), then collects all acks and folds the
+// per-rank digests into the aggregate.
+func (d *daemon) broadcast(ctl *kylix.StreamCtl) (ctlResult, error) {
+	for r := 1; r < d.size; r++ {
+		if err := d.node.ControlSend(r, ctl); err != nil {
+			return ctlResult{}, fmt.Errorf("broadcast to rank %d: %w", r, err)
+		}
+	}
+	// Rank 0's own share, inline (collective with the other ranks).
+	digest, err := d.apply(ctl)
+	if err != nil {
+		return ctlResult{}, fmt.Errorf("rank 0: %w", err)
+	}
+	res := ctlResult{Stream: uint16(ctl.Stream), Seq: ctl.Seq, Digest: digest, Ranks: d.size}
+	for r := 1; r < d.size; r++ {
+		for {
+			ack, err := d.node.ControlRecv(r, true)
+			if errors.Is(err, comm.ErrTimeout) {
+				continue
+			}
+			if err != nil {
+				return ctlResult{}, fmt.Errorf("ack from rank %d: %w", r, err)
+			}
+			if ack.Seq != ctl.Seq {
+				// A stale ack from a request that timed out at the HTTP
+				// layer; skip it.
+				continue
+			}
+			if ack.N != 0 {
+				return ctlResult{}, fmt.Errorf("rank %d failed seq %d", r, ctl.Seq)
+			}
+			res.Digest += math.Float64frombits(ack.Digest)
+			break
+		}
+	}
+	return res, nil
+}
+
+// tenantSet derives rank r's deterministic index set for a stream
+// workload (same shape as nodeSet but keyed by the stream's seed).
+func tenantSet(r int, n int64, nnz int, seed int64) []int32 {
+	rng := rand.New(rand.NewSource(seed + int64(r)*104729))
+	seen := make(map[int32]bool, nnz)
+	set := make([]int32, 0, nnz)
+	for len(set) < nnz {
+		idx := int32(rng.Int63n(n))
+		if !seen[idx] {
+			seen[idx] = true
+			set = append(set, idx)
+		}
+	}
+	return set
+}
+
+// tenantVals derives the rank's contribution for one pass: a pure
+// function of (seed, rank, round) so re-running the same command
+// sequence reproduces the same digests bit-for-bit.
+func tenantVals(set []int32, width, rank int, seed int64, round uint32) []float32 {
+	vals := make([]float32, len(set)*width)
+	for i := range vals {
+		vals[i] = float32(rank+1) + float32(seed%97)*0.5 + float32(round)*0.25 + float32(i%5)*0.125
+	}
+	return vals
+}
+
+// digestOf folds gathered values into the rank's result digest.
+func digestOf(vals []float32) float64 {
+	var d float64
+	for _, v := range vals {
+		d += float64(v)
+	}
+	return d
+}

@@ -1,0 +1,142 @@
+package kylix_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDaemonStreams runs the long-lived multi-tenant deployment end to
+// end: four kylix-node processes in -daemon mode, driven over rank 0's
+// HTTP control API. Two streams created with identical parameters must
+// report identical aggregate digests even though their traffic
+// interleaves on the shared fabric — the daemon-level isolation check —
+// and close/shutdown must tear everything down cleanly.
+func TestDaemonStreams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	dir := t.TempDir()
+	nodeBin := filepath.Join(dir, "kylix-node")
+	if out, err := exec.Command("go", "build", "-o", nodeBin, "kylix/cmd/kylix-node").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	addrs, err := reservePorts(5)
+	if err != nil {
+		t.Skip("cannot reserve ports:", err)
+	}
+	hosts := strings.Join(addrs[:4], ",")
+	controlAddr := addrs[4]
+
+	outs := make([][]byte, 4)
+	errs := make([]error, 4)
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cmd := exec.Command(nodeBin,
+				"-rank", fmt.Sprint(r),
+				"-hosts", hosts,
+				"-degrees", "2x2",
+				"-daemon",
+				"-control-addr", controlAddr,
+				"-timeout", "30s",
+			)
+			outs[r], errs[r] = cmd.CombinedOutput()
+		}(r)
+	}
+
+	base := "http://" + controlAddr
+	call := func(method, path string) (map[string]any, int) {
+		t.Helper()
+		req, err := http.NewRequest(method, base+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var resp *http.Response
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			resp, err = http.DefaultClient.Do(req)
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s %s: %v", method, path, err)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&body)
+		return body, resp.StatusCode
+	}
+
+	// Two tenants with identical workload parameters on the shared
+	// fabric: their digests must agree exactly.
+	a, code := call("POST", "/streams?n=8192&nnz=256&seed=7")
+	if code != http.StatusOK {
+		t.Fatalf("create a: status %d (%v)", code, a)
+	}
+	b, code := call("POST", "/streams?n=8192&nnz=256&seed=7")
+	if code != http.StatusOK {
+		t.Fatalf("create b: status %d (%v)", code, b)
+	}
+	if a["digest"] != b["digest"] {
+		t.Fatalf("identical tenants diverged: %v vs %v", a["digest"], b["digest"])
+	}
+	aID, bID := int(a["stream"].(float64)), int(b["stream"].(float64))
+	if aID == bID {
+		t.Fatalf("stream id %d reused", aID)
+	}
+
+	// Warm passes on both tenants; same rounds, same seed -> same digest.
+	ra, code := call("POST", fmt.Sprintf("/streams/%d/reduce?rounds=2", aID))
+	if code != http.StatusOK {
+		t.Fatalf("reduce a: status %d (%v)", code, ra)
+	}
+	rb, code := call("POST", fmt.Sprintf("/streams/%d/reduce?rounds=2", bID))
+	if code != http.StatusOK {
+		t.Fatalf("reduce b: status %d (%v)", code, rb)
+	}
+	if ra["digest"] != rb["digest"] {
+		t.Fatalf("identical reduces diverged: %v vs %v", ra["digest"], rb["digest"])
+	}
+
+	// Close tenant a; reducing on it afterwards must fail; b still works.
+	if _, code := call("DELETE", fmt.Sprintf("/streams/%d", aID)); code != http.StatusOK {
+		t.Fatalf("close a: status %d", code)
+	}
+	if _, code := call("POST", fmt.Sprintf("/streams/%d/reduce?rounds=1", aID)); code == http.StatusOK {
+		t.Fatal("reduce on closed stream succeeded")
+	}
+	if _, code := call("POST", fmt.Sprintf("/streams/%d/reduce?rounds=1", bID)); code != http.StatusOK {
+		t.Fatal("surviving stream broken after sibling close")
+	}
+
+	if _, code := call("POST", "/shutdown"); code != http.StatusOK {
+		t.Fatal("shutdown failed")
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemons did not exit after shutdown")
+	}
+	for r := 0; r < 4; r++ {
+		if errs[r] != nil {
+			t.Fatalf("rank %d failed: %v\n%s", r, errs[r], outs[r])
+		}
+		if !strings.Contains(string(outs[r]), "daemon OK") {
+			t.Fatalf("rank %d did not shut down cleanly: %s", r, outs[r])
+		}
+	}
+}

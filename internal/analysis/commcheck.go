@@ -17,8 +17,15 @@ import (
 //     variables — never bare integer literals. An untyped literal tag
 //     bypasses the kind/layer/sequence packing and collides with
 //     protocol traffic in ways that only fail under load.
+//   - Stream ids (comm.StreamID arguments, e.g. MakeStreamTag's first
+//     parameter) must likewise never be bare integer literals: real
+//     ids are allocated by the stream registry and never reused, so a
+//     hard-coded id either collides with a live tenant or silently
+//     addresses a dead namespace. comm.DefaultStream is the named way
+//     to mean "the cluster's own tag space".
 //
-// Test files are skipped (teardown paths discard errors by design).
+// Test files are skipped (teardown paths discard errors by design, and
+// fixed stream ids are how isolation tests pin their scenarios).
 // Suppress with //kylix:allow commcheck[:detail].
 var CommCheck = &Analyzer{
 	Name: "commcheck",
@@ -36,7 +43,8 @@ const commPkgPath = "kylix/internal/comm"
 
 func runCommCheck(p *Pass) error {
 	endpoint := lookupEndpoint(p)
-	tagType := lookupTagType(p)
+	tagType := lookupCommType(p, "Tag")
+	streamType := lookupCommType(p, "StreamID")
 	for _, f := range p.Files {
 		if p.IsTestFile(f.Pos()) {
 			continue
@@ -52,7 +60,7 @@ func runCommCheck(p *Pass) error {
 			case *ast.GoStmt:
 				checkDiscardedEndpointError(p, n.Call, endpoint)
 			case *ast.CallExpr:
-				checkTagLiterals(p, n, tagType)
+				checkTagLiterals(p, n, tagType, streamType)
 			}
 			return true
 		})
@@ -85,8 +93,9 @@ func lookupEndpoint(p *Pass) *types.Interface {
 	return iface
 }
 
-// lookupTagType finds the comm.Tag named type.
-func lookupTagType(p *Pass) types.Type {
+// lookupCommType finds a named type in the comm package, whether the
+// analyzed package imports comm or is comm itself.
+func lookupCommType(p *Pass, name string) types.Type {
 	var scope *types.Scope
 	if p.Pkg.Path() == commPkgPath {
 		scope = p.Pkg.Scope()
@@ -101,7 +110,7 @@ func lookupTagType(p *Pass) types.Type {
 	if scope == nil {
 		return nil
 	}
-	obj := scope.Lookup("Tag")
+	obj := scope.Lookup(name)
 	if obj == nil {
 		return nil
 	}
@@ -157,17 +166,25 @@ func lastResultIsError(sig *types.Signature) bool {
 	return res.Len() > 0 && isErrorType(res.At(res.Len()-1).Type())
 }
 
-// checkTagLiterals flags integer literals flowing into comm.Tag
-// parameters, and explicit comm.Tag(<literal>) conversions.
-func checkTagLiterals(p *Pass, call *ast.CallExpr, tagType types.Type) {
+// checkTagLiterals flags integer literals flowing into comm.Tag or
+// comm.StreamID parameters, and explicit comm.Tag(<literal>) /
+// comm.StreamID(<literal>) conversions.
+func checkTagLiterals(p *Pass, call *ast.CallExpr, tagType, streamType types.Type) {
 	if tagType == nil {
 		return
 	}
-	// Explicit conversion Tag(7).
+	// Explicit conversions Tag(7) / StreamID(7).
 	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
-		if types.Identical(tv.Type, tagType) && len(call.Args) == 1 && isIntLiteral(call.Args[0]) {
+		if len(call.Args) != 1 || !isIntLiteral(call.Args[0]) {
+			return
+		}
+		if types.Identical(tv.Type, tagType) {
 			p.Reportf(call.Args[0].Pos(), "taglit",
 				"untyped integer literal converted to comm.Tag: use comm.MakeTag or a named constant so kind/layer/sequence packing holds")
+		}
+		if streamType != nil && types.Identical(tv.Type, streamType) {
+			p.Reportf(call.Args[0].Pos(), "streamlit",
+				"untyped integer literal converted to comm.StreamID: stream ids are allocated by the registry (comm.DefaultStream names the cluster's own space)")
 		}
 		return
 	}
@@ -189,12 +206,16 @@ func checkTagLiterals(p *Pass, call *ast.CallExpr, tagType types.Type) {
 		case i < params.Len():
 			pt = params.At(i).Type()
 		}
-		if pt == nil || !types.Identical(pt, tagType) {
+		if pt == nil || !isIntLiteral(arg) {
 			continue
 		}
-		if isIntLiteral(arg) {
+		if types.Identical(pt, tagType) {
 			p.Reportf(arg.Pos(), "taglit",
 				"untyped integer literal passed as comm.Tag: use comm.MakeTag or a named constant so kind/layer/sequence packing holds")
+		}
+		if streamType != nil && types.Identical(pt, streamType) {
+			p.Reportf(arg.Pos(), "streamlit",
+				"untyped integer literal passed as comm.StreamID: stream ids are allocated by the registry (comm.DefaultStream names the cluster's own space)")
 		}
 	}
 }

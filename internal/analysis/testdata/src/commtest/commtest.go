@@ -46,3 +46,16 @@ func NamedTags(ep comm.Endpoint, p comm.Payload) error {
 	}
 	return ep.Send(1, comm.MakeTag(comm.KindReduce, 3, 9), p) // accepted: MakeTag packing
 }
+
+func LiteralStreamID() comm.Tag {
+	return comm.MakeStreamTag(9, comm.KindReduce, 3, 9) // want "untyped integer literal passed as comm.StreamID"
+}
+
+func ConvertedStreamID() comm.StreamID {
+	return comm.StreamID(9) // want "untyped integer literal converted to comm.StreamID"
+}
+
+func NamedStreamIDs(id comm.StreamID) comm.Tag {
+	_ = comm.MakeStreamTag(comm.DefaultStream, comm.KindConfig, 0, 1) // accepted: named constant
+	return comm.MakeStreamTag(id, comm.KindReduce, 3, 9)             // accepted: registry-allocated id
+}

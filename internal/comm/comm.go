@@ -13,6 +13,7 @@ package comm
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -61,30 +62,109 @@ func (k Kind) String() string {
 	}
 }
 
+// StreamID names one logical tenant of a shared fabric. Every Tag
+// embeds the stream that minted it, so concurrent reductions multiplex
+// over the same endpoints without their messages cross-delivering:
+// identical (kind, layer, seq) triples from two streams are distinct
+// tags. Stream 0 (DefaultStream) is the classic single-tenant
+// namespace used by Cluster.Run and the membership control plane.
+type StreamID uint16
+
+// DefaultStream is the implicit stream of single-tenant traffic:
+// MakeTag mints into it, and it is never closed.
+const DefaultStream StreamID = 0
+
 // Tag identifies one matched send/receive step: the message kind, the
-// communication layer it belongs to, and a sequence number
-// distinguishing successive rounds (e.g. PageRank iterations).
+// stream (tenant) it belongs to, the communication layer, and a
+// sequence number distinguishing successive rounds (e.g. PageRank
+// iterations).
+//
+// Bit layout (most significant first):
+//
+//	63........56 55........40 39........32 31...........0
+//	  kind (8)     stream (16)   layer (8)     seq (32)
 type Tag uint64
 
-// MakeTag packs kind, layer and sequence number into a Tag.
-func MakeTag(kind Kind, layer int, seq uint32) Tag {
+// tagClamps counts tags whose layer was out of [0, 255] and got
+// clamped by MakeStreamTag. The protocol never produces one (layers
+// are bounded by the degree vector length), so a nonzero count is a
+// caller bug surfaced as a metric instead of a daemon-killing panic.
+var tagClamps atomic.Uint64
+
+// TagClamps reports how many tag constructions clamped an
+// out-of-range layer since process start.
+func TagClamps() uint64 { return tagClamps.Load() }
+
+// MakeStreamTag packs stream, kind, layer and sequence number into a
+// Tag. A layer outside [0, 255] is clamped to the nearest bound and
+// counted in TagClamps — never a panic: once untrusted stream RPCs can
+// reach the comm layer, a malformed request must not take down the
+// daemon. Callers validating untrusted input up front should use
+// CheckLayer and reject before minting.
+func MakeStreamTag(stream StreamID, kind Kind, layer int, seq uint32) Tag {
 	if layer < 0 || layer > 255 {
-		panic("comm: layer out of range")
+		tagClamps.Add(1)
+		if layer < 0 {
+			layer = 0
+		} else {
+			layer = 255
+		}
 	}
-	return Tag(uint64(kind)<<48 | uint64(uint8(layer))<<40 | uint64(seq))
+	return Tag(uint64(kind)<<56 | uint64(stream)<<40 | uint64(uint8(layer))<<32 | uint64(seq))
+}
+
+// MakeTag packs kind, layer and sequence number into a DefaultStream
+// Tag — the single-tenant constructor. Layer handling matches
+// MakeStreamTag (clamp + count, no panic).
+func MakeTag(kind Kind, layer int, seq uint32) Tag {
+	return MakeStreamTag(DefaultStream, kind, layer, seq)
+}
+
+// TagRangeError reports a tag component outside its encodable range —
+// the structured rejection for untrusted inputs (daemon RPCs) that
+// must be validated rather than silently clamped.
+type TagRangeError struct {
+	// Field names the offending component ("layer").
+	Field string
+	// Value is the out-of-range value as given.
+	Value int
+	// Max is the largest encodable value (Min is always 0).
+	Max int
+}
+
+// Error implements error.
+func (e *TagRangeError) Error() string {
+	return fmt.Sprintf("comm: tag %s %d out of range [0, %d]", e.Field, e.Value, e.Max)
+}
+
+// CheckLayer validates a layer for tag encoding, returning a
+// *TagRangeError when it cannot be represented. Use it at trust
+// boundaries; trusted protocol code calls MakeStreamTag directly.
+func CheckLayer(layer int) error {
+	if layer < 0 || layer > 255 {
+		return &TagRangeError{Field: "layer", Value: layer, Max: 255}
+	}
+	return nil
 }
 
 // Kind extracts the message kind.
-func (t Tag) Kind() Kind { return Kind(t >> 48) }
+func (t Tag) Kind() Kind { return Kind(t >> 56) }
+
+// Stream extracts the stream (tenant) id.
+func (t Tag) Stream() StreamID { return StreamID(t >> 40) }
 
 // Layer extracts the communication layer.
-func (t Tag) Layer() int { return int(uint8(t >> 40)) }
+func (t Tag) Layer() int { return int(uint8(t >> 32)) }
 
 // Seq extracts the sequence number.
 func (t Tag) Seq() uint32 { return uint32(t) }
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. The stream is shown only when it is
+// not DefaultStream, so single-tenant logs look as before.
 func (t Tag) String() string {
+	if s := t.Stream(); s != DefaultStream {
+		return fmt.Sprintf("%s/S%d/L%d/#%d", t.Kind(), s, t.Layer(), t.Seq())
+	}
 	return fmt.Sprintf("%s/L%d/#%d", t.Kind(), t.Layer(), t.Seq())
 }
 
@@ -99,6 +179,10 @@ var (
 	// diagnosable from the error string alone; match it with
 	// errors.Is(err, ErrTimeout).
 	ErrTimeout = errors.New("comm: receive timed out")
+	// ErrStreamClosed is returned by receives on a stream whose
+	// namespace has been closed (Mailbox.CloseStream). The endpoint as a
+	// whole stays live — only the one tenant's traffic is dead.
+	ErrStreamClosed = errors.New("comm: stream closed")
 )
 
 // TimeoutError is the structured form of ErrTimeout: it records which

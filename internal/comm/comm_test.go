@@ -39,13 +39,105 @@ func TestTagUnique(t *testing.T) {
 	}
 }
 
-func TestMakeTagPanicsOnBadLayer(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("want panic")
+// TestMakeTagClampsBadLayer replaces the old panic contract: an
+// out-of-range layer is clamped to the nearest encodable bound and
+// counted in TagClamps, because once untrusted stream RPCs reach the
+// comm layer a malformed request must not take down the daemon.
+func TestMakeTagClampsBadLayer(t *testing.T) {
+	before := TagClamps()
+	if got := MakeTag(KindConfig, 256, 7); got.Layer() != 255 || got.Seq() != 7 {
+		t.Fatalf("layer 256 clamped to %d, want 255", got.Layer())
+	}
+	if got := MakeTag(KindConfig, -3, 7); got.Layer() != 0 {
+		t.Fatalf("layer -3 clamped to %d, want 0", got.Layer())
+	}
+	if d := TagClamps() - before; d != 2 {
+		t.Fatalf("TagClamps advanced by %d, want 2", d)
+	}
+	// In-range layers are never counted.
+	before = TagClamps()
+	MakeTag(KindConfig, 255, 0)
+	MakeStreamTag(3, KindReduce, 0, 0)
+	if TagClamps() != before {
+		t.Fatal("in-range layer counted as clamp")
+	}
+}
+
+// TestCheckLayer pins the structured-error validation path used at
+// trust boundaries (daemon RPCs) where clamping would mask bad input.
+func TestCheckLayer(t *testing.T) {
+	if err := CheckLayer(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckLayer(255); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []int{-1, 256, 1 << 20} {
+		err := CheckLayer(bad)
+		var tre *TagRangeError
+		if !errors.As(err, &tre) {
+			t.Fatalf("CheckLayer(%d) = %v, want *TagRangeError", bad, err)
 		}
-	}()
-	MakeTag(KindConfig, 256, 0)
+		if tre.Field != "layer" || tre.Value != bad || tre.Max != 255 {
+			t.Fatalf("error context = %+v", tre)
+		}
+		if tre.Error() == "" {
+			t.Fatal("empty error string")
+		}
+	}
+}
+
+// TestStreamTagPacking round-trips the widened layout: kind, stream,
+// layer and seq all extract to what was packed, across the full
+// extremes of each field.
+func TestStreamTagPacking(t *testing.T) {
+	for _, stream := range []StreamID{0, 1, 255, 256, 65535} {
+		for _, kind := range []Kind{KindConfig, KindReduce, KindControl} {
+			for _, layer := range []int{0, 7, 255} {
+				for _, seq := range []uint32{0, 1 << 24, ^uint32(0)} {
+					tag := MakeStreamTag(stream, kind, layer, seq)
+					if tag.Kind() != kind || tag.Stream() != stream ||
+						tag.Layer() != layer || tag.Seq() != seq {
+						t.Fatalf("round trip failed: kind=%v stream=%d layer=%d seq=%d -> %v/%d/%d/%d",
+							kind, stream, layer, seq, tag.Kind(), tag.Stream(), tag.Layer(), tag.Seq())
+					}
+				}
+			}
+		}
+	}
+	// MakeTag mints into DefaultStream.
+	if s := MakeTag(KindReduce, 1, 2).Stream(); s != DefaultStream {
+		t.Fatalf("MakeTag stream = %d, want DefaultStream", s)
+	}
+}
+
+// TestStreamTagUnique is the headline-bug regression: identical
+// (kind, layer, seq) triples on different streams must be distinct
+// tags, so concurrent Configs on one fabric cannot cross-deliver.
+func TestStreamTagUnique(t *testing.T) {
+	seen := map[Tag]bool{}
+	for stream := StreamID(0); stream < 8; stream++ {
+		for _, kind := range []Kind{KindConfig, KindReduce} {
+			for layer := 0; layer < 4; layer++ {
+				for seq := uint32(0); seq < 4; seq++ {
+					tag := MakeStreamTag(stream, kind, layer, seq)
+					if seen[tag] {
+						t.Fatalf("duplicate tag %v across streams", tag)
+					}
+					seen[tag] = true
+				}
+			}
+		}
+	}
+}
+
+func TestStreamTagString(t *testing.T) {
+	if s := MakeStreamTag(9, KindReduce, 2, 7).String(); s != "reduce/S9/L2/#7" {
+		t.Fatalf("stream tag string = %q", s)
+	}
+	if s := MakeTag(KindReduce, 2, 7).String(); s != "reduce/L2/#7" {
+		t.Fatalf("default-stream tag string = %q", s)
+	}
 }
 
 func TestKindString(t *testing.T) {
@@ -105,7 +197,7 @@ func TestBytesPayloadRoundTrip(t *testing.T) {
 }
 
 func TestEmptyPayloads(t *testing.T) {
-	for _, p := range []Payload{&Keys{}, &Floats{}, &KeysVals{}, &Bytes{}, &InOut{}, &Combined{}, &Delta{}, &Delta{InSame: true, OutSame: true}, &Control{}} {
+	for _, p := range []Payload{&Keys{}, &Floats{}, &KeysVals{}, &Bytes{}, &InOut{}, &Combined{}, &Delta{}, &Delta{InSame: true, OutSame: true}, &Control{}, &StreamCtl{}} {
 		roundTrip(t, p)
 	}
 }
@@ -152,6 +244,27 @@ func TestControlPayloadRoundTrip(t *testing.T) {
 	c.Members[0] = 99
 	if p.Members[0] == 99 {
 		t.Fatal("Clone shares Members memory")
+	}
+}
+
+func TestStreamCtlPayloadRoundTrip(t *testing.T) {
+	p := &StreamCtl{
+		Op:     OpStreamReduce,
+		Seq:    7,
+		Stream: 514,
+		Seed:   -42,
+		N:      1 << 20,
+		NNZ:    4096,
+		Rounds: 3,
+		Width:  4,
+		Digest: 0xfeedfacecafebeef,
+	}
+	q := roundTrip(t, p).(*StreamCtl)
+	if *q != *p {
+		t.Fatalf("streamctl mismatch: %+v vs %+v", q, p)
+	}
+	if got := p.AppendTo(nil); len(got) != p.WireSize() {
+		t.Fatalf("WireSize %d but encoded %d bytes", p.WireSize(), len(got))
 	}
 }
 
@@ -356,6 +469,117 @@ func TestMailboxResetDiscards(t *testing.T) {
 	mb.Deliver(2, tag, &Bytes{})
 	if _, err := mb.Recv(2, tag); err != nil {
 		t.Fatal("delivery after ResetDiscards dropped")
+	}
+}
+
+// TestMailboxCloseStreamPurgesIndex is the satellite-1 leak
+// regression: a stream closed with undelivered (indexed, never
+// drained) messages must leave no stale entries in the pending-sender
+// index, no queued payloads, and no discard marks.
+func TestMailboxCloseStreamPurgesIndex(t *testing.T) {
+	mb := NewMailbox(time.Second)
+	const s = StreamID(7)
+	// Undelivered messages across several tags and senders: all indexed.
+	for layer := 0; layer < 4; layer++ {
+		for from := 0; from < 3; from++ {
+			mb.Deliver(from, MakeStreamTag(s, KindReduce, layer, 0), &Bytes{Data: []byte("leak")})
+		}
+	}
+	// A replica race leaves discard marks for the losers too.
+	raceTag := MakeStreamTag(s, KindGather, 0, 1)
+	mb.Deliver(1, raceTag, &Bytes{})
+	if _, _, err := mb.RecvAny([]int{1, 2}, raceTag); err != nil {
+		t.Fatal(err)
+	}
+	// Traffic on another stream must survive the close untouched.
+	otherTag := MakeStreamTag(8, KindReduce, 0, 0)
+	mb.Deliver(0, otherTag, &Bytes{Data: []byte("ok")})
+
+	if mb.IndexedTags() == 0 || mb.StreamPending(s) == 0 {
+		t.Fatal("precondition: stream has pending indexed messages")
+	}
+	mb.CloseStream(s)
+	if n := mb.StreamPending(s); n != 0 {
+		t.Fatalf("%d messages retained after CloseStream", n)
+	}
+	if n := mb.IndexedTags(); n != 1 { // only otherTag remains
+		t.Fatalf("pending-sender index has %d entries after CloseStream, want 1", n)
+	}
+	// Late deliveries (resend-ring replays, faultnet delays) are dropped
+	// rather than re-leaking index entries.
+	mb.Deliver(0, MakeStreamTag(s, KindReduce, 0, 2), &Bytes{})
+	mb.Deliver(2, raceTag, &Bytes{})
+	if mb.StreamPending(s) != 0 || mb.IndexedTags() != 1 {
+		t.Fatal("late delivery into a dead stream re-leaked state")
+	}
+	// The other stream still flows.
+	if p, err := mb.Recv(0, otherTag); err != nil || string(p.(*Bytes).Data) != "ok" {
+		t.Fatalf("cross-stream traffic broken by CloseStream: %v %v", p, err)
+	}
+	if mb.IndexedTags() != 0 {
+		t.Fatal("index not empty after draining the survivor")
+	}
+}
+
+// TestMailboxCloseStreamWakesReceivers checks a receive blocked on a
+// closed stream fails with ErrStreamClosed while the endpoint itself
+// stays live.
+func TestMailboxCloseStreamWakesReceivers(t *testing.T) {
+	mb := NewMailbox(0)
+	const s = StreamID(3)
+	errc := make(chan error, 3)
+	go func() {
+		_, err := mb.Recv(0, MakeStreamTag(s, KindReduce, 0, 0))
+		errc <- err
+	}()
+	go func() {
+		_, _, err := mb.RecvAny([]int{0, 1}, MakeStreamTag(s, KindReduce, 1, 0))
+		errc <- err
+	}()
+	go func() {
+		_, _, err := mb.RecvGroup([][]int{{0}, {1}}, MakeStreamTag(s, KindGather, 0, 0))
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	mb.CloseStream(s)
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-errc:
+			if !errors.Is(err, ErrStreamClosed) {
+				t.Fatalf("err = %v, want ErrStreamClosed", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("blocked receive did not wake on CloseStream")
+		}
+	}
+	if !mb.StreamDead(s) {
+		t.Fatal("stream not marked dead")
+	}
+	// DefaultStream can never be closed.
+	mb.CloseStream(DefaultStream)
+	if mb.StreamDead(DefaultStream) {
+		t.Fatal("DefaultStream was closed")
+	}
+	mb.Deliver(0, MakeTag(KindReduce, 0, 0), &Bytes{Data: []byte("live")})
+	if p, err := mb.Recv(0, MakeTag(KindReduce, 0, 0)); err != nil || string(p.(*Bytes).Data) != "live" {
+		t.Fatalf("endpoint dead after CloseStream: %v %v", p, err)
+	}
+}
+
+// TestMailboxStreamIsolation pins that two streams using identical
+// (kind, layer, seq) triples never cross-deliver — the headline bug of
+// the narrow tag layout.
+func TestMailboxStreamIsolation(t *testing.T) {
+	mb := NewMailbox(time.Second)
+	a := MakeStreamTag(1, KindReduce, 2, 5)
+	b := MakeStreamTag(2, KindReduce, 2, 5)
+	mb.Deliver(0, a, &Bytes{Data: []byte("A")})
+	mb.Deliver(0, b, &Bytes{Data: []byte("B")})
+	if p, err := mb.Recv(0, b); err != nil || string(p.(*Bytes).Data) != "B" {
+		t.Fatalf("stream 2 got %v, %v", p, err)
+	}
+	if p, err := mb.Recv(0, a); err != nil || string(p.(*Bytes).Data) != "A" {
+		t.Fatalf("stream 1 got %v, %v", p, err)
 	}
 }
 

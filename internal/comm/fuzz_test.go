@@ -66,6 +66,10 @@ func TestEncodeDecodeQuick(t *testing.T) {
 				Members: keys32(keysRaw), Degrees: []int32{2, 2},
 				PropEpoch: uint64(len(data)), PropMembers: keys32(keysRaw),
 				Ack: 7, Clock: int64(len(keysRaw)), Echo: 9},
+			&StreamCtl{Op: OpStreamCreate, Seq: uint32(len(data)),
+				Stream: StreamID(len(keysRaw)), Seed: int64(len(vals)),
+				N: 1 << 16, NNZ: uint32(len(keysRaw)), Rounds: 2, Width: 1,
+				Digest: uint64(len(data))},
 		}
 		for _, p := range payloads {
 			buf := p.AppendTo(nil)

@@ -42,6 +42,12 @@ type Mailbox struct {
 	// discard marks (from, tag) pairs whose future deliveries should be
 	// dropped: the losers of a replica race (§V-B cancellation).
 	discard map[mailKey]struct{}
+	// deadStreams marks closed stream namespaces. Deliveries into a
+	// dead stream are dropped (late TCP resend-ring replays and
+	// faultnet-delayed frames must not re-leak index entries), and
+	// blocked receives on it fail with ErrStreamClosed. Lazily
+	// allocated: single-tenant mailboxes never pay for the map.
+	deadStreams map[StreamID]struct{}
 	// watch is set once the watchdog goroutine (periodic broadcasts so
 	// deadlines are observed with no traffic) has been started.
 	watch bool
@@ -85,6 +91,10 @@ func (m *Mailbox) Deliver(from int, tag Tag, p Payload) {
 		m.mu.Unlock()
 		return
 	}
+	if m.streamDeadLocked(tag) {
+		m.mu.Unlock()
+		return
+	}
 	q, ok := m.queues[k]
 	if !ok && len(m.free) > 0 {
 		q = m.free[len(m.free)-1]
@@ -97,6 +107,17 @@ func (m *Mailbox) Deliver(from int, tag Tag, p Payload) {
 	m.queues[k] = append(q, p)
 	m.mu.Unlock()
 	m.cond.Broadcast()
+}
+
+// streamDeadLocked reports whether tag's stream namespace has been
+// closed. The len check keeps the single-tenant common case to one
+// branch with no map probe. Caller holds m.mu.
+func (m *Mailbox) streamDeadLocked(tag Tag) bool {
+	if len(m.deadStreams) == 0 {
+		return false
+	}
+	_, dead := m.deadStreams[tag.Stream()]
+	return dead
 }
 
 // indexTagLocked records that k.from now has pending messages under
@@ -261,6 +282,11 @@ func (m *Mailbox) Recv(from int, tag Tag) (Payload, error) {
 			m.observeRecv(from, tag, p, &ws, nil)
 			return p, nil
 		}
+		if m.streamDeadLocked(tag) {
+			m.mu.Unlock()
+			m.observeRecv(from, tag, nil, &ws, ErrStreamClosed)
+			return nil, ErrStreamClosed
+		}
 		if !m.waitLocked(&ws) {
 			m.mu.Unlock()
 			err := &TimeoutError{
@@ -296,6 +322,11 @@ func (m *Mailbox) RecvAny(froms []int, tag Tag) (int, Payload, error) {
 				m.observeRecv(from, tag, p, &ws, nil)
 				return from, p, nil
 			}
+		}
+		if m.streamDeadLocked(tag) {
+			m.mu.Unlock()
+			m.observeRecv(-1, tag, nil, &ws, ErrStreamClosed)
+			return 0, nil, ErrStreamClosed
 		}
 		if !m.waitLocked(&ws) {
 			m.mu.Unlock()
@@ -362,6 +393,11 @@ func (m *Mailbox) RecvGroup(groups [][]int, tag Tag) (int, Payload, error) {
 			}
 			return from, p, nil
 		}
+		if m.streamDeadLocked(tag) {
+			m.mu.Unlock()
+			m.observeRecv(-1, tag, nil, &ws, ErrStreamClosed)
+			return 0, nil, ErrStreamClosed
+		}
 		if !m.waitLocked(&ws) {
 			m.mu.Unlock()
 			froms := make([]int, 0, len(groups))
@@ -391,6 +427,63 @@ func (m *Mailbox) Close() {
 	m.cond.Broadcast()
 }
 
+// CloseStream tears down one stream's namespace: queued messages whose
+// tag belongs to the stream are dropped, their pending-sender index
+// entries purged (the index-leak fix — tags indexed but never drained
+// used to leave stale byTag entries forever), discard marks released,
+// and the stream marked dead so late deliveries (TCP resend-ring
+// replays, faultnet-delayed frames) are dropped instead of re-leaking.
+// Blocked receives on the stream wake and fail with ErrStreamClosed.
+// Closing DefaultStream is a no-op: stream 0 is the single-tenant
+// namespace and shares its lifetime with the mailbox itself.
+//
+//kylix:coldpath
+func (m *Mailbox) CloseStream(id StreamID) {
+	if id == DefaultStream {
+		return
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	if m.deadStreams == nil {
+		m.deadStreams = make(map[StreamID]struct{})
+	}
+	m.deadStreams[id] = struct{}{}
+	for k := range m.queues {
+		if k.tag.Stream() == id {
+			delete(m.queues, k)
+			m.unindexTagLocked(k)
+		}
+	}
+	// Sweep byTag directly too: the queue walk above removes entries
+	// backed by live queues, but an index entry whose queue vanished
+	// through a bug would otherwise survive the close. The invariant
+	// len(q)>0 ⇒ indexed makes this second loop a no-op in a healthy
+	// mailbox; it is the belt to the braces.
+	for tag := range m.byTag {
+		if tag.Stream() == id {
+			delete(m.byTag, tag)
+		}
+	}
+	for k := range m.discard {
+		if k.tag.Stream() == id {
+			delete(m.discard, k)
+		}
+	}
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// StreamDead reports whether the stream's namespace has been closed.
+func (m *Mailbox) StreamDead(id StreamID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, dead := m.deadStreams[id]
+	return dead
+}
+
 // Pending reports the number of queued, undelivered messages (for tests
 // and leak diagnostics).
 func (m *Mailbox) Pending() int {
@@ -401,6 +494,29 @@ func (m *Mailbox) Pending() int {
 		n += len(q)
 	}
 	return n
+}
+
+// StreamPending reports the number of queued messages belonging to one
+// stream (for tests and leak diagnostics).
+func (m *Mailbox) StreamPending(id StreamID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for k, q := range m.queues {
+		if k.tag.Stream() == id {
+			n += len(q)
+		}
+	}
+	return n
+}
+
+// IndexedTags reports the number of tags with live pending-sender index
+// entries — the leak-regression observable: after closing a stream with
+// undelivered messages, its contribution here must be zero.
+func (m *Mailbox) IndexedTags() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.byTag)
 }
 
 // ResetDiscards clears race-cancellation state. Callers reusing tags

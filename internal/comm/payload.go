@@ -262,6 +262,8 @@ func DecodePayload(buf []byte) (Payload, error) {
 		return &Bytes{Data: data}, nil
 	case wireControl:
 		return decodeControlPayload(buf)
+	case wireStreamCtl:
+		return decodeStreamCtlPayload(buf)
 	default:
 		return decodeConfigPayload(kind, buf)
 	}

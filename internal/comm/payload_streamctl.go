@@ -1,0 +1,108 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// wireStreamCtl is the discriminator of the tenant-stream control
+// payload. It extends the 1-12 range assigned in payload.go /
+// payload_config.go / payload_control.go.
+const wireStreamCtl = 13
+
+// StreamCtl operation codes. The daemon control protocol is a simple
+// sequenced broadcast: the coordinator (rank 0) assigns a monotonically
+// increasing Seq to every command and broadcasts it to all ranks; each
+// rank executes commands in Seq order (they are collective operations)
+// and answers with OpStreamAck carrying the same Seq and its local
+// result digest.
+const (
+	// OpStreamCreate opens tenant stream Stream and runs its
+	// configuration pass over the (Seed, N, NNZ, Width)-derived
+	// workload.
+	OpStreamCreate uint8 = iota + 1
+	// OpStreamReduce runs Rounds warm reduction passes on stream Stream.
+	OpStreamReduce
+	// OpStreamClose closes stream Stream and purges its mailbox
+	// namespace.
+	OpStreamClose
+	// OpStreamShutdown stops the daemon loop on every rank.
+	OpStreamShutdown
+	// OpStreamAck is a rank's reply to any of the above: Seq names the
+	// command, Digest carries the rank's result digest (0 when the
+	// command has no data result), and N carries an error indicator
+	// (0 = ok, 1 = the rank failed the command).
+	OpStreamAck
+)
+
+// StreamCtl is the tenant-stream control-plane message of the
+// kylix-node daemon: create/reduce/close/shutdown commands broadcast by
+// the coordinator and the per-rank acknowledgements, all over the
+// existing KindControl tag space so no side channel is needed.
+type StreamCtl struct {
+	// Op is one of the OpStream constants.
+	Op uint8
+	// Seq is the coordinator-assigned command sequence number (acks echo
+	// it back).
+	Seq uint32
+	// Stream is the tenant stream id the command addresses.
+	Stream StreamID
+	// Seed seeds the stream's deterministic workload.
+	Seed int64
+	// N is the feature-space size for create, and doubles as the error
+	// indicator on acks (0 = ok).
+	N int64
+	// NNZ is the per-rank nonzero count of the workload.
+	NNZ uint32
+	// Rounds is the number of warm reduction passes for OpStreamReduce.
+	Rounds uint32
+	// Width is the per-feature value width for create.
+	Width uint32
+	// Digest carries a rank's float64-bits result digest on acks.
+	Digest uint64
+}
+
+// Clone implements Payload.
+func (p *StreamCtl) Clone() Payload {
+	q := *p
+	return &q
+}
+
+// WireSize implements Payload.
+func (p *StreamCtl) WireSize() int {
+	return 1 + 1 + 4 + 2 + 8 + 8 + 4 + 4 + 4 + 8 // disc, op, seq, stream, seed, n, nnz, rounds, width, digest
+}
+
+// AppendTo implements Payload.
+func (p *StreamCtl) AppendTo(buf []byte) []byte {
+	buf = append(buf, wireStreamCtl, p.Op)
+	buf = binary.LittleEndian.AppendUint32(buf, p.Seq)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(p.Stream))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(p.Seed))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(p.N))
+	buf = binary.LittleEndian.AppendUint32(buf, p.NNZ)
+	buf = binary.LittleEndian.AppendUint32(buf, p.Rounds)
+	buf = binary.LittleEndian.AppendUint32(buf, p.Width)
+	buf = binary.LittleEndian.AppendUint64(buf, p.Digest)
+	return buf
+}
+
+// decodeStreamCtlPayload parses the bytes after the wireStreamCtl
+// discriminator.
+func decodeStreamCtlPayload(buf []byte) (Payload, error) {
+	const body = 1 + 4 + 2 + 8 + 8 + 4 + 4 + 4 + 8
+	if len(buf) < body {
+		return nil, fmt.Errorf("comm: truncated streamctl payload")
+	}
+	p := &StreamCtl{Op: buf[0]}
+	buf = buf[1:]
+	p.Seq = binary.LittleEndian.Uint32(buf)
+	p.Stream = StreamID(binary.LittleEndian.Uint16(buf[4:]))
+	p.Seed = int64(binary.LittleEndian.Uint64(buf[6:]))
+	p.N = int64(binary.LittleEndian.Uint64(buf[14:]))
+	p.NNZ = binary.LittleEndian.Uint32(buf[22:])
+	p.Rounds = binary.LittleEndian.Uint32(buf[26:])
+	p.Width = binary.LittleEndian.Uint32(buf[30:])
+	p.Digest = binary.LittleEndian.Uint64(buf[34:])
+	return p, nil
+}

@@ -80,7 +80,7 @@ func (m *Machine) configureLayer(ls *layerState, layer int, round uint32, inCur,
 	if tagKindOverride != nil {
 		kind = *tagKindOverride
 	}
-	tag := comm.MakeTag(kind, layer, round)
+	tag := m.tag(kind, layer, round)
 	w := m.opts.Width
 	tr := m.opts.Tracer
 	obsOn := tr.Enabled()

@@ -38,6 +38,14 @@ type Options struct {
 	// (e.g. a main OR-reduce network and a tiny convergence-counter
 	// network) can share one endpoint as long as their channels differ.
 	Channel uint8
+	// Stream namespaces this Machine's tags by tenant: every tag the
+	// machine mints carries the stream id, so concurrent reductions
+	// multiplex over one shared endpoint without cross-delivery. The
+	// zero value is comm.DefaultStream — classic single-tenant
+	// operation. Unlike Channel (which subdivides the seq space),
+	// Stream is a dedicated tag field, so streams get the full
+	// channel × round space each.
+	Stream comm.StreamID
 	// RoundBase offsets this Machine's tag sequence. Tags must never be
 	// reused on an endpoint: a caller that creates successive Machines
 	// over the same endpoint (e.g. kylix.Cluster.Run called repeatedly)
@@ -129,6 +137,15 @@ func (m *Machine) nextRound() uint32 {
 // RoundsUsed reports how many tag rounds this Machine has consumed,
 // for callers that chain Machines over one endpoint via RoundBase.
 func (m *Machine) RoundsUsed() uint32 { return m.round }
+
+// tag mints a protocol tag in this machine's stream namespace. Every
+// tag the protocol passes to the endpoint goes through here, so a
+// Machine's traffic is wholly contained in its stream.
+//
+//kylix:hotpath
+func (m *Machine) tag(kind comm.Kind, layer int, seq uint32) comm.Tag {
+	return comm.MakeStreamTag(m.opts.Stream, kind, layer, seq)
+}
 
 // layerState holds one communication layer's routing state on one
 // machine, built by the configuration pass and reused by every

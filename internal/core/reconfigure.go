@@ -112,7 +112,7 @@ func (c *Config) reconfigureLayer(ls, old *layerState, layer int, round uint32, 
 	sp.Peers = d
 	tr := m.opts.Tracer
 	obsOn := tr.Enabled()
-	tag := comm.MakeTag(comm.KindConfig, layer, round)
+	tag := m.tag(comm.KindConfig, layer, round)
 
 	// Whole-set fast path: when this layer's input sets are the previous
 	// ones (O(1) when they alias, which is what an unchanged upper layer

@@ -86,7 +86,7 @@ func (c *Config) scatterLayer(i int, round uint32, cur []float32, s *scratch, g 
 	sp := tr.Begin(comm.KindReduce, layer)
 	sp.Peers = len(ls.group)
 	defer func() { sp.Err = err; tr.End(&sp) }()
-	tag := comm.MakeTag(comm.KindReduce, layer, round)
+	tag := m.tag(comm.KindReduce, layer, round)
 
 	sends := g.scatter[i]
 	for t, member := range ls.group {
@@ -185,7 +185,7 @@ func (c *Config) gatherLayer(i int, round uint32, inVals []float32, s *scratch, 
 	sp := tr.Begin(comm.KindGather, layer)
 	sp.Peers = len(ls.group)
 	defer func() { sp.Err = err; tr.End(&sp) }()
-	tag := comm.MakeTag(comm.KindGather, layer, round)
+	tag := m.tag(comm.KindGather, layer, round)
 
 	sends := g.gather[i]
 	for t, member := range ls.group {

@@ -39,7 +39,7 @@ func (m *Machine) TreeAllreduce(inSet, outSet sparse.Set, outVals []float32) ([]
 		if child >= size {
 			continue
 		}
-		p, err := m.ep.Recv(child, comm.MakeTag(comm.KindReduce, treeLevel(child), round))
+		p, err := m.ep.Recv(child, m.tag(comm.KindReduce, treeLevel(child), round))
 		if err != nil {
 			return nil, 0, fmt.Errorf("core: tree recv from child %d: %w", child, err)
 		}
@@ -61,11 +61,11 @@ func (m *Machine) TreeAllreduce(inSet, outSet sparse.Set, outVals []float32) ([]
 	}
 	if rank != 0 {
 		parent := (rank - 1) / 2
-		if err := m.ep.Send(parent, comm.MakeTag(comm.KindReduce, level, round), &comm.KeysVals{Keys: keys, Vals: vals}); err != nil {
+		if err := m.ep.Send(parent, m.tag(comm.KindReduce, level, round), &comm.KeysVals{Keys: keys, Vals: vals}); err != nil {
 			return nil, 0, err
 		}
 		// Downward broadcast: receive the full result from the parent.
-		p, err := m.ep.Recv(parent, comm.MakeTag(comm.KindGather, level, round))
+		p, err := m.ep.Recv(parent, m.tag(comm.KindGather, level, round))
 		if err != nil {
 			return nil, 0, fmt.Errorf("core: tree recv broadcast: %w", err)
 		}
@@ -83,7 +83,7 @@ func (m *Machine) TreeAllreduce(inSet, outSet sparse.Set, outVals []float32) ([]
 		if child >= size {
 			continue
 		}
-		if err := m.ep.Send(child, comm.MakeTag(comm.KindGather, treeLevel(child), round), &comm.KeysVals{Keys: keys, Vals: vals}); err != nil {
+		if err := m.ep.Send(child, m.tag(comm.KindGather, treeLevel(child), round), &comm.KeysVals{Keys: keys, Vals: vals}); err != nil {
 			return nil, 0, err
 		}
 	}

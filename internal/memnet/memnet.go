@@ -102,6 +102,36 @@ func (n *Network) Close() {
 	}
 }
 
+// CloseStream tears down one stream's namespace on every machine:
+// queued messages dropped, pending-sender index purged, late
+// deliveries discarded, blocked receives failed with ErrStreamClosed.
+// The network itself stays live for every other stream.
+func (n *Network) CloseStream(id comm.StreamID) {
+	for _, b := range n.boxes {
+		b.CloseStream(id)
+	}
+}
+
+// StreamPending sums one stream's queued, undelivered messages across
+// all machines (tests and leak diagnostics).
+func (n *Network) StreamPending(id comm.StreamID) int {
+	total := 0
+	for _, b := range n.boxes {
+		total += b.StreamPending(id)
+	}
+	return total
+}
+
+// IndexedTags sums the live pending-sender index entries across all
+// machines (tests and leak diagnostics).
+func (n *Network) IndexedTags() int {
+	total := 0
+	for _, b := range n.boxes {
+		total += b.IndexedTags()
+	}
+	return total
+}
+
 // Endpoint returns machine rank's endpoint.
 func (n *Network) Endpoint(rank int) comm.Endpoint {
 	if rank < 0 || rank >= n.size {

@@ -362,3 +362,61 @@ func NewMembershipMetrics(r *Registry) *MembershipMetrics {
 		Suspected:          r.Counter("membership_suspected"),
 	}
 }
+
+// StreamMetrics bundles the multi-tenant stream layer's aggregate
+// numbers — opens/closes, admission rejections, scheduler waits — plus
+// a constructor for per-tenant labelled counters. Constructed by
+// NewStreamMetrics so the stream layer records unconditionally: a nil
+// registry yields live, unregistered metrics. Registered metrics show
+// up on the HTTP /metrics endpoint automatically, the per-tenant ones
+// under stream/<id>/ names.
+type StreamMetrics struct {
+	// StreamsOpened counts streams admitted over the cluster's lifetime.
+	StreamsOpened *Counter
+	// StreamsClosed counts streams closed.
+	StreamsClosed *Counter
+	// StreamsActive is the number of currently open streams.
+	StreamsActive *Gauge
+	// AdmissionRejected counts passes refused at the per-stream
+	// in-flight bound (backpressure working as designed).
+	AdmissionRejected *Counter
+	// SchedWaitNs is the distribution of time passes spent queued for a
+	// fabric slot, in nanoseconds — the tenant-visible scheduling delay.
+	SchedWaitNs *Histogram
+	reg         *Registry
+}
+
+// NewStreamMetrics registers the stream metric set in r (nil r gives
+// unregistered metrics).
+func NewStreamMetrics(r *Registry) *StreamMetrics {
+	return &StreamMetrics{
+		StreamsOpened:     r.Counter("streams_opened"),
+		StreamsClosed:     r.Counter("streams_closed"),
+		StreamsActive:     r.Gauge("streams_active"),
+		AdmissionRejected: r.Counter("stream_admission_rejected"),
+		SchedWaitNs:       r.Histogram("stream_sched_wait_ns"),
+		reg:               r,
+	}
+}
+
+// StreamCounters is one tenant's labelled counter set.
+type StreamCounters struct {
+	// Passes counts the stream's completed collective passes.
+	Passes *Counter
+	// Errors counts its failed passes.
+	Errors *Counter
+	// Rejected counts its admission (in-flight bound) rejections.
+	Rejected *Counter
+}
+
+// PerStream returns the per-tenant counters labelled stream/<id>/...
+// Registration allocates (Sprintf plus map inserts); call it once at
+// stream open, not per pass.
+func (m *StreamMetrics) PerStream(id uint16) *StreamCounters {
+	prefix := fmt.Sprintf("stream/%d/", id)
+	return &StreamCounters{
+		Passes:   m.reg.Counter(prefix + "passes"),
+		Errors:   m.reg.Counter(prefix + "errors"),
+		Rejected: m.reg.Counter(prefix + "rejected"),
+	}
+}

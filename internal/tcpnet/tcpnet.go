@@ -419,6 +419,23 @@ func (n *Node) RecvGroup(groups [][]int, tag comm.Tag) (int, comm.Payload, error
 	return n.box.RecvGroup(groups, tag)
 }
 
+// CloseStream tears down one stream's namespace on this node: queued
+// messages dropped, pending-sender index purged, blocked receives
+// failed with ErrStreamClosed. The resend ring is deliberately left
+// alone — it is seq-keyed per peer, and a reconnect replay may carry
+// frames of a closed stream; the mailbox's dead-stream mark drops
+// those on delivery, which keeps replay simple and loss-free for every
+// surviving stream.
+func (n *Node) CloseStream(id comm.StreamID) { n.box.CloseStream(id) }
+
+// StreamPending reports one stream's queued, undelivered messages on
+// this node (tests and leak diagnostics).
+func (n *Node) StreamPending(id comm.StreamID) int { return n.box.StreamPending(id) }
+
+// IndexedTags reports the node's live pending-sender index entries
+// (tests and leak diagnostics).
+func (n *Node) IndexedTags() int { return n.box.IndexedTags() }
+
 // Close shuts the node down in two phases: first it signals writers to
 // flush their queued frames (a rank finishing a collective early must
 // not strand its final messages) and grants them a short grace period,

@@ -1,0 +1,92 @@
+package kylix_test
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kylix"
+)
+
+// TestClusterCloseIdempotent pins the satellite-3 contract: Close may
+// be called any number of times, from any goroutine, without blocking
+// or double-teardown.
+func TestClusterCloseIdempotent(t *testing.T) {
+	c, err := kylix.NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); c.Close() }()
+	}
+	wg.Wait()
+	c.Close() // and once more after everyone
+	if err := c.Run(func(n *kylix.Node) error { return nil }); !errors.Is(err, kylix.ErrClusterClosed) {
+		t.Fatalf("Run after Close = %v, want ErrClusterClosed", err)
+	}
+	if _, err := c.OpenStream(); !errors.Is(err, kylix.ErrClusterClosed) {
+		t.Fatalf("OpenStream after Close = %v, want ErrClusterClosed", err)
+	}
+}
+
+// TestClusterCloseRaceHammer drives Cluster.Run and Stream.Run from
+// many goroutines while several others call Close concurrently — the
+// regression test for the lifecycle races Close used to have (teardown
+// yanking transports out from under an in-flight pass). Run under
+// -race by scripts/check.sh. A pass either completes cleanly (it
+// entered before the drain gate shut) or fails with ErrClusterClosed;
+// the drain guarantee means no pass observes a half-torn-down fabric.
+func TestClusterCloseRaceHammer(t *testing.T) {
+	for iter := 0; iter < 5; iter++ {
+		c, err := kylix.NewCluster(8, kylix.WithDegrees(4, 2),
+			kylix.WithRecvTimeout(10*time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := c.OpenStream()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var completed atomic.Int64
+		var wg sync.WaitGroup
+		runner := func(run func(func(*kylix.Node) error) error) {
+			defer wg.Done()
+			for {
+				err := run(func(n *kylix.Node) error {
+					set := []int32{int32(n.Rank()), int32(n.Rank()+1) % 8}
+					_, _, err := n.ConfigureReduce(set, set, []float32{1, 2})
+					return err
+				})
+				if err == nil {
+					completed.Add(1)
+					continue
+				}
+				if errors.Is(err, kylix.ErrClusterClosed) || errors.Is(err, kylix.ErrStreamClosed) {
+					return
+				}
+				var busy *kylix.StreamBusyError
+				if errors.As(err, &busy) {
+					continue
+				}
+				t.Errorf("iter %d: pass failed mid-close with %v", iter, err)
+				return
+			}
+		}
+		wg.Add(2)
+		go runner(c.Run)
+		go runner(st.Run)
+		time.Sleep(time.Duration(1+iter) * time.Millisecond)
+		for i := 0; i < 3; i++ {
+			wg.Add(1)
+			go func() { defer wg.Done(); c.Close() }()
+		}
+		wg.Wait()
+		if completed.Load() == 0 && iter > 0 {
+			t.Logf("iter %d: close won before any pass completed", iter)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"kylix/internal/comm"
 	"kylix/internal/core"
 	"kylix/internal/sparse"
+	"kylix/internal/tcpnet"
 	"kylix/internal/topo"
 )
 
@@ -22,6 +23,9 @@ type Node struct {
 	physRank int
 	width    int
 	closer   io.Closer
+	// tn is the node's raw TCP transport when built by ListenNode —
+	// CloseStream purges through it. Nil for in-process cluster nodes.
+	tn *tcpnet.Node
 	// channels holds networks derived with Channel, so tag accounting
 	// covers them across repeated Cluster.Run calls.
 	channels []*Node
@@ -41,6 +45,7 @@ func newNode(ep comm.Endpoint, bf *topo.Butterfly, cfg config, roundBase uint32,
 		Reducer:        cfg.reducer,
 		Strict:         cfg.strict,
 		Channel:        cfg.channel,
+		Stream:         cfg.stream,
 		RoundBase:      roundBase,
 		Tracer:         cfg.obsv.Node(physRank),
 		CombineWorkers: cfg.combineWorkers,
@@ -82,6 +87,7 @@ func (n *Node) Channel(ch uint8, opts ...Option) (*Node, error) {
 		Reducer:        cfg.reducer,
 		Strict:         cfg.strict,
 		Channel:        ch,
+		Stream:         cfg.stream,
 		RoundBase:      n.base,
 		Tracer:         cfg.obsv.Node(n.physRank),
 		CombineWorkers: cfg.combineWorkers,

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"time"
 
+	"kylix/internal/comm"
 	"kylix/internal/faultnet"
 	"kylix/internal/obs"
 	"kylix/internal/powerlaw"
@@ -56,6 +57,16 @@ type config struct {
 	combineWorkers int
 	maxBatchBytes  int
 	nagle          bool
+	// stream is the tag namespace nodes built from this config mint
+	// into. DefaultStream for Cluster.Run and ListenNode; set by
+	// Cluster.OpenStream for tenant streams.
+	stream comm.StreamID
+	// maxStreams bounds how many streams may be open at once.
+	maxStreams int
+	// streamInflight bounds each stream's queued-plus-running passes.
+	streamInflight int
+	// streamSlots is the fabric's global concurrent-pass budget.
+	streamSlots int
 	// obsv is the live Observatory once construction wired it (set by
 	// NewCluster/ListenNode when observe is on, then read by newNode).
 	obsv *obs.Observatory
@@ -63,11 +74,14 @@ type config struct {
 
 func defaultConfig() config {
 	return config{
-		transport:   TransportMemory,
-		replication: 1,
-		width:       1,
-		reducer:     Sum,
-		recvTimeout: 30 * time.Second,
+		transport:      TransportMemory,
+		replication:    1,
+		width:          1,
+		reducer:        Sum,
+		recvTimeout:    30 * time.Second,
+		maxStreams:     64,
+		streamInflight: 4,
+		streamSlots:    4,
 	}
 }
 
@@ -166,6 +180,32 @@ func WithChannel(ch uint8) Option {
 // WithTrace enables traffic recording; see Cluster.Traffic.
 func WithTrace() Option {
 	return func(c *config) { c.trace = true }
+}
+
+// WithMaxStreams bounds how many tenant streams may be open on the
+// cluster at once (default 64; n <= 0 means unbounded). OpenStream
+// past the bound fails with stream.ErrTooManyStreams — admission
+// control, the service's first line of overload defense.
+func WithMaxStreams(n int) Option {
+	return func(c *config) { c.maxStreams = n }
+}
+
+// WithStreamInflight bounds each stream's queued-plus-running
+// collective passes (default 4; n <= 0 means unbounded). A pass
+// submitted past the bound is rejected immediately with a
+// *StreamBusyError instead of queueing without limit — per-tenant
+// backpressure. Passed to OpenStream it overrides the cluster default
+// for that stream.
+func WithStreamInflight(n int) Option {
+	return func(c *config) { c.streamInflight = n }
+}
+
+// WithStreamSlots sets the fabric's global concurrent-pass budget
+// (default 4; n <= 0 selects 1, fully serialized). When more streams
+// want to run than there are slots, grants rotate round-robin across
+// the waiting streams, so one greedy tenant cannot starve the rest.
+func WithStreamSlots(n int) Option {
+	return func(c *config) { c.streamSlots = n }
 }
 
 // Observatory is the runtime observability state of a cluster built

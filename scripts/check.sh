@@ -20,11 +20,17 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race -short (comm, core, faultnet, tcpnet, replica, trace, obs, membership, par)"
-go test -race -short ./internal/comm/... ./internal/core/... ./internal/faultnet/... ./internal/tcpnet/... ./internal/replica/... ./internal/trace/... ./internal/obs/... ./internal/membership/... ./internal/par/...
+echo "== go test -race -short (comm, core, faultnet, tcpnet, replica, trace, obs, membership, par, stream)"
+go test -race -short ./internal/comm/... ./internal/core/... ./internal/faultnet/... ./internal/tcpnet/... ./internal/replica/... ./internal/trace/... ./internal/obs/... ./internal/membership/... ./internal/par/... ./internal/stream/...
+
+echo "== go test -race (stream lifecycle: concurrent tenants, close hammer)"
+go test -race -run 'TestStreamIsolation64|TestStreamBackpressure|TestStreamCloseSemantics|TestClusterClose' -count=1 -timeout 600s .
 
 echo "== elastic membership chaos soak (both transports)"
 go test -run 'TestElasticChurn|TestTCPChurnSoak' -count=1 . ./internal/replica/
+
+echo "== multi-tenant stream chaos soak (both transports)"
+go test -run 'TestStreamIsolationChaos' -count=1 .
 
 echo "== bench gate (warm Reduce must be allocation-free)"
 scripts/bench.sh --gate

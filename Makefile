@@ -13,8 +13,9 @@ KYLIX_VET := bin/kylix-vet
 check: vet build test race soak benchgate
 
 # Standard go vet plus the project invariant suite (hotpathalloc,
-# lockobs, determinism, commcheck) run through the same vet driver, so
-# results are per-package cached and keyed on the tool binary's hash.
+# lockobs, determinism, commcheck, goleak, lockorder, atomicmix) run
+# through the same vet driver, so results are per-package cached and
+# keyed on the tool binary's hash.
 vet: kylix-vet
 	$(GO) vet ./...
 	$(GO) vet -vettool=$(KYLIX_VET) ./...

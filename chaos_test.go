@@ -68,7 +68,7 @@ func runSoak(t *testing.T, transport kylix.Transport, plan kylix.FaultPlan, roun
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(cluster.Close)
+	t.Cleanup(func() { _ = cluster.Close() })
 	fab := cluster.Faults()
 	for r := 0; r < rounds; r++ {
 		res := make([][]float32, soakPhys)
@@ -218,7 +218,7 @@ func runReconfigSoak(t *testing.T, transport kylix.Transport, plan kylix.FaultPl
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(cluster.Close)
+	t.Cleanup(func() { _ = cluster.Close() })
 	digests = make([][]uint64, soakRounds)
 	results = make([][][]float32, soakRounds)
 	for r := range digests {

@@ -299,6 +299,8 @@ func (c *Cluster) Run(fn func(*Node) error) error {
 // from cfg, accounting consumed tag rounds into base so the caller's
 // next pass starts on fresh tags. cfg.stream selects the tag namespace
 // the pass's nodes mint into.
+//
+//kylix:owned
 func (c *Cluster) runPass(cfg config, base *atomic.Uint32, fn func(*Node) error) error {
 	// Enter the gate before the closed check: Close sets the flag and
 	// then drains the gate, so every pass that got past this check is
@@ -414,9 +416,14 @@ func (c *Cluster) ResetTraffic() {
 // closeDrainTimeout) so live passes finish before their transports are
 // torn down. A drain that times out proceeds anyway — stragglers fail
 // with comm.ErrClosed rather than hanging teardown forever.
-func (c *Cluster) Close() {
+//
+// The returned error joins the terminal stream errors of the TCP
+// transports: a run that silently degraded (sticky stream failures,
+// half-closed peers) surfaces here rather than vanishing at teardown.
+// Later calls return nil.
+func (c *Cluster) Close() error {
 	if !c.closed.CompareAndSwap(false, true) {
-		return
+		return nil
 	}
 	c.gate.drain(closeDrainTimeout)
 	if c.svc != nil {
@@ -428,7 +435,7 @@ func (c *Cluster) Close() {
 	if c.mem != nil {
 		c.mem.Close()
 	}
-	tcpnet.CloseAll(c.tcp)
+	return tcpnet.CloseAll(c.tcp)
 }
 
 // closeStreamTransports purges one stream's namespace from every

@@ -180,7 +180,7 @@ func runTraced(sc bench.Scale, traceOut, metricsAddr string) error {
 	if err != nil {
 		return err
 	}
-	defer cluster.Close()
+	defer func() { _ = cluster.Close() }()
 
 	var srv *kylix.MetricsServer
 	if metricsAddr != "" {
@@ -278,7 +278,7 @@ func runElastic(sc bench.Scale, metricsAddr string) error {
 	if err != nil {
 		return err
 	}
-	defer cluster.Close()
+	defer func() { _ = cluster.Close() }()
 
 	if metricsAddr != "" {
 		srv, err := kylix.ServeMetrics(metricsAddr, cluster.Observability())
@@ -414,7 +414,7 @@ func runThreadSweep(spec string) error {
 			return nil
 		})
 		if err != nil {
-			cluster.Close()
+			_ = cluster.Close()
 			return err
 		}
 		var wall time.Duration
@@ -424,7 +424,7 @@ func runThreadSweep(spec string) error {
 			}
 		}
 		shards := cluster.Metrics().Counter("combine_shards").Value()
-		cluster.Close()
+		_ = cluster.Close()
 		perRound := wall / rounds
 		if workers == counts[0] && workers == 1 {
 			serial = perRound

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"kylix/internal/leakcheck"
+)
+
+// TestStopControlServerBounded is the daemon-shutdown regression test:
+// a client parked inside a handler must not pin the control server —
+// the graceful drain gives up after the grace period, escalates to a
+// hard close, and the serve goroutine is joined before returning.
+func TestStopControlServerBounded(t *testing.T) {
+	defer leakcheck.Check(t)()
+
+	entered := make(chan struct{})
+	stuck := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/hang", func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-stuck
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	reqDone := make(chan struct{})
+	go func() {
+		defer close(reqDone)
+		resp, err := http.Get("http://" + ln.Addr().String() + "/hang")
+		if err == nil {
+			_ = resp.Body.Close()
+		}
+	}()
+	<-entered // the request is now wedged inside the handler
+
+	start := time.Now()
+	stopControlServer(srv, serveErr, 50*time.Millisecond)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("shutdown took %v; the stuck client pinned the server", elapsed)
+	}
+
+	// Unwedge the handler so its goroutine (and the client's) can exit;
+	// leakcheck then verifies nothing lingers.
+	close(stuck)
+	<-reqDone
+	http.DefaultClient.CloseIdleConnections()
+}
+
+// TestStopControlServerIdle covers the fast path: with no in-flight
+// requests the drain completes immediately and the serve goroutine's
+// error is collected.
+func TestStopControlServerIdle(t *testing.T) {
+	defer leakcheck.Check(t)()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: http.NewServeMux()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	stopControlServer(srv, serveErr, shutdownGrace)
+	select {
+	case err := <-serveErr:
+		t.Fatalf("serve error channel not drained by stopControlServer (got %v)", err)
+	default:
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"time"
 
 	"kylix"
 	"kylix/internal/comm"
@@ -169,6 +170,8 @@ func (d *daemon) apply(ctl *kylix.StreamCtl) (float64, error) {
 
 // coordinate is rank 0: an HTTP control API feeding the sequenced
 // broadcast loop, with rank 0 executing its own share of every command.
+//
+//kylix:owned
 func (d *daemon) coordinate(controlAddr string) error {
 	if controlAddr == "" {
 		return fmt.Errorf("daemon rank 0 needs -control-addr")
@@ -253,8 +256,10 @@ func (d *daemon) coordinate(controlAddr string) error {
 			cmd.reply <- commandReply{res: res, err: err}
 			if cmd.ctl.Op == kylix.OpStreamShutdown {
 				<-shutdown
-				// Graceful: lets the /shutdown response flush first.
-				_ = srv.Shutdown(context.Background())
+				// Graceful: lets the /shutdown response flush first —
+				// but bounded and joined, so a stuck client cannot pin
+				// the daemon.
+				stopControlServer(srv, httpErr, shutdownGrace)
 				fmt.Println("rank 0: daemon OK")
 				return nil
 			}
@@ -264,6 +269,24 @@ func (d *daemon) coordinate(controlAddr string) error {
 			}
 		}
 	}
+}
+
+// shutdownGrace bounds the control server's graceful drain: in-flight
+// requests get this long to flush, then the server is force-closed.
+const shutdownGrace = 5 * time.Second
+
+// stopControlServer shuts the control API down with a bounded graceful
+// drain and then joins the serve goroutine: Shutdown waits at most
+// grace for in-flight requests, a timeout escalates to Close (dropping
+// stragglers), and the final receive collects ListenAndServe's exit so
+// the caller never returns with the listener goroutine still live.
+func stopControlServer(srv *http.Server, serveErr <-chan error, grace time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		_ = srv.Close()
+	}
+	<-serveErr
 }
 
 // broadcast sends one command to every rank (rank 0 included — its own

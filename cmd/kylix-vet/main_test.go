@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -49,12 +50,61 @@ func TestVettoolProtocol(t *testing.T) {
 		t.Errorf("transitive hotpathdep finding missing from vet output: %v\n%s", err, out)
 	}
 
+	// Lock-order facts through vetx files: lockordertest's inversion
+	// against lockorderdep's beta class is only detectable when the
+	// dep's LockNames and acquisition facts crossed the package
+	// boundary, so this pins the gob fact plumbing for lockorder.
+	out, err = command(root, "go", "vet", "-vettool="+bin,
+		"./internal/analysis/testdata/src/lockordertest").CombinedOutput()
+	if err == nil {
+		t.Errorf("go vet -vettool accepted the lockordertest fixture:\n%s", out)
+	} else {
+		for _, want := range []string{"[lockorder]", `"beta"`, "lock-order cycle"} {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("cross-package lockorder finding missing %q: %v\n%s", want, err, out)
+			}
+		}
+	}
+
 	// Standalone mode on the same fixture.
 	out, err = command(root, bin, "./internal/analysis/testdata/src/hotpathtest").CombinedOutput()
 	if err == nil {
 		t.Errorf("standalone kylix-vet accepted the hotpathtest fixture:\n%s", out)
 	} else if !strings.Contains(string(out), "[hotpathalloc]") {
 		t.Errorf("standalone output does not name hotpathalloc: %v\n%s", err, out)
+	}
+
+	// Standalone -json: a findings run exits 1 with a parseable array
+	// attributing file, line and analyzer.
+	jsonCmd := command(root, bin, "-json", "./internal/analysis/testdata/src/atomicmixtest")
+	jsonOut, err := jsonCmd.Output()
+	if err == nil {
+		t.Errorf("-json run over atomicmixtest fixture exited 0")
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if jerr := json.Unmarshal(jsonOut, &findings); jerr != nil {
+		t.Errorf("-json output not parseable: %v\n%s", jerr, jsonOut)
+	} else if len(findings) == 0 {
+		t.Errorf("-json output empty for a fixture with violations")
+	} else {
+		for _, f := range findings {
+			if f.Analyzer != "atomicmix" || f.File == "" || f.Line == 0 || f.Message == "" {
+				t.Errorf("malformed -json finding: %+v", f)
+			}
+		}
+	}
+
+	// Standalone -json on a clean package: empty array, exit 0.
+	jsonOut, err = command(root, bin, "-json", "./internal/sparse").Output()
+	if err != nil {
+		t.Errorf("-json over clean package failed: %v", err)
+	} else if strings.TrimSpace(string(jsonOut)) != "[]" {
+		t.Errorf("-json clean output not an empty array: %s", jsonOut)
 	}
 
 	// The -V=full handshake go vet uses for build-cache keying.

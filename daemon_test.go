@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"kylix/internal/leakcheck"
 )
 
 // TestDaemonStreams runs the long-lived multi-tenant deployment end to
@@ -22,6 +24,7 @@ func TestDaemonStreams(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns processes")
 	}
+	defer leakcheck.Check(t)()
 	dir := t.TempDir()
 	nodeBin := filepath.Join(dir, "kylix-node")
 	if out, err := exec.Command("go", "build", "-o", nodeBin, "kylix/cmd/kylix-node").CombinedOutput(); err != nil {

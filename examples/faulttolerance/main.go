@@ -34,7 +34,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer cluster.Close()
+	defer func() { _ = cluster.Close() }()
 
 	fmt.Printf("cluster: %d physical machines, %d logical (replication 2)\n",
 		cluster.Size(), cluster.LogicalSize())
@@ -107,7 +107,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer chaotic.Close()
+	defer func() { _ = chaotic.Close() }()
 
 	for r := 1; r <= 3; r++ {
 		var mu sync.Mutex

@@ -41,7 +41,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer cluster.Close()
+	defer func() { _ = cluster.Close() }()
 
 	type nodeOut struct {
 		in    []int32

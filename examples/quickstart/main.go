@@ -17,7 +17,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer cluster.Close()
+	defer func() { _ = cluster.Close() }()
 
 	var mu sync.Mutex
 	results := make(map[int][]float32)

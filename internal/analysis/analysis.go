@@ -1,6 +1,6 @@
 // Package analysis is kylix's build-time invariant checker: a small,
 // dependency-free analogue of golang.org/x/tools/go/analysis hosting the
-// four project-specific analyzers that turn the repo's load-bearing
+// seven project-specific analyzers that turn the repo's load-bearing
 // contracts into machine-checked lint:
 //
 //   - hotpathalloc: functions annotated //kylix:hotpath (and their
@@ -16,9 +16,20 @@
 //     map iteration order escape into a slice without a sort — the
 //     bit-exact replay contract behind the fault fabric and
 //     reorder_test.go.
-//   - commcheck: comm.Endpoint Send/Recv/RecvAny/RecvGroup/Close error
-//     results must be consumed, and tag arguments must be built from
-//     named constants or comm.MakeTag, never untyped integer literals.
+//   - commcheck: comm.Endpoint Send/Recv/RecvAny/RecvGroup/Close and the
+//     root stream API's Run/Configure/Close error results must be
+//     consumed, and tag arguments must be built from named constants or
+//     comm.MakeTag, never untyped integer literals.
+//   - goleak: every go statement inside a function annotated
+//     //kylix:owned must have a statically visible join or cancel path
+//     (WaitGroup.Done, quit/ctx select, result-channel join, or a
+//     worker-pool Add before the spawn).
+//   - lockorder: mutex fields annotated //kylix:lock <class> form a
+//     global lock-acquisition graph (edges flow across packages through
+//     gob facts); any cycle is reported as a potential deadlock.
+//   - atomicmix: a struct field whose address is passed to a sync/atomic
+//     function anywhere in the package may never be read or written
+//     plainly elsewhere.
 //
 // The suite runs through cmd/kylix-vet, either standalone
 // (kylix-vet ./...) or as a `go vet -vettool` backend. It is built on
@@ -136,12 +147,16 @@ type Annotations struct {
 	// //kylix:deterministic, extending the contract to every function.
 	PkgDeterministic bool
 	// FuncMarks maps a *ast.FuncDecl to its markers
-	// ("hotpath", "coldpath", "deterministic").
+	// ("hotpath", "coldpath", "deterministic", "owned").
 	FuncMarks map[*ast.FuncDecl]map[string]bool
 	// ObsfreeFields holds "TypeName.fieldName" for struct fields
 	// annotated //kylix:obsfree (mutexes whose critical sections must
 	// not call observability hooks).
 	ObsfreeFields map[string]bool
+	// LockFields maps "TypeName.fieldName" to the lock class declared by
+	// a //kylix:lock <class> field annotation. Lock classes are global:
+	// lockorder builds its acquisition-order graph over them.
+	LockFields map[string]string
 	// allows maps "file:line" to the set of allow keys in force there.
 	allows map[string]map[string]bool
 }
@@ -172,6 +187,7 @@ func ParseAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
 	ann := &Annotations{
 		FuncMarks:     map[*ast.FuncDecl]map[string]bool{},
 		ObsfreeFields: map[string]bool{},
+		LockFields:    map[string]string{},
 		allows:        map[string]map[string]bool{},
 	}
 	addAllow := func(c *ast.Comment, directive string) {
@@ -214,7 +230,7 @@ func ParseAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
 				}
 				for _, c := range d.Doc.List {
 					switch markerName(c) {
-					case "hotpath", "coldpath", "deterministic":
+					case "hotpath", "coldpath", "deterministic", "owned":
 						set := ann.FuncMarks[d]
 						if set == nil {
 							set = map[string]bool{}
@@ -237,11 +253,15 @@ func ParseAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
 						continue
 					}
 					for _, field := range st.Fields.List {
-						if !fieldHasObsfree(field) {
-							continue
+						if fieldHasObsfree(field) {
+							for _, name := range field.Names {
+								ann.ObsfreeFields[ts.Name.Name+"."+name.Name] = true
+							}
 						}
-						for _, name := range field.Names {
-							ann.ObsfreeFields[ts.Name.Name+"."+name.Name] = true
+						if class := fieldLockClass(field); class != "" {
+							for _, name := range field.Names {
+								ann.LockFields[ts.Name.Name+"."+name.Name] = class
+							}
 						}
 					}
 				}
@@ -265,6 +285,26 @@ func fieldHasObsfree(field *ast.Field) bool {
 		}
 	}
 	return false
+}
+
+// fieldLockClass extracts the class name from a //kylix:lock <class>
+// field annotation, or "" when the field carries none.
+func fieldLockClass(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if markerName(c) != "lock" {
+				continue
+			}
+			fields := strings.Fields(marker(c))
+			if len(fields) >= 2 {
+				return fields[1]
+			}
+		}
+	}
+	return ""
 }
 
 // Allowed reports whether a diagnostic of the given check and detail at
@@ -299,6 +339,24 @@ func (a *Annotations) FuncMarked(d *ast.FuncDecl, mark string) bool {
 type PackageFacts struct {
 	// Funcs maps a function's package-local ID (FuncID) to its summary.
 	Funcs map[string]FuncFacts
+	// LockNames maps "TypeName.fieldName" to the //kylix:lock class
+	// declared in this package, so downstream packages can classify
+	// locks on imported types.
+	LockNames map[string]string
+	// LockEdges lists the lock-order edges contributed by this package's
+	// own bodies (imported edges are re-derived from the import graph,
+	// not re-exported).
+	LockEdges []LockEdge
+}
+
+// LockEdge records one observed acquisition order: To was acquired
+// while From was held.
+type LockEdge struct {
+	// From and To are //kylix:lock class names.
+	From, To string
+	// Pos is the "file:line:col" acquisition site of To (basename only,
+	// stable across machines).
+	Pos string
 }
 
 // FuncFacts summarizes one function for cross-package reasoning.
@@ -315,6 +373,14 @@ type FuncFacts struct {
 	// Calls lists statically resolved project-local callees as
 	// "pkgpath\x00funcID", hot regions only.
 	Calls []string
+	// Joins reports that the body carries a goroutine join/cancel
+	// signal (WaitGroup.Done, a select over a quit channel, or a
+	// <-ctx.Done() receive), so goleak can accept `go pkg.Fn()` spawns
+	// of this function from other packages.
+	Joins bool
+	// LockAcquires lists the //kylix:lock classes this function may
+	// acquire, directly or through project-local callees (transitive).
+	LockAcquires []string
 }
 
 // AllocSite is one allocating construct inside a function.
@@ -354,7 +420,7 @@ func DeclID(info *types.Info, d *ast.FuncDecl) string {
 
 // All returns the analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{HotPathAlloc, LockObs, Determinism, CommCheck}
+	return []*Analyzer{HotPathAlloc, LockObs, Determinism, CommCheck, GoLeak, LockOrder, AtomicMix}
 }
 
 // ByName resolves a comma-separated analyzer list ("" means all).

@@ -36,6 +36,18 @@ func TestCommCheckFixture(t *testing.T) {
 	runFixture(t, analysis.CommCheck, "commtest")
 }
 
+func TestGoLeakFixture(t *testing.T) {
+	runFixture(t, analysis.GoLeak, "goleaktest")
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	runFixture(t, analysis.LockOrder, "lockordertest")
+}
+
+func TestAtomicMixFixture(t *testing.T) {
+	runFixture(t, analysis.AtomicMix, "atomicmixtest")
+}
+
 // TestRepoIsClean is the integration gate: the full suite over the
 // whole module must produce zero findings. Reintroducing an
 // observer-under-mutex call or an allocating hotpath construct fails

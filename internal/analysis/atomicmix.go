@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix enforces atomic-access discipline on struct fields: a field
+// whose address is ever passed to a sync/atomic function
+// (atomic.AddInt64(&s.n, 1), atomic.LoadUint32(&s.flag), ...) may not
+// be read or written plainly anywhere else in the package. Mixing the
+// two access modes is a data race the race detector only catches when a
+// test happens to interleave them; statically, a single plain `s.n++`
+// next to an atomic increment silently loses updates on real hardware.
+//
+// The repo's own counters use the typed sync/atomic wrappers
+// (atomic.Int64 and friends), which make plain access inexpressible —
+// this analyzer keeps that discipline in place by catching any
+// hand-rolled atomic that slips back in and then leaks a plain access.
+//
+// Composite-literal initialization (S{n: 0}) is exempt: construction
+// happens before the value is shared. Test files are skipped. Suppress
+// a deliberate mixed access (e.g. a read under a mutex that also orders
+// the writers) with //kylix:allow atomicmix:<field>.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a field accessed via sync/atomic must never be read or written plainly",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(p *Pass) error {
+	// Pass 1: collect every struct field whose address flows into a
+	// sync/atomic call, remembering the operand nodes so pass 2 does
+	// not flag the atomic accesses themselves.
+	atomicFields := map[*types.Var]token.Pos{}
+	atomicOperands := map[*ast.SelectorExpr]bool{}
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSyncAtomicCall(p, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fv := fieldVarOf(p, sel); fv != nil {
+					if _, seen := atomicFields[fv]; !seen {
+						atomicFields[fv] = sel.Pos()
+					}
+					atomicOperands[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: flag every other (plain) access to those fields.
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicOperands[sel] {
+				return true
+			}
+			fv := fieldVarOf(p, sel)
+			if fv == nil {
+				return true
+			}
+			firstAtomic, ok := atomicFields[fv]
+			if !ok {
+				return true
+			}
+			owner := ownerTypeName(p, sel.X)
+			p.Reportf(sel.Pos(), fv.Name(),
+				"field %s.%s is accessed with sync/atomic (e.g. %s) but read/written plainly here; every access must go through sync/atomic (or migrate the field to a typed atomic.* wrapper)",
+				owner, fv.Name(), shortPos(p.Fset, firstAtomic))
+			return true
+		})
+	}
+	return nil
+}
+
+// isSyncAtomicCall matches atomic.XxxT(...) package-level calls from
+// sync/atomic (typed wrapper methods like atomic.Int64.Add are safe by
+// construction and deliberately excluded).
+func isSyncAtomicCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := p.Info.Uses[id].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == "sync/atomic"
+}
+
+// fieldVarOf resolves a selector to the struct field it names, nil for
+// anything else (methods, package members, locals).
+func fieldVarOf(p *Pass, sel *ast.SelectorExpr) *types.Var {
+	fv, _ := p.Info.Uses[sel.Sel].(*types.Var)
+	if fv == nil || !fv.IsField() {
+		return nil
+	}
+	return fv
+}

@@ -23,6 +23,10 @@ import (
 //     hard-coded id either collides with a live tenant or silently
 //     addresses a dead namespace. comm.DefaultStream is the named way
 //     to mean "the cluster's own tag space".
+//   - The root stream API gets the same error discipline as Endpoint:
+//     Stream.Run, Stream.Configure, Stream.Close and Cluster.Close
+//     return errors that carry pass results and sticky stream state,
+//     and a dropped one turns a failed collective into a silent no-op.
 //
 // Test files are skipped (teardown paths discard errors by design, and
 // fixed stream ids are how isolation tests pin their scenarios).
@@ -41,6 +45,14 @@ var endpointMethods = map[string]bool{
 
 const commPkgPath = "kylix/internal/comm"
 
+// streamAPIMethods are the root-module methods whose error results are
+// load-bearing like Endpoint's: a Stream pass result or a Close that
+// surfaces sticky failures.
+var streamAPIMethods = map[string]map[string]bool{
+	"Stream":  {"Run": true, "Configure": true, "Close": true},
+	"Cluster": {"Close": true},
+}
+
 func runCommCheck(p *Pass) error {
 	endpoint := lookupEndpoint(p)
 	tagType := lookupCommType(p, "Tag")
@@ -54,11 +66,14 @@ func runCommCheck(p *Pass) error {
 			case *ast.ExprStmt:
 				if call, ok := n.X.(*ast.CallExpr); ok {
 					checkDiscardedEndpointError(p, call, endpoint)
+					checkDiscardedStreamError(p, call)
 				}
 			case *ast.DeferStmt:
 				checkDiscardedEndpointError(p, n.Call, endpoint)
+				checkDiscardedStreamError(p, n.Call)
 			case *ast.GoStmt:
 				checkDiscardedEndpointError(p, n.Call, endpoint)
+				checkDiscardedStreamError(p, n.Call)
 			case *ast.CallExpr:
 				checkTagLiterals(p, n, tagType, streamType)
 			}
@@ -148,6 +163,39 @@ func checkDiscardedEndpointError(p *Pass, call *ast.CallExpr, endpoint *types.In
 	}
 	p.Reportf(call.Pos(), "discard",
 		"%s.%s error discarded: transport errors carry protocol state (sticky stream failures, timeouts); handle it or assign to _ deliberately",
+		exprString(sel.X), sel.Sel.Name)
+}
+
+// checkDiscardedStreamError flags a statement-position call to a root
+// stream-API method (Stream.Run/Configure/Close, Cluster.Close) whose
+// error result vanishes.
+func checkDiscardedStreamError(p *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, _ := p.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil || !lastResultIsError(sig) {
+		return
+	}
+	recv := sig.Recv().Type()
+	if ptr, isPtr := recv.(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	named, isNamed := recv.(*types.Named)
+	if !isNamed {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != p.ModulePath || !streamAPIMethods[obj.Name()][fn.Name()] {
+		return
+	}
+	p.Reportf(call.Pos(), "discard",
+		"%s.%s error discarded: stream errors carry the pass result and sticky failure state; handle it or assign to _ deliberately",
 		exprString(sel.X), sel.Sel.Name)
 }
 

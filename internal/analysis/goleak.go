@@ -1,0 +1,286 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak enforces goroutine ownership in functions annotated
+// //kylix:owned: every `go` statement in such a scope must have a
+// statically visible join or cancel path, so a long-running node never
+// accretes orphan goroutines. Accepted evidence, checked lexically in
+// the spawned body (func literal, or the resolved declaration of a
+// named project function — cross-package through the Joins fact):
+//
+//   - a (*sync.WaitGroup).Done call, direct or deferred — the classic
+//     Add/go/Done/Wait accounting;
+//   - a select with a receive case that returns (quit channel,
+//     ctx.Done()), or a bare <-ctx.Done() receive — cancellation;
+//   - a body whose final statement sends on a channel declared in the
+//     owner, which the owner also receives from — the result-channel
+//     join (`errc <- body(ep)` ... `<-errc`);
+//   - for spawns of dynamic function values (stored worker funcvals), a
+//     WaitGroup.Add lexically before the `go` in the owner — the pool
+//     entry pattern, where the Done lives behind the funcval.
+//
+// Anything else is a potential leak. Suppress a deliberate
+// fire-and-forget with //kylix:allow goleak:<detail> and a
+// justification. Test files are skipped; `go` statements outside
+// //kylix:owned functions are not checked (annotate the owners).
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "go statements in //kylix:owned scopes must have a join or cancel path",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(p *Pass) error {
+	// Pass 1: record the Joins fact for every declared function, so
+	// downstream packages can vet `go pkg.Fn()` spawns, and build the
+	// local decl index used to resolve same-package spawns.
+	decls := map[string]*ast.FuncDecl{}
+	if p.Facts.Funcs == nil {
+		p.Facts.Funcs = map[string]FuncFacts{}
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			d, ok := decl.(*ast.FuncDecl)
+			if !ok || d.Body == nil {
+				continue
+			}
+			id := DeclID(p.Info, d)
+			decls[id] = d
+			if !p.IsTestFile(d.Pos()) && bodyJoins(p, d.Body) {
+				ff := p.Facts.Funcs[id]
+				ff.Joins = true
+				p.Facts.Funcs[id] = ff
+			}
+		}
+	}
+
+	// Pass 2: check every go statement inside an owned scope.
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			d, ok := decl.(*ast.FuncDecl)
+			if !ok || d.Body == nil || !p.Ann().FuncMarked(d, "owned") {
+				continue
+			}
+			ast.Inspect(d.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGoStmt(p, d, g, decls)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkGoStmt vets one spawn inside owner d for a join/cancel path.
+func checkGoStmt(p *Pass, d *ast.FuncDecl, g *ast.GoStmt, decls map[string]*ast.FuncDecl) {
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		if bodyJoins(p, fun.Body) || resultChannelJoin(p, d, g, fun) {
+			return
+		}
+		p.Reportf(g.Pos(), "literal",
+			"goroutine in //kylix:owned scope %s has no join or cancel path (want WaitGroup.Done, a quit/ctx select, or a result-channel send the owner receives)",
+			d.Name.Name)
+		return
+	default:
+		fn := calleeFunc(p, g.Call)
+		if fn == nil || fn.Pkg() == nil {
+			// Dynamic funcval (stored worker entry): accept when the
+			// owner does WaitGroup.Add accounting before the spawn.
+			if addBeforeSpawn(p, d, g) {
+				return
+			}
+			p.Reportf(g.Pos(), "dynamic",
+				"goroutine in //kylix:owned scope %s spawns a dynamic function value with no WaitGroup.Add accounting before the go statement",
+				d.Name.Name)
+			return
+		}
+		path, id := fn.Pkg().Path(), FuncID(fn)
+		switch {
+		case path == p.Pkg.Path():
+			if callee, ok := decls[id]; ok && callee.Body != nil && bodyJoins(p, callee.Body) {
+				return
+			}
+		case p.Local(path):
+			if facts := p.ImportFacts(path); facts != nil && facts.Funcs[id].Joins {
+				return
+			}
+		default:
+			p.Reportf(g.Pos(), "extern",
+				"goroutine in //kylix:owned scope %s runs %s.%s from outside the project; wrap it in a joined func literal or justify with //kylix:allow goleak:extern",
+				d.Name.Name, shortPkg(path), id)
+			return
+		}
+		p.Reportf(g.Pos(), "call",
+			"goroutine in //kylix:owned scope %s runs %s.%s, which has no join or cancel path (want WaitGroup.Done, a quit/ctx select)",
+			d.Name.Name, shortPkg(path), id)
+	}
+}
+
+// bodyJoins reports whether a goroutine body carries a join/cancel
+// signal: a WaitGroup.Done call, a select with a receive case that
+// returns, or a bare <-ctx.Done()-style receive. Nested `go` bodies are
+// excluded — their signals belong to the goroutines they spawn.
+func bodyJoins(p *Pass, body *ast.BlockStmt) bool {
+	joins := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if joins {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if isWaitGroupCall(p, n, "Done") {
+				joins = true
+				return false
+			}
+		case *ast.SelectStmt:
+			for _, c := range n.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok || !isReceiveComm(cc.Comm) {
+					continue
+				}
+				for _, s := range cc.Body {
+					if containsReturn(s) {
+						joins = true
+						return false
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			// A bare blocking receive from a Done()-shaped call:
+			// <-ctx.Done(), <-quitFn().
+			if n.Op == token.ARROW {
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+						joins = true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return joins
+}
+
+// isReceiveComm reports whether a select comm clause is a receive
+// (either `<-ch` or `v := <-ch`).
+func isReceiveComm(comm ast.Stmt) bool {
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		u, ok := s.X.(*ast.UnaryExpr)
+		return ok && u.Op == token.ARROW
+	case *ast.AssignStmt:
+		if len(s.Rhs) != 1 {
+			return false
+		}
+		u, ok := s.Rhs[0].(*ast.UnaryExpr)
+		return ok && u.Op == token.ARROW
+	}
+	return false
+}
+
+// containsReturn reports whether the statement subtree contains a
+// return (goroutine loops exit their for through it).
+func containsReturn(stmt ast.Stmt) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.FuncLit:
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupCall matches wg.<method>() where wg is a sync.WaitGroup
+// (value, pointer, or struct field).
+func isWaitGroupCall(p *Pass, call *ast.CallExpr, method string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	t := p.Info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// resultChannelJoin accepts the `errc <- f()` worker shape: the
+// literal's final statement sends on a channel declared in the owner,
+// and the owner receives from that same channel outside the spawn.
+func resultChannelJoin(p *Pass, d *ast.FuncDecl, g *ast.GoStmt, lit *ast.FuncLit) bool {
+	if len(lit.Body.List) == 0 {
+		return false
+	}
+	send, ok := lit.Body.List[len(lit.Body.List)-1].(*ast.SendStmt)
+	if !ok {
+		return false
+	}
+	ch, ok := ast.Unparen(send.Chan).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	chObj := p.Info.Uses[ch]
+	if chObj == nil {
+		return false
+	}
+	received := false
+	ast.Inspect(d.Body, func(n ast.Node) bool {
+		if received || n == g {
+			return false
+		}
+		u, ok := n.(*ast.UnaryExpr)
+		if !ok || u.Op != token.ARROW {
+			return true
+		}
+		if id, ok := ast.Unparen(u.X).(*ast.Ident); ok && p.Info.Uses[id] == chObj {
+			received = true
+		}
+		return true
+	})
+	return received
+}
+
+// addBeforeSpawn reports whether the owner calls WaitGroup.Add
+// lexically before the go statement — the pool-entry pattern, where the
+// matching Done lives inside a prebuilt worker funcval the analyzer
+// cannot resolve.
+func addBeforeSpawn(p *Pass, d *ast.FuncDecl, g *ast.GoStmt) bool {
+	added := false
+	ast.Inspect(d.Body, func(n ast.Node) bool {
+		if added || n == nil || n.Pos() >= g.Pos() {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isWaitGroupCall(p, call, "Add") {
+			added = true
+			return false
+		}
+		return true
+	})
+	return added
+}

@@ -1,0 +1,145 @@
+// Package goleaktest exercises the goleak analyzer: every spawn shape
+// it must flag inside //kylix:owned scopes, and every join/cancel
+// pattern (and escape hatch) it must accept.
+package goleaktest
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+type server struct {
+	wg    sync.WaitGroup
+	quit  chan struct{}
+	entry []func()
+}
+
+// startJoined spawns accountable goroutines only: WaitGroup.Done in a
+// literal, a quit-channel select, and a ctx cancellation receive.
+//
+//kylix:owned
+func (s *server) startJoined(ctx context.Context) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		work()
+	}()
+	go func() {
+		for {
+			select {
+			case <-s.quit:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+	go func() {
+		<-ctx.Done()
+		work()
+	}()
+}
+
+// startLeaky spawns a bare infinite loop: nothing ever joins or cancels
+// it.
+//
+//kylix:owned
+func (s *server) startLeaky() {
+	go func() { // want "no join or cancel path"
+		for {
+			work()
+		}
+	}()
+}
+
+// startNamed resolves same-package spawn targets: loop carries a
+// quit-select, spin does not.
+//
+//kylix:owned
+func (s *server) startNamed() {
+	go s.loop()
+	go s.spin() // want "no join or cancel path"
+}
+
+func (s *server) loop() {
+	for {
+		select {
+		case <-s.quit:
+			return
+		default:
+			work()
+		}
+	}
+}
+
+func (s *server) spin() {
+	for {
+		work()
+	}
+}
+
+// resultJoin is the errc-worker shape: the spawn's only statement sends
+// into a channel the owner later drains.
+//
+//kylix:owned
+func resultJoin(peers []func() error) error {
+	errc := make(chan error, len(peers))
+	for _, body := range peers {
+		body := body
+		go func() { errc <- body() }()
+	}
+	for range peers {
+		if err := <-errc; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dispatch spawns prebuilt worker funcvals; the WaitGroup.Add before
+// the go statement is the pool-entry accounting goleak accepts.
+//
+//kylix:owned
+func (s *server) dispatch() {
+	s.wg.Add(len(s.entry))
+	for i := range s.entry {
+		go s.entry[i]()
+	}
+}
+
+// dispatchUnaccounted spawns the same funcvals with no Add in sight.
+//
+//kylix:owned
+func (s *server) dispatchUnaccounted() {
+	for i := range s.entry {
+		go s.entry[i]() // want "dynamic function value"
+	}
+}
+
+// fireAndForget documents a deliberate leak through the escape hatch.
+//
+//kylix:owned
+func fireAndForget() {
+	go work() //kylix:allow goleak -- one-shot best-effort notification; process exit reaps it
+}
+
+// external spawns a function from outside the project, which goleak
+// cannot see into.
+//
+//kylix:owned
+func external() {
+	go fmt.Println("bye") // want "from outside the project"
+}
+
+// unowned is not annotated; its spawns are exempt by design (annotate
+// the owners to opt in).
+func unowned() {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+func work() {}

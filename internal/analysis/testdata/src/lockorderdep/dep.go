@@ -1,0 +1,22 @@
+// Package lockorderdep is a project-local dependency of the
+// lockordertest fixture. Its lock-class vocabulary (B.Mu -> beta) and
+// the acquire fact of AcquireBeta must travel across the package
+// boundary through the analyzer's facts, so downstream acquisition
+// edges involving beta can be classified at all.
+package lockorderdep
+
+import "sync"
+
+// B owns the beta lock class.
+type B struct {
+	Mu sync.Mutex //kylix:lock beta
+	n  int
+}
+
+// AcquireBeta bumps the counter under beta; its exported LockAcquires
+// fact is [beta].
+func AcquireBeta(b *B) {
+	b.Mu.Lock()
+	b.n++
+	b.Mu.Unlock()
+}

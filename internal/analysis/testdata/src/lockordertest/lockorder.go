@@ -1,0 +1,117 @@
+// Package lockordertest exercises the lockorder analyzer: cycles it
+// must flag (direct, cross-package through lockorderdep's facts,
+// same-package interprocedural, and reentrant self-edges), consistent
+// orders it must accept, and the //kylix:allow escape hatch.
+package lockordertest
+
+import (
+	"sync"
+
+	dep "kylix/internal/analysis/testdata/src/lockorderdep"
+)
+
+// A owns the alpha lock class.
+type A struct {
+	mu sync.Mutex //kylix:lock alpha
+	n  int
+}
+
+// C owns the gamma lock class.
+type C struct {
+	mu sync.Mutex //kylix:lock gamma
+}
+
+// F owns the zeta lock class.
+type F struct {
+	mu sync.Mutex //kylix:lock zeta
+}
+
+// AlphaThenBeta acquires beta — through the imported helper, so the
+// edge exists only because lockorderdep's facts say AcquireBeta takes
+// beta — while alpha is held. Together with BetaThenAlpha this closes
+// an alpha/beta cycle, so both edges are flagged.
+func AlphaThenBeta(a *A, b *dep.B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	dep.AcquireBeta(b) // want "lock-order cycle"
+}
+
+// BetaThenAlpha nests them the other way around. Classifying b.Mu
+// needs lockorderdep's exported lock names.
+func BetaThenAlpha(a *A, b *dep.B) {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	a.mu.Lock() // want "lock-order cycle"
+	a.n++
+	a.mu.Unlock()
+}
+
+// Consistent nests gamma under alpha — an edge, but with no reverse
+// path it is a legal total order.
+func Consistent(a *A, c *C) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+// Reenter acquires alpha while alpha is held. The analyzer cannot
+// prove a and a2 are distinct instances, and the class's mutexes are
+// not reentrant: a self-edge is always suspect.
+func Reenter(a, a2 *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a2.mu.Lock() // want "lock-order cycle"
+	a2.mu.Unlock()
+}
+
+// lockZeta is the local helper ZetaUnderGamma acquires through; the
+// fixpoint gives it LockAcquires = [zeta].
+func lockZeta(f *F) {
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+// ZetaUnderGamma takes zeta through a same-package call while gamma is
+// held; GammaUnderZeta closes the gamma/zeta cycle directly.
+func ZetaUnderGamma(c *C, f *F) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lockZeta(f) // want "lock-order cycle"
+}
+
+// GammaUnderZeta is the reverse nesting.
+func GammaUnderZeta(c *C, f *F) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c.mu.Lock() // want "lock-order cycle"
+	c.mu.Unlock()
+}
+
+// D and E close a cycle on purpose: hand-over-hand in a fixed global
+// sweep order that the analyzer cannot see. Both edges carry the
+// escape hatch.
+type D struct {
+	mu sync.Mutex //kylix:lock delta
+}
+
+// E pairs with D for the suppressed cycle.
+type E struct {
+	mu sync.Mutex //kylix:lock epsilon
+}
+
+// DThenE is one half of the deliberately suppressed cycle.
+func DThenE(d *D, e *E) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e.mu.Lock() //kylix:allow lockorder:epsilon -- sweep order is serialized externally
+	e.mu.Unlock()
+}
+
+// EThenD is the other half.
+func EThenD(d *D, e *E) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d.mu.Lock() //kylix:allow lockorder:delta -- sweep order is serialized externally
+	d.mu.Unlock()
+}

@@ -27,6 +27,7 @@ const maxFreeQueues = 128
 // per blocked receive), so a warm reduction round allocates nothing
 // here.
 type Mailbox struct {
+	//kylix:lock mailbox
 	mu     sync.Mutex //kylix:obsfree — observers fire after delivery state is settled and released
 	cond   *sync.Cond
 	queues map[mailKey][]Payload
@@ -244,6 +245,7 @@ func (m *Mailbox) observeRecv(from int, tag Tag, p Payload, ws *waitState, err e
 // once, so the hot path never spawns goroutines. Caller holds m.mu.
 //
 //kylix:coldpath
+//kylix:owned
 func (m *Mailbox) startWatchdogLocked() {
 	if m.watch {
 		return

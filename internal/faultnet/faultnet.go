@@ -488,6 +488,8 @@ func (f *Fabric) enqueue(from, to int, tag comm.Tag, p comm.Payload, act action)
 }
 
 // startLocked launches the link drainer if idle. Caller holds f.mu.
+//
+//kylix:owned
 func (f *Fabric) startLocked(k linkKey, l *link) {
 	if l.running || len(l.queue) == 0 {
 		return

@@ -1,0 +1,137 @@
+// Package leakcheck fails tests that leave goroutines behind. It is
+// the runtime complement of the static goleak analyzer: the analyzer
+// proves every owned `go` statement has a join path, and leakcheck
+// verifies at test teardown that the joins actually fired.
+//
+// Usage:
+//
+//	func TestSomething(t *testing.T) {
+//		defer leakcheck.Check(t)()
+//		// ... exercise code that spawns goroutines ...
+//	}
+//
+// or, for a whole suite, call leakcheck.Check from a helper that every
+// test defers. Check snapshots the live goroutines at call time and
+// returns a function that, when invoked, waits (with retries, up to
+// the grace period) for the goroutine set to shrink back to the
+// snapshot. Goroutines present before the test are never blamed on it,
+// so package-level singletons and the testing framework's own workers
+// are tolerated automatically.
+package leakcheck
+
+import (
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// grace is how long the checker polls for stragglers before declaring
+// a leak. Teardown joins are asynchronous (Close returns after
+// signalling, loops notice a tick later), so an immediate snapshot
+// would flake; two seconds covers every bounded join in the tree
+// (tcpnet's flush grace, membership's heartbeat wakeup) with margin.
+const grace = 2 * time.Second
+
+// TB is the subset of testing.TB leakcheck needs, split out so the
+// package's own tests can capture failures instead of failing.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// Check snapshots the current goroutines and returns the verification
+// function to run at test end (defer leakcheck.Check(t)()).
+func Check(t TB) func() {
+	t.Helper()
+	before := map[string]bool{}
+	for id := range stacks() {
+		before[id] = true
+	}
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(grace)
+		var leaked []string
+		for {
+			leaked = leakedSince(before)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		for _, g := range leaked {
+			t.Errorf("leaked goroutine:\n%s", g)
+		}
+	}
+}
+
+// leakedSince returns the stacks of goroutines live now that were not
+// in the before snapshot and are not infrastructure the test cannot
+// control.
+func leakedSince(before map[string]bool) []string {
+	var leaked []string
+	for id, g := range stacks() {
+		if !before[id] && !ignorable(g.stack) {
+			leaked = append(leaked, g.stack)
+		}
+	}
+	sort.Strings(leaked)
+	return leaked
+}
+
+// goroutine is one parsed entry of a full runtime stack dump.
+type goroutine struct {
+	id    string
+	stack string
+}
+
+// stacks dumps every goroutine and indexes them by id. Identity is the
+// goroutine id, not the stack text: a pre-existing goroutine that
+// moved between poll points (e.g. from running to chan receive) must
+// still count as pre-existing.
+func stacks() map[string]goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	out := map[string]goroutine{}
+	for _, chunk := range strings.Split(string(buf), "\n\n") {
+		header, _, _ := strings.Cut(chunk, "\n")
+		// Headers look like "goroutine 42 [chan receive]:".
+		fields := strings.Fields(header)
+		if len(fields) < 2 || fields[0] != "goroutine" {
+			continue
+		}
+		out[fields[1]] = goroutine{id: fields[1], stack: chunk}
+	}
+	return out
+}
+
+// ignorable reports goroutines no test owns: the runtime's own
+// workers, the testing framework, and this checker's caller.
+func ignorable(stack string) bool {
+	for _, frame := range []string{
+		"testing.(*T).Run",
+		"testing.RunTests",
+		"testing.Main",
+		"testing.tRunner",
+		"runtime.goexit0",
+		"created by runtime",
+		"runtime/pprof",
+		"signal.signal_recv",
+		"go.itab",
+	} {
+		if strings.Contains(stack, frame) {
+			return true
+		}
+	}
+	return false
+}

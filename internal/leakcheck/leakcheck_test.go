@@ -1,0 +1,73 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recorder captures Errorf calls so the tests can assert on failures
+// without failing themselves.
+type recorder struct {
+	errs []string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errs = append(r.errs, format)
+	_ = args
+}
+
+func TestCleanTestPasses(t *testing.T) {
+	rec := &recorder{}
+	check := Check(rec)
+	// Spawn and fully join a goroutine: no leak.
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	check()
+	if len(rec.errs) != 0 {
+		t.Fatalf("clean run reported leaks: %v", rec.errs)
+	}
+}
+
+func TestStragglerWithinGraceIsTolerated(t *testing.T) {
+	rec := &recorder{}
+	check := Check(rec)
+	// The goroutine outlives the test body but exits well inside the
+	// grace window — the retry loop must absorb it.
+	go func() { time.Sleep(200 * time.Millisecond) }()
+	check()
+	if len(rec.errs) != 0 {
+		t.Fatalf("straggler inside grace reported as leak: %v", rec.errs)
+	}
+}
+
+func TestLeakIsReported(t *testing.T) {
+	rec := &recorder{}
+	check := Check(rec)
+	quit := make(chan struct{})
+	defer close(quit)
+	go func() { <-quit }() // parked past any grace: a real leak
+	check()
+	if len(rec.errs) == 0 {
+		t.Fatal("parked goroutine not reported")
+	}
+	for _, e := range rec.errs {
+		if !strings.Contains(e, "leaked goroutine") {
+			t.Fatalf("unexpected error text %q", e)
+		}
+	}
+}
+
+func TestPreexistingGoroutinesAreNotBlamed(t *testing.T) {
+	quit := make(chan struct{})
+	defer close(quit)
+	go func() { <-quit }() // alive before the snapshot
+	rec := &recorder{}
+	check := Check(rec)
+	check()
+	if len(rec.errs) != 0 {
+		t.Fatalf("pre-existing goroutine blamed on the test: %v", rec.errs)
+	}
+}

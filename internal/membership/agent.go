@@ -156,9 +156,9 @@ type Agent struct {
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 
-	mu       sync.Mutex
+	mu       sync.Mutex //kylix:lock membership-agent
 	stopped  bool
-	rec      Record  // committed epoch
+	rec      Record // committed epoch
 	phase    Phase
 	prop     *Record // this agent's pending proposal (coordinator only)
 	propAt   time.Time
@@ -181,6 +181,8 @@ type outMsg struct {
 // NewAgent starts the agent's gossip and receive loops over ep. The
 // initial record is the cluster's epoch-1 membership; every agent
 // (member or spare) must be given the same one.
+//
+//kylix:owned
 func NewAgent(rank int, ep comm.Endpoint, initial Record, opts Options) *Agent {
 	opts.defaults()
 	size := ep.Size()
@@ -331,6 +333,8 @@ func (a *Agent) maybeCommitLocked() {
 // scheduleAdoptLocked queues a superseding record for adoption and
 // makes sure the adoption goroutine is running. Adoption happens off
 // the gossip loops so the bounded drain never silences heartbeats.
+//
+//kylix:owned
 func (a *Agent) scheduleAdoptLocked(r *Record) {
 	if a.pending == nil || r.Supersedes(*a.pending) {
 		c := r.Clone()
@@ -408,12 +412,28 @@ func (a *Agent) newestLocked() Record {
 func (a *Agent) tickLoop() {
 	defer a.wg.Done()
 	rng := rand.New(rand.NewSource(a.opts.Seed + int64(a.rank)*1099511628211 + 1))
+	// One reusable timer for every heartbeat. A per-tick time.After
+	// would leave a dangling timer running up to 1.5 heartbeats past
+	// Stop — an elastic cluster cycling agents accretes thousands of
+	// them — so the timer's lifetime is bounded by the loop's.
+	var t *time.Timer
+	defer func() {
+		if t != nil {
+			t.Stop()
+		}
+	}()
 	for {
 		d := a.opts.Heartbeat/2 + time.Duration(rng.Int63n(int64(a.opts.Heartbeat)))
+		if t == nil {
+			t = time.NewTimer(d)
+		} else {
+			// Safe to Reset directly: the previous tick consumed t.C.
+			t.Reset(d)
+		}
 		select {
 		case <-a.done:
 			return
-		case <-time.After(d):
+		case <-t.C:
 		}
 		a.tick(time.Now())
 	}

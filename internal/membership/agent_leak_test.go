@@ -1,0 +1,37 @@
+package membership
+
+import (
+	"testing"
+	"time"
+
+	"kylix/internal/leakcheck"
+	"kylix/internal/memnet"
+)
+
+// TestAgentStopReleasesGoroutines is the heartbeat-lifetime regression
+// test: after Stop, an agent's tick and receive loops (and the reused
+// heartbeat timer they own) must wind down instead of lingering. Runs
+// a live two-agent gossip mesh first so the loops are genuinely busy
+// when Stop lands.
+func TestAgentStopReleasesGoroutines(t *testing.T) {
+	defer leakcheck.Check(t)()
+	net := memnet.New(2, memnet.WithRecvTimeout(50*time.Millisecond))
+	defer net.Close()
+
+	initial := rec(1, 0, 0, 1)
+	opts := Options{Heartbeat: 5 * time.Millisecond, Seed: 1}
+	a0 := NewAgent(0, net.Endpoint(0), initial, opts)
+	a1 := NewAgent(1, net.Endpoint(1), initial, opts)
+
+	// Let a few heartbeats flow so both loops have woken at least once.
+	time.Sleep(25 * time.Millisecond)
+
+	a0.Stop()
+	a1.Stop()
+	if !a0.Stopped() || !a1.Stopped() {
+		t.Fatal("agents not stopped")
+	}
+	// leakcheck's deferred verification now polls until tickLoop and
+	// recvLoop exit — if the heartbeat timer pinned either loop past
+	// the grace period, the test fails with its stack.
+}

@@ -191,6 +191,8 @@ func (e *endpoint) Close() error {
 // on the given subset of ranks) and returns the combined errors. Panics
 // inside a machine are converted to errors so one broken rank cannot
 // take down the test process silently.
+//
+//kylix:owned
 func Run(n *Network, fn func(ep comm.Endpoint) error, ranks ...int) error {
 	if len(ranks) == 0 {
 		ranks = make([]int, n.size)

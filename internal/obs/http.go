@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 )
 
 // Server is a running metrics/trace HTTP endpoint.
@@ -13,14 +14,19 @@ type Server struct {
 
 	ln  net.Listener
 	srv *http.Server
+	wg  sync.WaitGroup
 }
 
-// Close shuts the endpoint down.
+// Close shuts the endpoint down and joins the serve goroutine, so a
+// caller that closes and re-listens on the same address never races
+// the old acceptor.
 func (s *Server) Close() error {
 	if s == nil || s.srv == nil {
 		return nil
 	}
-	return s.srv.Close()
+	err := s.srv.Close()
+	s.wg.Wait()
+	return err
 }
 
 // Handler returns the Observatory's HTTP mux:
@@ -53,6 +59,8 @@ func (o *Observatory) Handler() http.Handler {
 
 // Serve starts the metrics endpoint on addr and returns once the
 // listener is bound; requests are served on a background goroutine.
+//
+//kylix:owned
 func Serve(addr string, o *Observatory) (*Server, error) {
 	if o == nil {
 		return nil, fmt.Errorf("obs: observability not enabled")
@@ -62,6 +70,10 @@ func Serve(addr string, o *Observatory) (*Server, error) {
 		return nil, fmt.Errorf("obs: metrics listen on %s: %w", addr, err)
 	}
 	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: o.Handler()}}
-	go func() { _ = s.srv.Serve(ln) }()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		_ = s.srv.Serve(ln)
+	}()
 	return s, nil
 }

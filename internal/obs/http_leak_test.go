@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"testing"
+
+	"kylix/internal/leakcheck"
+)
+
+// TestServerCloseJoinsServeGoroutine is the regression test for the
+// metrics endpoint's acceptor: Close must not return while the serve
+// goroutine is still alive, so close-then-relisten on the same address
+// never races the old acceptor.
+func TestServerCloseJoinsServeGoroutine(t *testing.T) {
+	defer leakcheck.Check(t)()
+	o := New(2, 0)
+	o.Registry().Counter("reduce_rounds").Inc()
+
+	s, err := Serve("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadAll(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Drop the client's keep-alive connection so its transport
+	// goroutines wind down with the server's.
+	http.DefaultClient.CloseIdleConnections()
+}

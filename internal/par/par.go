@@ -194,6 +194,7 @@ func (p *Pool) Fill(data []float32, v float32) int {
 // first sharded kernel of a pass.
 //
 //kylix:hotpath
+//kylix:owned
 func (p *Pool) dispatch(shards int) {
 	if !p.running {
 		p.running = true

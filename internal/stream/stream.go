@@ -32,8 +32,8 @@ var (
 // a recycled id could match late in-flight frames (resend-ring
 // replays, faultnet delays) of its previous owner.
 type Registry struct {
-	mu     sync.Mutex
-	next   uint32 // next candidate id; uint32 so exhaustion is detectable
+	mu     sync.Mutex //kylix:lock stream-registry
+	next   uint32     // next candidate id; uint32 so exhaustion is detectable
 	active map[comm.StreamID]struct{}
 	max    int
 }
@@ -82,7 +82,7 @@ func (r *Registry) Active() int {
 // tenant submitting many passes cannot starve the others: each rotation
 // serves one pass per waiting stream.
 type Scheduler struct {
-	mu   sync.Mutex
+	mu   sync.Mutex //kylix:lock stream-scheduler
 	free int
 	// order is the round-robin rotation: streams that currently have
 	// waiters, in grant order. A granted stream with more waiters moves

@@ -320,6 +320,8 @@ func (b *batcher) flush(conn net.Conn) bool {
 // Listen creates the node for `rank` and starts accepting on
 // addrs[rank]. The address may use port 0; Addr() reports the bound
 // address for the caller to distribute.
+//
+//kylix:owned
 func Listen(rank int, addrs []string, opts Options) (*Node, error) {
 	if rank < 0 || rank >= len(addrs) {
 		return nil, fmt.Errorf("tcpnet: rank %d out of [0,%d)", rank, len(addrs))
@@ -444,6 +446,8 @@ func (n *Node) IndexedTags() int { return n.box.IndexedTags() }
 // sequence deadlock waiting on each other's streams. It returns the
 // join of the peers' terminal stream errors (nil when every stream
 // stayed healthy), so a silently-degraded run is visible at teardown.
+//
+//kylix:owned
 func (n *Node) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -455,10 +459,13 @@ func (n *Node) Close() error {
 	_ = n.ln.Close()
 	n.mu.Unlock()
 
-	flushed := make(chan struct{})
+	// Buffered so the send never blocks: if the grace period expires
+	// first, the waiter still parks its result and exits as soon as the
+	// force-closed writers drain (n.wg.Wait below subsumes them).
+	flushed := make(chan struct{}, 1)
 	go func() {
 		n.writers.Wait()
-		close(flushed)
+		flushed <- struct{}{}
 	}()
 	select {
 	case <-flushed:
@@ -486,6 +493,8 @@ func (n *Node) Close() error {
 }
 
 // peerFor returns (starting if necessary) the writer for a peer.
+//
+//kylix:owned
 func (n *Node) peerFor(to int) (*peer, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -755,6 +764,8 @@ func writeFrame(conn net.Conn, hdr *[hdrSize]byte, s stamped) bool {
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // acceptLoop admits inbound connections and spawns a reader per peer.
+//
+//kylix:owned
 func (n *Node) acceptLoop() {
 	defer n.wg.Done()
 	for {
@@ -871,11 +882,17 @@ func LocalCluster(m int, opts Options) ([]*Node, error) {
 	return nodes, nil
 }
 
-// CloseAll closes every node of a local cluster.
-func CloseAll(nodes []*Node) {
+// CloseAll closes every node of a local cluster and returns the join
+// of their terminal stream errors, so a silently-degraded run is
+// visible at teardown.
+func CloseAll(nodes []*Node) error {
+	var errs []error
 	for _, n := range nodes {
 		if n != nil {
-			_ = n.Close()
+			if err := n.Close(); err != nil {
+				errs = append(errs, err)
+			}
 		}
 	}
+	return errors.Join(errs...)
 }

@@ -67,6 +67,7 @@ type senderCell struct {
 // concurrently — never serializes senders against each other. The
 // padding keeps neighbouring shards off one cache line.
 type shard struct {
+	//kylix:lock trace-shard
 	mu    sync.Mutex //kylix:obsfree — a shard section must stay a few loads/stores; observers would serialize senders
 	cells map[cellKey]*senderCell
 	_     [40]byte

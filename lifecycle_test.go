@@ -8,12 +8,14 @@ import (
 	"time"
 
 	"kylix"
+	"kylix/internal/leakcheck"
 )
 
 // TestClusterCloseIdempotent pins the satellite-3 contract: Close may
 // be called any number of times, from any goroutine, without blocking
 // or double-teardown.
 func TestClusterCloseIdempotent(t *testing.T) {
+	defer leakcheck.Check(t)()
 	c, err := kylix.NewCluster(4)
 	if err != nil {
 		t.Fatal(err)
@@ -41,6 +43,7 @@ func TestClusterCloseIdempotent(t *testing.T) {
 // entered before the drain gate shut) or fails with ErrClusterClosed;
 // the drain guarantee means no pass observes a half-torn-down fabric.
 func TestClusterCloseRaceHammer(t *testing.T) {
+	defer leakcheck.Check(t)()
 	for iter := 0; iter < 5; iter++ {
 		c, err := kylix.NewCluster(8, kylix.WithDegrees(4, 2),
 			kylix.WithRecvTimeout(10*time.Second))

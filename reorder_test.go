@@ -77,7 +77,7 @@ func runPermuted(t *testing.T, transport kylix.Transport, rg permRegime, plan ky
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(cluster.Close)
+	t.Cleanup(func() { _ = cluster.Close() })
 	results := make([][][]float32, rg.phys)
 	var mu sync.Mutex
 	err = cluster.Run(func(node *kylix.Node) error {
@@ -183,7 +183,7 @@ func runPermutedWide(t *testing.T, transport kylix.Transport, workers int, plan 
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(cluster.Close)
+	t.Cleanup(func() { _ = cluster.Close() })
 	results := make([][][]float32, phys)
 	var mu sync.Mutex
 	err = cluster.Run(func(node *kylix.Node) error {

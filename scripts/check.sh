@@ -9,7 +9,7 @@ cd "$(dirname "$0")/.."
 echo "== go vet ./..."
 go vet ./...
 
-echo "== kylix-vet (hotpathalloc, lockobs, determinism, commcheck)"
+echo "== kylix-vet (hotpathalloc, lockobs, determinism, commcheck, goleak, lockorder, atomicmix)"
 mkdir -p bin
 go build -o bin/kylix-vet ./cmd/kylix-vet
 go vet -vettool=bin/kylix-vet ./...

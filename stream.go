@@ -54,7 +54,7 @@ type Stream struct {
 	base atomic.Uint32
 	// mu serializes the stream's passes; Close takes it to wait for the
 	// in-flight pass to drain before purging mailbox state.
-	mu sync.Mutex
+	mu sync.Mutex //kylix:lock stream-pass
 	// inflight counts queued-plus-running Run calls for the admission
 	// bound.
 	inflight    atomic.Int64

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"kylix"
+	"kylix/internal/leakcheck"
 )
 
 // streamWorkload is one tenant's deterministic reduction: per-rank
@@ -106,6 +107,7 @@ func assertStreamMatchesIsolated(t *testing.T, tenant int, got, want [][][]float
 // concurrent Configs collided on identical tags and cross-delivered
 // payloads; this is the regression test for that headline bug.
 func TestStreamIsolation64(t *testing.T) {
+	defer leakcheck.Check(t)()
 	const (
 		m       = 64
 		n       = int64(8192)
@@ -261,6 +263,7 @@ func TestStreamIsolationChaosTCP(t *testing.T) {
 
 // TestStreamAdmission pins the WithMaxStreams bound and id hygiene.
 func TestStreamAdmission(t *testing.T) {
+	defer leakcheck.Check(t)()
 	c, err := kylix.NewCluster(4, kylix.WithMaxStreams(2))
 	if err != nil {
 		t.Fatal(err)
@@ -347,6 +350,7 @@ func TestStreamBackpressure(t *testing.T) {
 // Close fails with ErrStreamClosed, a queued pass fails when the close
 // lands first, and the in-flight pass drains cleanly.
 func TestStreamCloseSemantics(t *testing.T) {
+	defer leakcheck.Check(t)()
 	c, err := kylix.NewCluster(4)
 	if err != nil {
 		t.Fatal(err)

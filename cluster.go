@@ -78,6 +78,9 @@ func NewCluster(m int, opts ...Option) (*Cluster, error) {
 	if cfg.replication < 1 || m%cfg.replication != 0 {
 		return nil, fmt.Errorf("kylix: machine count %d not divisible by replication factor %d", m, cfg.replication)
 	}
+	if !cfg.quant.Valid() {
+		return nil, fmt.Errorf("kylix: invalid quantization mode %d", cfg.quant)
+	}
 	logical := m / cfg.replication
 	bf, err := buildTopology(cfg, logical)
 	if err != nil {

@@ -42,6 +42,7 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "with the live run: serve /metrics, /trace and /timeline on this address until interrupted")
 		elastic     = flag.Bool("elastic", false, "run a live elastic-membership demo: allreduce, a live Join transition, allreduce on the new epoch (epoch metrics on -metrics-addr)")
 		threads     = flag.String("threads", "", "comma-separated worker counts (e.g. 1,2,4): run the live Figure 7 intra-node threading sweep — warm width-4 reductions with the combine stage sharded across each pool size — instead of the modelled experiments")
+		quantName   = flag.String("quant", "off", "wire value quantization for the live traced run: off, fp16 or int8")
 	)
 	flag.Parse()
 
@@ -99,8 +100,13 @@ func main() {
 		}
 		return
 	}
+	quant, err := kylix.ParseQuantization(*quantName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kylix-bench: %v\n", err)
+		os.Exit(1)
+	}
 	if *traceOut != "" || *metricsAddr != "" {
-		if err := runTraced(sc, *traceOut, *metricsAddr); err != nil {
+		if err := runTraced(sc, quant, *traceOut, *metricsAddr); err != nil {
 			fmt.Fprintf(os.Stderr, "kylix-bench: traced run: %v\n", err)
 			os.Exit(1)
 		}
@@ -170,9 +176,10 @@ const tracedReduceRounds = 3
 // the live HTTP endpoint (metricsAddr). On power-law data the per-layer
 // reduce slices in the trace shrink layer by layer — the paper's Figure 5
 // "Kylix" traffic profile, visible on a timeline.
-func runTraced(sc bench.Scale, traceOut, metricsAddr string) error {
+func runTraced(sc bench.Scale, quant kylix.Quantization, traceOut, metricsAddr string) error {
 	degrees := factorDegrees(sc.Machines)
-	opts := []kylix.Option{kylix.WithObservability(), kylix.WithTrace()}
+	opts := []kylix.Option{kylix.WithObservability(), kylix.WithTrace(),
+		kylix.WithQuantization(quant)}
 	if len(degrees) > 1 {
 		opts = append(opts, kylix.WithDegrees(degrees...))
 	}
@@ -196,8 +203,8 @@ func runTraced(sc bench.Scale, traceOut, metricsAddr string) error {
 	if nnz < 64 {
 		nnz = 64
 	}
-	fmt.Printf("traced run: m=%d degrees=%v n=%d nnz/node=%d (%d reduce rounds)\n",
-		sc.Machines, cluster.Degrees(), sc.N, nnz, tracedReduceRounds)
+	fmt.Printf("traced run: m=%d degrees=%v n=%d nnz/node=%d quant=%v (%d reduce rounds)\n",
+		sc.Machines, cluster.Degrees(), sc.N, nnz, quant, tracedReduceRounds)
 	start := time.Now()
 	err = cluster.Run(func(node *kylix.Node) error {
 		set := zipfSet(sc.Seed+int64(node.Rank())*7919, sc.N, nnz)
@@ -238,6 +245,9 @@ func runTraced(sc bench.Scale, traceOut, metricsAddr string) error {
 		return err
 	}
 	if err := printConfigCompression(cluster, o); err != nil {
+		return err
+	}
+	if err := printValueCompression(cluster, o); err != nil {
 		return err
 	}
 	if traceOut != "" {
@@ -471,6 +481,38 @@ func printConfigCompression(cluster *kylix.Cluster, o *kylix.Observatory) error 
 	full := reg.Counter("reconfigure_full_layers").Value()
 	if fast+full > 0 {
 		fmt.Printf("reconfigure layers: %d reused unions (fast), %d rebuilt\n", fast, full)
+	}
+	return nil
+}
+
+// printValueCompression renders the per-layer quantized-vs-raw volume
+// of the value planes (reduce and gather): what the value blocks cost
+// on the wire under the selected quantization against the raw
+// 4-byte-per-float32 format, plus the cluster-wide totals from the
+// values_bytes_* counters.
+func printValueCompression(cluster *kylix.Cluster, o *kylix.Observatory) error {
+	rep, err := cluster.Traffic(4)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nvalue wire compression (quantization codec, per layer):\n")
+	fmt.Printf("%-14s %5s %14s %14s %7s\n", "phase", "layer", "encodedBytes", "rawBytes", "x")
+	for _, lt := range rep.Layers {
+		if lt.Phase != kylix.PhaseReduce && lt.Phase != kylix.PhaseGather {
+			continue
+		}
+		if lt.Layer == 0 || lt.Bytes == 0 {
+			continue
+		}
+		fmt.Printf("%-14s %5d %14d %14d %6.2fx\n",
+			lt.Phase, lt.Layer, lt.Bytes, lt.RawBytes, float64(lt.RawBytes)/float64(lt.Bytes))
+	}
+	reg := o.Registry()
+	enc := reg.Counter("values_bytes_encoded").Value()
+	raw := reg.Counter("values_bytes_raw").Value()
+	if enc > 0 {
+		fmt.Printf("value blocks total: encoded %d, raw-equivalent %d (%.2fx smaller)\n",
+			enc, raw, float64(raw)/float64(enc))
 	}
 	return nil
 }

@@ -22,7 +22,8 @@ import (
 // number, every rank acks). Rank 0 additionally serves the control API
 // over HTTP:
 //
-//	POST   /streams?n=..&nnz=..&seed=..&width=..  -> create a stream
+//	POST   /streams?n=..&nnz=..&seed=..&width=..&quant=off|fp16|int8
+//	                                              -> create a stream
 //	POST   /streams/{id}/reduce?rounds=..&seed=.. -> warm reduction passes
 //	DELETE /streams/{id}                          -> close the stream
 //	POST   /shutdown                              -> stop every rank
@@ -126,7 +127,9 @@ func (d *daemon) apply(ctl *kylix.StreamCtl) (float64, error) {
 		if _, live := d.tenants[uint16(ctl.Stream)]; live {
 			return 0, fmt.Errorf("stream %d already exists", ctl.Stream)
 		}
-		snode, err := d.node.Stream(uint16(ctl.Stream), kylix.WithWidth(int(ctl.Width)))
+		snode, err := d.node.Stream(uint16(ctl.Stream),
+			kylix.WithWidth(int(ctl.Width)),
+			kylix.WithQuantization(kylix.Quantization(ctl.Quant)))
 		if err != nil {
 			return 0, err
 		}
@@ -202,6 +205,11 @@ func (d *daemon) coordinate(controlAddr string) error {
 		return def
 	}
 	mux.HandleFunc("POST /streams", func(w http.ResponseWriter, r *http.Request) {
+		quant, err := kylix.ParseQuantization(r.URL.Query().Get("quant"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
 		nextStream++
 		res, err := enqueue(&kylix.StreamCtl{
 			Op:     kylix.OpStreamCreate,
@@ -210,6 +218,7 @@ func (d *daemon) coordinate(controlAddr string) error {
 			N:      qInt(r, "n", 1<<16),
 			NNZ:    uint32(qInt(r, "nnz", 1<<10)),
 			Width:  uint32(qInt(r, "width", 1)),
+			Quant:  uint8(quant),
 		})
 		respond(w, res, err)
 	})

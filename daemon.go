@@ -87,6 +87,7 @@ func (n *Node) Stream(id uint16, opts ...Option) (*Node, error) {
 		Reducer:        cfg.reducer,
 		Strict:         cfg.strict,
 		Channel:        cfg.channel,
+		Quant:          cfg.quant,
 		Stream:         cfg.stream,
 		Tracer:         cfg.obsv.Node(n.physRank),
 		CombineWorkers: cfg.combineWorkers,

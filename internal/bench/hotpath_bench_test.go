@@ -7,6 +7,7 @@ import (
 	"kylix/internal/core"
 	"kylix/internal/memnet"
 	"kylix/internal/obs"
+	"kylix/internal/sparse"
 	"kylix/internal/topo"
 )
 
@@ -135,8 +136,36 @@ func benchReduceWarmW4(b *testing.B, workers int) {
 	b.ReportMetric(float64(shards)/float64(b.N), "shards/op")
 }
 
+// BenchmarkReduceWarmFP16 and BenchmarkReduceWarmINT8 are the wire
+// quantization gates: a warm power-law (Zipf-profile) reduction with
+// the value codec on. Both must stay 0 allocs/op — quantize/dequantize
+// run entirely from the preallocated QVals arena and landing buffers —
+// and both report the value-plane wire accounting: valbytes/op
+// (encoded bytes per collective round), rawvalbytes/op (the float32
+// equivalent), and valx (their ratio, the payload-bytes reduction
+// scripts/bench.sh gates at >=1.7x for fp16). They run at a 16-machine
+// scale: on the in-memory transport quantization adds encode compute
+// without removing any wire time, so the 64-machine op is slow enough
+// that fixture noise (mailbox tag-index growth, stack growth) stops
+// amortizing to 0 allocs/op within the bench time; the ratio is
+// workload-shape-, not size-, dependent.
+func BenchmarkReduceWarmFP16(b *testing.B) {
+	benchReduceWarmQuant(b, obs.New(quantScale().Machines, 0), sparse.QuantFP16, quantScale())
+}
+
+func BenchmarkReduceWarmINT8(b *testing.B) {
+	benchReduceWarmQuant(b, obs.New(quantScale().Machines, 0), sparse.QuantINT8, quantScale())
+}
+
+func quantScale() Scale {
+	return Scale{N: 1 << 11, Machines: 16, EdgesPerVertex: 8, PageRankIters: 2, Seed: 20140901}
+}
+
 func benchReduceWarm(b *testing.B, o *obs.Observatory) {
-	sc := QuickScale()
+	benchReduceWarmQuant(b, o, sparse.QuantOff, QuickScale())
+}
+
+func benchReduceWarmQuant(b *testing.B, o *obs.Observatory, quant sparse.Quantization, sc Scale) {
 	p := twitterProfile()
 	w, err := genWorkload(p, sc.N, sc.Machines, sc.Seed)
 	if err != nil {
@@ -159,7 +188,7 @@ func benchReduceWarm(b *testing.B, o *obs.Observatory) {
 				errs[q] = err
 				ready.Done()
 			}
-			m, err := core.NewMachine(net.Endpoint(q), bf, core.Options{Tracer: o.Node(q)})
+			m, err := core.NewMachine(net.Endpoint(q), bf, core.Options{Tracer: o.Node(q), Quant: quant})
 			if err != nil {
 				fail(err)
 				return
@@ -192,6 +221,11 @@ func benchReduceWarm(b *testing.B, o *obs.Observatory) {
 			b.Fatal(err)
 		}
 	}
+	var enc0, raw0 int64
+	if o != nil {
+		enc0 = o.Registry().Counter("values_bytes_encoded").Value()
+		raw0 = o.Registry().Counter("values_bytes_raw").Value()
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	close(start)
@@ -201,5 +235,12 @@ func benchReduceWarm(b *testing.B, o *obs.Observatory) {
 		if err != nil {
 			b.Fatal(err)
 		}
+	}
+	if o != nil && quant != sparse.QuantOff {
+		enc := o.Registry().Counter("values_bytes_encoded").Value() - enc0
+		raw := o.Registry().Counter("values_bytes_raw").Value() - raw0
+		b.ReportMetric(float64(enc)/float64(b.N), "valbytes/op")
+		b.ReportMetric(float64(raw)/float64(b.N), "rawvalbytes/op")
+		b.ReportMetric(float64(raw)/float64(enc), "valx")
 	}
 }

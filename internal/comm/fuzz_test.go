@@ -19,8 +19,10 @@ func TestDecodeRandomBytesNeverPanics(t *testing.T) {
 		buf := make([]byte, n)
 		rng.Read(buf)
 		if trial%3 == 0 && n > 0 {
-			// Bias toward valid discriminators so deeper paths run.
-			buf[0] = byte(1 + rng.Intn(12))
+			// Bias toward valid discriminators so deeper paths run
+			// (1-14 covers every assigned payload type, including the
+			// quantized value block).
+			buf[0] = byte(1 + rng.Intn(14))
 		}
 		func() {
 			defer func() {
@@ -52,6 +54,12 @@ func TestEncodeDecodeQuick(t *testing.T) {
 	}
 	f := func(keysRaw []uint16, vals []float32, data []byte) bool {
 		keys := toSet(keysRaw)
+		qf := &QVals{Mode: sparse.QuantFP16, N: len(vals),
+			Data: make([]byte, sparse.QuantizedSize(sparse.QuantFP16, len(vals)))}
+		sparse.QuantizeFP16(qf.Data, vals, nil)
+		qi := &QVals{Mode: sparse.QuantINT8, N: len(vals),
+			Data: make([]byte, sparse.QuantizedSize(sparse.QuantINT8, len(vals)))}
+		sparse.QuantizeINT8(qi.Data, vals, nil)
 		payloads := []Payload{
 			&Keys{Keys: keys},
 			&Floats{Vals: vals},
@@ -69,7 +77,9 @@ func TestEncodeDecodeQuick(t *testing.T) {
 			&StreamCtl{Op: OpStreamCreate, Seq: uint32(len(data)),
 				Stream: StreamID(len(keysRaw)), Seed: int64(len(vals)),
 				N: 1 << 16, NNZ: uint32(len(keysRaw)), Rounds: 2, Width: 1,
-				Digest: uint64(len(data))},
+				Digest: uint64(len(data)), Quant: uint8(sparse.QuantFP16)},
+			qf, qi,
+			&QVals{Mode: sparse.QuantFP16, N: 0, Data: []byte{}},
 		}
 		for _, p := range payloads {
 			buf := p.AppendTo(nil)

@@ -26,16 +26,18 @@ type Payload interface {
 }
 
 // RawSizer is implemented by payloads whose wire encoding compresses
-// index sets. RawWireSize reports what the same payload would cost in
-// the uncompressed 8-byte-per-key format, so traffic accounting can
-// expose raw-vs-encoded compression ratios per layer.
+// its content: index-set payloads (compressed key codec) and quantized
+// value blocks (fp16/int8 value codec). RawWireSize reports what the
+// same payload would cost in the uncompressed format — 8 bytes per key,
+// 4 bytes per float32 value — so traffic accounting can expose
+// raw-vs-encoded compression ratios per layer.
 type RawSizer interface {
 	RawWireSize() int
 }
 
 // RawWireSize returns p's size in the uncompressed wire format: the
 // RawSizer value for compressed payloads, WireSize for everything else
-// (value payloads are not compressed, so the two coincide).
+// (raw value payloads are not compressed, so the two coincide).
 func RawWireSize(p Payload) int {
 	if rs, ok := p.(RawSizer); ok {
 		return rs.RawWireSize()
@@ -45,8 +47,11 @@ func RawWireSize(p Payload) int {
 
 // Payload type discriminators on the wire. 1–4 are the original
 // fixed-width formats; 6, 7 and the compressed 8–11 live in
-// payload_config.go. Decoders accept every discriminator ever assigned;
-// encoders emit the compressed forms for index-set payloads.
+// payload_config.go, 12–13 are control planes, and the quantized value
+// block 14 lives in payload_qvals.go. Decoders accept every
+// discriminator ever assigned; encoders emit the compressed forms for
+// index-set payloads and the quantized form for value blocks when
+// quantization is on.
 const (
 	wireKeys     = 1
 	wireFloats   = 2
@@ -264,6 +269,8 @@ func DecodePayload(buf []byte) (Payload, error) {
 		return decodeControlPayload(buf)
 	case wireStreamCtl:
 		return decodeStreamCtlPayload(buf)
+	case wireQVals:
+		return decodeQValsPayload(buf)
 	default:
 		return decodeConfigPayload(kind, buf)
 	}

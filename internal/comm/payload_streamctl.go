@@ -60,6 +60,9 @@ type StreamCtl struct {
 	Width uint32
 	// Digest carries a rank's float64-bits result digest on acks.
 	Digest uint64
+	// Quant is the stream's value quantization mode for create
+	// (a sparse.Quantization value; 0 = off).
+	Quant uint8
 }
 
 // Clone implements Payload.
@@ -70,7 +73,7 @@ func (p *StreamCtl) Clone() Payload {
 
 // WireSize implements Payload.
 func (p *StreamCtl) WireSize() int {
-	return 1 + 1 + 4 + 2 + 8 + 8 + 4 + 4 + 4 + 8 // disc, op, seq, stream, seed, n, nnz, rounds, width, digest
+	return 1 + 1 + 4 + 2 + 8 + 8 + 4 + 4 + 4 + 8 + 1 // disc, op, seq, stream, seed, n, nnz, rounds, width, digest, quant
 }
 
 // AppendTo implements Payload.
@@ -84,13 +87,13 @@ func (p *StreamCtl) AppendTo(buf []byte) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, p.Rounds)
 	buf = binary.LittleEndian.AppendUint32(buf, p.Width)
 	buf = binary.LittleEndian.AppendUint64(buf, p.Digest)
-	return buf
+	return append(buf, p.Quant)
 }
 
 // decodeStreamCtlPayload parses the bytes after the wireStreamCtl
 // discriminator.
 func decodeStreamCtlPayload(buf []byte) (Payload, error) {
-	const body = 1 + 4 + 2 + 8 + 8 + 4 + 4 + 4 + 8
+	const body = 1 + 4 + 2 + 8 + 8 + 4 + 4 + 4 + 8 + 1
 	if len(buf) < body {
 		return nil, fmt.Errorf("comm: truncated streamctl payload")
 	}
@@ -104,5 +107,6 @@ func decodeStreamCtlPayload(buf []byte) (Payload, error) {
 	p.Rounds = binary.LittleEndian.Uint32(buf[26:])
 	p.Width = binary.LittleEndian.Uint32(buf[30:])
 	p.Digest = binary.LittleEndian.Uint64(buf[34:])
+	p.Quant = buf[42]
 	return p, nil
 }

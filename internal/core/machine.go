@@ -57,6 +57,27 @@ type Options struct {
 	// (the default) disables tracing at the cost of a nil check per
 	// span — the warm Reduce stays 0 allocs/op either way.
 	Tracer *obs.Tracer
+	// Quant selects the wire encoding of reduce/gather value blocks:
+	// sparse.QuantOff (the default) ships raw float32s, sparse.QuantFP16
+	// and sparse.QuantINT8 quantize every value piece on send and
+	// dequantize on arrival, shrinking value traffic 2x / ~4x. Lossy
+	// modes keep an error-feedback residual per (layer, piece,
+	// direction) that folds each round's quantization error into the
+	// next round's encoding, so systematic error does not accumulate
+	// across rounds (the SparCML-style compensation). Results remain
+	// deterministic: every rank's output is a pure function of the seed
+	// and call sequence, bit-identical across reruns and transports.
+	// The downward pass of a fused ConfigureReduce still ships raw
+	// values (its Combined payloads interleave keys and values and run
+	// once per configuration, not per round); the upward allgather is
+	// quantized in both paths.
+	Quant sparse.Quantization
+	// QuantNoFeedback disables the error-feedback residuals, making
+	// each round's quantization independent (naive truncation). This
+	// exists for ablation and testing only — with feedback off, values
+	// smaller than half a quantization step are silently lost every
+	// round instead of accumulating until they ship.
+	QuantNoFeedback bool
 	// CombineWorkers sizes the machine's combine/gather worker pool:
 	// large folds and gathers are sharded by disjoint index ranges
 	// across this many goroutines (the paper's Fig 7 intra-node
@@ -104,6 +125,9 @@ func NewMachine(ep comm.Endpoint, bf *topo.Butterfly, opts Options) (*Machine, e
 	}
 	if opts.Width < 0 {
 		return nil, fmt.Errorf("core: negative width %d", opts.Width)
+	}
+	if !opts.Quant.Valid() {
+		return nil, fmt.Errorf("core: unknown quantization mode %d", opts.Quant)
 	}
 	opts = opts.withDefaults()
 	workers := opts.CombineWorkers

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kylix/internal/comm"
+	"kylix/internal/memnet"
+	"kylix/internal/sparse"
+	"kylix/internal/topo"
+)
+
+// maxRelErr returns max_i |got[i]-ref[i]| / max_i |ref[i]| — the
+// relative-to-scale error metric the quantization bounds are stated in
+// (per-value relative error is meaningless for int8, whose step is set
+// by the block maximum).
+func maxRelErr(got, ref []float32) float64 {
+	maxAbs, maxErr := 0.0, 0.0
+	for i := range ref {
+		if a := math.Abs(float64(ref[i])); a > maxAbs {
+			maxAbs = a
+		}
+		if e := math.Abs(float64(got[i] - ref[i])); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxAbs == 0 {
+		return maxErr
+	}
+	return maxErr / maxAbs
+}
+
+// TestQuantizedReduceBoundedError checks both lossy modes against the
+// brute-force reference across topologies: the quantized allreduce must
+// agree with the exact result to within the mode's precision at every
+// rank. The bounds are deliberately loose multiples of one
+// quantization step — the error compounds over one quantize hop per
+// layer per direction — but tight enough to catch a mis-scaled or
+// misrouted block immediately.
+func TestQuantizedReduceBoundedError(t *testing.T) {
+	cases := []struct {
+		quant sparse.Quantization
+		bound float64
+	}{
+		{sparse.QuantFP16, 2e-2},
+		{sparse.QuantINT8, 1.5e-1},
+	}
+	rng := rand.New(rand.NewSource(404))
+	for _, tc := range cases {
+		for _, degrees := range [][]int{{4}, {2, 2}, {4, 2, 2}} {
+			ws := randWorkloads(rng, topo.MustNew(degrees).M(), 300, 40, 1, true)
+			ref := refReduce(ws, sparse.Sum, 1)
+			got := runAllreduce(t, degrees, ws, Options{Quant: tc.quant})
+			for r := range got {
+				if err := maxRelErr(got[r], ref[r]); err > tc.bound {
+					t.Errorf("%v degrees %v rank %d: max relative error %.4g > %.4g",
+						tc.quant, degrees, r, err, tc.bound)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantizedReduceDeterministic runs the same quantized multi-round
+// workload twice — through the fused ConfigureReduce and three warm
+// Reduce rounds — and requires bit-identical per-rank, per-round value
+// digests. Lossy encodings are still pure functions of their inputs,
+// and error feedback evolves identically when the round sequence does.
+func TestQuantizedReduceDeterministic(t *testing.T) {
+	const rounds = 3
+	degrees := []int{4, 2}
+	for _, quant := range []sparse.Quantization{sparse.QuantFP16, sparse.QuantINT8} {
+		run := func() [][]uint64 {
+			rng := rand.New(rand.NewSource(505))
+			bf := topo.MustNew(degrees)
+			ws := randWorkloads(rng, bf.M(), 400, 50, 2, true)
+			n := memnet.New(bf.M())
+			defer n.Close()
+			digests := make([][]uint64, bf.M())
+			err := memnet.Run(n, func(ep comm.Endpoint) error {
+				m, err := NewMachine(ep, bf, Options{Quant: quant, Width: 2})
+				if err != nil {
+					return err
+				}
+				w := ws[ep.Rank()]
+				cfg, res, err := m.ConfigureReduce(w.in, w.out, w.vals)
+				if err != nil {
+					return err
+				}
+				ds := []uint64{sparse.ValuesDigest(res)}
+				for r := 0; r < rounds; r++ {
+					res, err := cfg.Reduce(w.vals)
+					if err != nil {
+						return err
+					}
+					ds = append(ds, sparse.ValuesDigest(res))
+				}
+				digests[ep.Rank()] = ds
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return digests
+		}
+		first, second := run(), run()
+		for r := range first {
+			for i := range first[r] {
+				if first[r][i] != second[r][i] {
+					t.Fatalf("%v rank %d round %d: digest %x != rerun digest %x",
+						quant, r, i, first[r][i], second[r][i])
+				}
+			}
+		}
+	}
+}
+
+// TestErrorFeedbackBeatsNaiveTruncation is the protocol-level
+// error-feedback property test. Width-2 features pair a large anchor
+// (which pins every int8 block scale near large/127) with a small
+// component far below half a quantization step. Naive truncation
+// (QuantNoFeedback) rounds the small component to zero on every round
+// forever; with feedback the residual accumulates until it ships, so
+// the summed-over-rounds result tracks the exact total with drift
+// bounded by a few quantization steps, independent of the round count.
+func TestErrorFeedbackBeatsNaiveTruncation(t *testing.T) {
+	const (
+		rounds = 200
+		large  = 100.0
+		small  = 0.02
+	)
+	degrees := []int{4}
+	keys := sparse.MustNewSet([]int32{3, 17, 29, 41, 57})
+	exactSmall := small * float64(topo.MustNew(degrees).M()) // per-round reduced value
+
+	run := func(noFeedback bool) float64 {
+		bf := topo.MustNew(degrees)
+		n := memnet.New(bf.M())
+		defer n.Close()
+		var sum0 float64 // accumulated small component of key 0 at rank 0
+		err := memnet.Run(n, func(ep comm.Endpoint) error {
+			m, err := NewMachine(ep, bf, Options{
+				Quant: sparse.QuantINT8, QuantNoFeedback: noFeedback, Width: 2,
+			})
+			if err != nil {
+				return err
+			}
+			cfg, err := m.Configure(keys, keys)
+			if err != nil {
+				return err
+			}
+			vals := make([]float32, len(keys)*2)
+			for i := range keys {
+				vals[2*i] = large
+				vals[2*i+1] = small
+			}
+			for r := 0; r < rounds; r++ {
+				res, err := cfg.Reduce(vals)
+				if err != nil {
+					return err
+				}
+				if ep.Rank() == 0 {
+					sum0 += float64(res[1])
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum0
+	}
+
+	naive := run(true)
+	ef := run(false)
+	exact := exactSmall * rounds
+	if math.Abs(naive) > 1e-6 {
+		t.Errorf("naive truncation shipped %.4g of the small component; expected it all lost", naive)
+	}
+	if drift := math.Abs(ef - exact); drift > exact/2 {
+		t.Errorf("error feedback accumulated %.4g over %d rounds, want within %.4g of %.4g",
+			ef, rounds, exact/2, exact)
+	}
+}
+
+// TestQuantizedReconfigure checks that a Reconfigure that changes piece
+// sizes under a lossy mode rebuilds the quantization state (landing
+// buffers, residuals) at the new sizes and keeps producing
+// bounded-error results.
+func TestQuantizedReconfigure(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	degrees := []int{2, 2}
+	bf := topo.MustNew(degrees)
+	first := randWorkloads(rng, bf.M(), 250, 30, 1, true)
+	second := randWorkloads(rng, bf.M(), 250, 45, 1, true)
+	refA := refReduce(first, sparse.Sum, 1)
+	refB := refReduce(second, sparse.Sum, 1)
+
+	n := memnet.New(bf.M())
+	defer n.Close()
+	err := memnet.Run(n, func(ep comm.Endpoint) error {
+		m, err := NewMachine(ep, bf, Options{Quant: sparse.QuantFP16})
+		if err != nil {
+			return err
+		}
+		r := ep.Rank()
+		cfg, err := m.Configure(first[r].in, first[r].out)
+		if err != nil {
+			return err
+		}
+		res, err := cfg.Reduce(first[r].vals)
+		if err != nil {
+			return err
+		}
+		if e := maxRelErr(res, refA[r]); e > 2e-2 {
+			t.Errorf("rank %d pre-reconfigure: max relative error %.4g", r, e)
+		}
+		if err := cfg.Reconfigure(second[r].in, second[r].out); err != nil {
+			return err
+		}
+		res, err = cfg.Reduce(second[r].vals)
+		if err != nil {
+			return err
+		}
+		if e := maxRelErr(res, refB[r]); e > 2e-2 {
+			t.Errorf("rank %d post-reconfigure: max relative error %.4g", r, e)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

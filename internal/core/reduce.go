@@ -88,13 +88,37 @@ func (c *Config) scatterLayer(i int, round uint32, cur []float32, s *scratch, g 
 	defer func() { sp.Err = err; tr.End(&sp) }()
 	tag := m.tag(comm.KindReduce, layer, round)
 
-	sends := g.scatter[i]
-	for t, member := range ls.group {
-		f := &sends[t]
-		f.Vals = cur[int(ls.outOffsets[t])*w : int(ls.outOffsets[t+1])*w]
-		sp.BytesOut += int64(f.WireSize())
-		if err := m.ep.Send(member, tag, f); err != nil {
-			return nil, err
+	quant := m.opts.Quant
+	if quant != sparse.QuantOff {
+		// Quantized plane: encode each piece (folding in the piece's
+		// error-feedback residual) into its reusable QVals header and ship
+		// that instead of raw floats.
+		qsends := g.qscatter[i]
+		for t, member := range ls.group {
+			q := &qsends[t]
+			seg := cur[int(ls.outOffsets[t])*w : int(ls.outOffsets[t+1])*w]
+			var res []float32
+			if s.quant.resScatter != nil {
+				res = s.quant.resScatter[i][t]
+			}
+			sparse.Quantize(quant, q.Data, seg, res)
+			sp.BytesOut += int64(q.WireSize())
+			tr.CountValueBytes(int64(q.RawWireSize()), int64(q.WireSize()))
+			if err := m.ep.Send(member, tag, q); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		sends := g.scatter[i]
+		for t, member := range ls.group {
+			f := &sends[t]
+			f.Vals = cur[int(ls.outOffsets[t])*w : int(ls.outOffsets[t+1])*w]
+			n := int64(f.WireSize())
+			sp.BytesOut += n
+			tr.CountValueBytes(n, n)
+			if err := m.ep.Send(member, tag, f); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -118,16 +142,34 @@ func (c *Config) scatterLayer(i int, round uint32, cur []float32, s *scratch, g 
 		if stage[t] != nil {
 			continue // duplicate delivery (chaotic transport)
 		}
-		f, ok := p.(*comm.Floats)
-		if !ok {
-			return nil, fmt.Errorf("core: rank %d reduce layer %d: unexpected payload %T", m.Rank(), layer, p)
+		if quant != sparse.QuantOff {
+			q, ok := p.(*comm.QVals)
+			if !ok || q.Mode != quant {
+				return nil, fmt.Errorf("core: rank %d reduce layer %d: unexpected payload %T (quantization %v)", m.Rank(), layer, p, quant)
+			}
+			if q.N != len(ls.outMaps[t])*w {
+				return nil, fmt.Errorf("core: rank %d reduce layer %d: piece from %d has %d values, want %d",
+					m.Rank(), layer, from, q.N, len(ls.outMaps[t])*w)
+			}
+			// Dequantize into the piece's landing buffer; the staged fold
+			// below consumes it before this layer returns, so one landing
+			// buffer per (layer, member) serves every generation.
+			land := &s.quant.recv[i][t]
+			sparse.Dequantize(quant, land.Vals, q.Data)
+			sp.BytesIn += int64(q.WireSize())
+			stage[t] = land
+		} else {
+			f, ok := p.(*comm.Floats)
+			if !ok {
+				return nil, fmt.Errorf("core: rank %d reduce layer %d: unexpected payload %T", m.Rank(), layer, p)
+			}
+			if len(f.Vals) != len(ls.outMaps[t])*w {
+				return nil, fmt.Errorf("core: rank %d reduce layer %d: piece from %d has %d values, want %d",
+					m.Rank(), layer, from, len(f.Vals), len(ls.outMaps[t])*w)
+			}
+			sp.BytesIn += int64(f.WireSize())
+			stage[t] = f
 		}
-		if len(f.Vals) != len(ls.outMaps[t])*w {
-			return nil, fmt.Errorf("core: rank %d reduce layer %d: piece from %d has %d values, want %d",
-				m.Rank(), layer, from, len(f.Vals), len(ls.outMaps[t])*w)
-		}
-		sp.BytesIn += int64(f.WireSize())
-		stage[t] = f
 		received++
 		for folded < len(ls.group) && stage[folded] != nil {
 			// Each staged piece is folded by the sharded kernel: its map is
@@ -170,6 +212,12 @@ func (c *Config) gatherUp(cur []float32, round uint32, s *scratch, g *genBufs) (
 	return inVals, nil
 }
 
+// quantGathered marks a gather slot as received when the segment was
+// dequantized straight into place and there is no Floats payload to
+// store (the stage slots only need any non-nil value for duplicate
+// detection).
+var quantGathered = &comm.Floats{}
+
 // gatherLayer runs one layer of the upward allgather: extract and
 // return to each member the values for the in-piece it sent down during
 // configuration (the g maps), all sends issued before any receive, then
@@ -188,12 +236,36 @@ func (c *Config) gatherLayer(i int, round uint32, inVals []float32, s *scratch, 
 	tag := m.tag(comm.KindGather, layer, round)
 
 	sends := g.gather[i]
-	for t, member := range ls.group {
-		f := &sends[t]
-		tr.CountCombineShards(m.pool.GatherInto(f.Vals, ls.inMaps[t], inVals, w, 0))
-		sp.BytesOut += int64(f.WireSize())
-		if err := m.ep.Send(member, tag, f); err != nil {
-			return nil, err
+	quant := m.opts.Quant
+	if quant != sparse.QuantOff {
+		// Quantized plane: gather into the piece's float staging buffer,
+		// then encode (with error feedback) into its QVals header.
+		qsends := g.qgather[i]
+		for t, member := range ls.group {
+			f := &sends[t]
+			tr.CountCombineShards(m.pool.GatherInto(f.Vals, ls.inMaps[t], inVals, w, 0))
+			q := &qsends[t]
+			var res []float32
+			if s.quant.resGather != nil {
+				res = s.quant.resGather[i][t]
+			}
+			sparse.Quantize(quant, q.Data, f.Vals, res)
+			sp.BytesOut += int64(q.WireSize())
+			tr.CountValueBytes(int64(q.RawWireSize()), int64(q.WireSize()))
+			if err := m.ep.Send(member, tag, q); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for t, member := range ls.group {
+			f := &sends[t]
+			tr.CountCombineShards(m.pool.GatherInto(f.Vals, ls.inMaps[t], inVals, w, 0))
+			n := int64(f.WireSize())
+			sp.BytesOut += n
+			tr.CountValueBytes(n, n)
+			if err := m.ep.Send(member, tag, f); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -214,18 +286,35 @@ func (c *Config) gatherLayer(i int, round uint32, inVals []float32, s *scratch, 
 		if seen[t] != nil {
 			continue // duplicate delivery
 		}
-		f, ok := p.(*comm.Floats)
-		if !ok {
-			return nil, fmt.Errorf("core: rank %d gather layer %d: unexpected payload %T", m.Rank(), layer, p)
-		}
 		seg := next[int(ls.inOffsets[t])*w : int(ls.inOffsets[t+1])*w]
-		if len(f.Vals) != len(seg) {
-			return nil, fmt.Errorf("core: rank %d gather layer %d: segment from %d has %d values, want %d",
-				m.Rank(), layer, from, len(f.Vals), len(seg))
+		if quant != sparse.QuantOff {
+			q, ok := p.(*comm.QVals)
+			if !ok || q.Mode != quant {
+				return nil, fmt.Errorf("core: rank %d gather layer %d: unexpected payload %T (quantization %v)", m.Rank(), layer, p, quant)
+			}
+			if q.N != len(seg) {
+				return nil, fmt.Errorf("core: rank %d gather layer %d: segment from %d has %d values, want %d",
+					m.Rank(), layer, from, q.N, len(seg))
+			}
+			sp.BytesIn += int64(q.WireSize())
+			// Gather segments are disjoint, so dequantize straight into
+			// place; mark the slot with the sentinel for duplicate
+			// detection.
+			sparse.Dequantize(quant, seg, q.Data)
+			seen[t] = quantGathered
+		} else {
+			f, ok := p.(*comm.Floats)
+			if !ok {
+				return nil, fmt.Errorf("core: rank %d gather layer %d: unexpected payload %T", m.Rank(), layer, p)
+			}
+			if len(f.Vals) != len(seg) {
+				return nil, fmt.Errorf("core: rank %d gather layer %d: segment from %d has %d values, want %d",
+					m.Rank(), layer, from, len(f.Vals), len(seg))
+			}
+			sp.BytesIn += int64(f.WireSize())
+			copy(seg, f.Vals)
+			seen[t] = f
 		}
-		sp.BytesIn += int64(f.WireSize())
-		copy(seg, f.Vals)
-		seen[t] = f
 		received++
 	}
 	return next, nil

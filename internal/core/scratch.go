@@ -28,6 +28,15 @@ type genBufs struct {
 	// (len = |inSet| * width for i == 0, |layers[i-1].inUnion| * width
 	// otherwise). next[0] is the vector handed back to the caller.
 	next [][]float32
+	// qscatter/qgather mirror scatter/gather when Options.Quant is a
+	// lossy mode: reusable QVals send headers whose Data (sized exactly
+	// by sparse.QuantizedSize) is refilled by the quantize kernels each
+	// round. Like gather value buffers, the Data bytes may still be
+	// draining through a transport when the round ends, so they live in
+	// the two-generation arena and are only rewritten once quiescent.
+	// Nil when quantization is off.
+	qscatter [][]comm.QVals
+	qgather  [][]comm.QVals
 }
 
 // scratch is a Config's two-generation reduction arena plus the
@@ -63,6 +72,30 @@ type scratch struct {
 	// cancellation. Shared from the machine-level cfgScratch: the layer
 	// groups are fixed by the topology, not by the Config.
 	groups [][][]int
+	// quant is the quantization working state (dequantize landing
+	// buffers and error-feedback residuals); nil when Options.Quant is
+	// off. It lives on the scratch for lifetime convenience, but the
+	// residuals are not scratch in the reuse sense: they carry state
+	// from round to round and must never be cleared between rounds.
+	quant *quantState
+}
+
+// quantState is a Config's quantization working state.
+type quantState struct {
+	// recv[i][t] is the dequantize landing buffer for the scatter piece
+	// received from layer i+1's member t (len = |outMaps[t]| * width).
+	// Received QVals decode into it and the existing staged-fold
+	// machinery consumes it within the same layer on the same
+	// goroutine, so one instance (not one per generation) suffices.
+	recv [][]comm.Floats
+	// resScatter[i][t] is the error-feedback residual of the scatter
+	// piece sent to layer i+1's member t (len = the piece's value
+	// count); resGather[i][t] likewise for the allgather piece
+	// (len = |inMaps[t]| * width). Each round's quantization error is
+	// left here and added to the next round's values before encoding.
+	// Nil (kernels run without feedback) when Options.QuantNoFeedback.
+	resScatter [][][]float32
+	resGather  [][][]float32
 }
 
 // flip advances to the next generation — building it on first use — and
@@ -87,7 +120,41 @@ func (c *Config) ensureScratch() *scratch {
 	}
 	cs := c.mach.ensureCfgScratch()
 	c.scratch = &scratch{stage: cs.stage, groups: cs.groups}
+	if c.mach.opts.Quant != sparse.QuantOff {
+		c.scratch.quant = c.buildQuantState()
+	}
 	return c.scratch
+}
+
+// buildQuantState sizes the dequantize landing buffers and, unless
+// feedback is disabled, the per-piece error-feedback residuals
+// (zero-initialised: the first round has no prior error to fold in).
+//
+//kylix:coldpath
+func (c *Config) buildQuantState() *quantState {
+	w := c.mach.opts.Width
+	ef := !c.mach.opts.QuantNoFeedback
+	qs := &quantState{recv: make([][]comm.Floats, len(c.layers))}
+	if ef {
+		qs.resScatter = make([][][]float32, len(c.layers))
+		qs.resGather = make([][][]float32, len(c.layers))
+	}
+	for i := range c.layers {
+		ls := &c.layers[i]
+		qs.recv[i] = make([]comm.Floats, len(ls.group))
+		if ef {
+			qs.resScatter[i] = make([][]float32, len(ls.group))
+			qs.resGather[i] = make([][]float32, len(ls.group))
+		}
+		for t := range ls.group {
+			qs.recv[i][t].Vals = make([]float32, len(ls.outMaps[t])*w)
+			if ef {
+				qs.resScatter[i][t] = make([]float32, int(ls.outOffsets[t+1]-ls.outOffsets[t])*w)
+				qs.resGather[i][t] = make([]float32, len(ls.inMaps[t])*w)
+			}
+		}
+	}
+	return qs
 }
 
 // buildGen sizes one generation of the reduction arena.
@@ -95,19 +162,36 @@ func (c *Config) ensureScratch() *scratch {
 //kylix:coldpath
 func (c *Config) buildGen(s *scratch, gen int) {
 	w := c.mach.opts.Width
+	quant := c.mach.opts.Quant
 	g := &s.bufs[gen]
 	g.acc = make([][]float32, len(c.layers))
 	g.scatter = make([][]comm.Floats, len(c.layers))
 	g.gather = make([][]comm.Floats, len(c.layers))
 	g.next = make([][]float32, len(c.layers))
 	g.inVals = make([]float32, len(c.bottomIn())*w)
+	if quant != sparse.QuantOff {
+		g.qscatter = make([][]comm.QVals, len(c.layers))
+		g.qgather = make([][]comm.QVals, len(c.layers))
+	}
 	for i := range c.layers {
 		ls := &c.layers[i]
 		g.acc[i] = make([]float32, len(ls.outUnion)*w)
 		g.scatter[i] = make([]comm.Floats, len(ls.group))
 		g.gather[i] = make([]comm.Floats, len(ls.group))
+		if quant != sparse.QuantOff {
+			g.qscatter[i] = make([]comm.QVals, len(ls.group))
+			g.qgather[i] = make([]comm.QVals, len(ls.group))
+		}
 		for t := range ls.group {
 			g.gather[i][t].Vals = make([]float32, len(ls.inMaps[t])*w)
+			if quant != sparse.QuantOff {
+				ns := int(ls.outOffsets[t+1]-ls.outOffsets[t]) * w
+				g.qscatter[i][t] = comm.QVals{Mode: quant, N: ns,
+					Data: make([]byte, sparse.QuantizedSize(quant, ns))}
+				ng := len(ls.inMaps[t]) * w
+				g.qgather[i][t] = comm.QVals{Mode: quant, N: ng,
+					Data: make([]byte, sparse.QuantizedSize(quant, ng))}
+			}
 		}
 		below := c.inSet
 		if i > 0 {

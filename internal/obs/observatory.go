@@ -49,6 +49,15 @@ type Observatory struct {
 	reconfigFastLayer *Counter
 	reconfigFullLayer *Counter
 
+	// Value-plane accounting, the reduce/gather counterpart of the
+	// config-byte pair: wire bytes of every value block shipped (in
+	// whatever encoding quantization selected) vs. what the raw
+	// 4-byte-per-float32 format would have cost. With quantization off
+	// the two advance in lockstep; their ratio is the wire-level value
+	// compression.
+	valuesBytesEnc *Counter
+	valuesBytesRaw *Counter
+
 	layerBytes [8][maxLayerMetric + 1]atomic.Pointer[Counter]
 }
 
@@ -80,6 +89,8 @@ func New(m, spanCap int) *Observatory {
 	}
 	o.configBytesEnc = reg.Counter("config_bytes_encoded")
 	o.configBytesRaw = reg.Counter("config_bytes_raw")
+	o.valuesBytesEnc = reg.Counter("values_bytes_encoded")
+	o.valuesBytesRaw = reg.Counter("values_bytes_raw")
 	o.reconfigFastLayer = reg.Counter("reconfigure_fast_layers")
 	o.reconfigFullLayer = reg.Counter("reconfigure_full_layers")
 	o.trans = NewTransportMetrics(reg)

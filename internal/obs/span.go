@@ -126,6 +126,19 @@ func (t *Tracer) CountConfigBytes(rawBytes, encBytes int64) {
 	}
 }
 
+// CountValueBytes accounts one reduce/gather value block: its actual
+// wire size and what the raw 4-byte-per-float32 encoding would have
+// cost. With quantization off the two are equal, so the encoded/raw
+// ratio reads directly as the value codec's wire compression.
+//
+//kylix:hotpath
+func (t *Tracer) CountValueBytes(rawBytes, encBytes int64) {
+	if t != nil {
+		t.o.valuesBytesRaw.Add(rawBytes)
+		t.o.valuesBytesEnc.Add(encBytes)
+	}
+}
+
 // CountReconfigureLayer records one layer outcome of an incremental
 // reconfiguration: fast when the layer reused its previous unions and
 // position maps, full when it had to recompute them.

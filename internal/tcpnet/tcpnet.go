@@ -73,7 +73,10 @@ type Options struct {
 	// the pending frames into a single writev, closing the batch at the
 	// first frame that reaches the cap. The small sparse pieces of a
 	// deep butterfly layer thus share syscalls and packets — the Fig 2
-	// packet-size floor enforced at the sender. 1 effectively disables
+	// packet-size floor enforced at the sender. The cap is a byte budget,
+	// so it needs no retuning when value quantization (core.Options.Quant)
+	// shrinks each frame 2-4x: smaller frames simply pack more per batch,
+	// until maxBatchFrames (not bytes) closes it. 1 effectively disables
 	// coalescing (every frame still leaves in one writev instead of two
 	// sequential writes).
 	MaxBatchBytes int
@@ -242,7 +245,9 @@ func (r *ring) each(fn func(stamped) bool) bool {
 // to the resend ring's capacity, because a frame evicted from the ring
 // recycles its encode buffer and an eviction must therefore never land
 // on a frame still staged in the current batch (possible only if one
-// batch outgrew the whole ring).
+// batch outgrew the whole ring). With quantized value payloads (2-4x
+// smaller frames) this count cap, not MaxBatchBytes, is what usually
+// closes a batch — still one writev per burst, just a fuller one.
 const maxBatchFrames = 256
 
 // batcher coalesces encoded frames into gather-write batches: one

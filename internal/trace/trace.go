@@ -26,9 +26,11 @@ type LayerTraffic struct {
 	Msgs  int64
 	Bytes int64
 	// RawBytes is what the same messages would have cost in the
-	// uncompressed wire format (8 bytes per index key). For value-only
-	// phases it equals Bytes; for configuration phases the ratio
-	// RawBytes/Bytes is the codec's compression factor at that layer.
+	// uncompressed wire format (8 bytes per index key, 4 bytes per
+	// float32 value). The ratio RawBytes/Bytes is the codec's
+	// compression factor at that layer: the index codec's for
+	// configuration phases, the value codec's for value-only phases
+	// (which equal Bytes only when quantization is off).
 	RawBytes int64
 	// SelfMsgs/SelfBytes count the self-send subset, so callers can also
 	// report pure wire traffic; SelfRawBytes is their uncompressed

@@ -47,6 +47,7 @@ func newNode(ep comm.Endpoint, bf *topo.Butterfly, cfg config, roundBase uint32,
 		Channel:        cfg.channel,
 		Stream:         cfg.stream,
 		RoundBase:      roundBase,
+		Quant:          cfg.quant,
 		Tracer:         cfg.obsv.Node(physRank),
 		CombineWorkers: cfg.combineWorkers,
 	})
@@ -89,6 +90,7 @@ func (n *Node) Channel(ch uint8, opts ...Option) (*Node, error) {
 		Channel:        ch,
 		Stream:         cfg.stream,
 		RoundBase:      n.base,
+		Quant:          cfg.quant,
 		Tracer:         cfg.obsv.Node(n.physRank),
 		CombineWorkers: cfg.combineWorkers,
 	})

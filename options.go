@@ -28,6 +28,33 @@ var (
 	Or = sparse.Or
 )
 
+// Quantization selects the wire encoding of reduce/gather value blocks;
+// see WithQuantization.
+type Quantization = sparse.Quantization
+
+// Quantization modes.
+const (
+	// QuantOff ships raw float32 values (the default, bit-exact).
+	QuantOff = sparse.QuantOff
+	// QuantFP16 ships IEEE half-precision values: 2 bytes per value
+	// (2x smaller), round-to-nearest-even, ~3 decimal digits.
+	QuantFP16 = sparse.QuantFP16
+	// QuantINT8 ships per-piece max-abs-scaled 8-bit values: a 4-byte
+	// scale plus 1 byte per value (~4x smaller).
+	QuantINT8 = sparse.QuantINT8
+)
+
+// ParseQuantization maps "off" (or ""), "fp16" and "int8" to the
+// corresponding mode, for flags and HTTP parameters.
+func ParseQuantization(s string) (Quantization, error) {
+	return sparse.ParseQuantization(s)
+}
+
+// ValuesDigest is an order-sensitive FNV-1a hash of a float32 vector's
+// exact bit patterns — the oracle for asserting that reduction results
+// are bit-identical across runs, transports and fault schedules.
+func ValuesDigest(vals []float32) uint64 { return sparse.ValuesDigest(vals) }
+
 // Transport selects how cluster machines exchange messages.
 type Transport int
 
@@ -57,6 +84,8 @@ type config struct {
 	combineWorkers int
 	maxBatchBytes  int
 	nagle          bool
+	// quant is the wire encoding of value blocks (default QuantOff).
+	quant Quantization
 	// stream is the tag namespace nodes built from this config mint
 	// into. DefaultStream for Cluster.Run and ListenNode; set by
 	// Cluster.OpenStream for tenant streams.
@@ -135,6 +164,26 @@ func WithReducer(r Reducer) Option {
 // Reduce stays allocation-free.
 func WithCombineWorkers(n int) Option {
 	return func(c *config) { c.combineWorkers = n }
+}
+
+// WithQuantization selects the wire encoding of the values shipped by
+// the scatter-reduce and allgather passes. QuantOff (the default) sends
+// raw float32s and is bit-exact. QuantFP16 and QuantINT8 quantize every
+// value piece on send and dequantize on arrival — 2x and ~4x less value
+// traffic — with an error-feedback residual per (layer, piece,
+// direction): each round's quantization error is added to the next
+// round's values before encoding, so values too small to survive one
+// round's rounding accumulate until they ship instead of being lost
+// forever. Results stay deterministic — every rank's output is a pure
+// function of the inputs and call sequence, bit-identical across
+// reruns, transports and chaotic fault schedules — but lossy modes are
+// (by design) not bit-equal to a QuantOff run; relative error is
+// bounded by the mode's precision. The warm Reduce remains
+// allocation-free. Passed to OpenStream / Node.Stream it overrides the
+// cluster default for that stream, so tenants choose their own
+// precision/bandwidth point.
+func WithQuantization(q Quantization) Option {
+	return func(c *config) { c.quant = q }
 }
 
 // WithMaxBatchBytes bounds the TCP transport's per-peer write batches:

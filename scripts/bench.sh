@@ -2,8 +2,9 @@
 # Hot-path and figure benchmarks with memory accounting.
 #
 #   scripts/bench.sh            # run benchmarks, print results, write
-#                               # BENCH_reduce.json and BENCH_config.json
-#                               # (ns/op, B/op, allocs/op per benchmark)
+#                               # BENCH_reduce.json, BENCH_config.json and
+#                               # BENCH_wire.json (ns/op, B/op, allocs/op,
+#                               # and the value-codec wire accounting)
 #   scripts/bench.sh --gate     # additionally fail if either warm Reduce
 #                               # benchmark (plain or with observability)
 #                               # allocates (>0 allocs/op), if the
@@ -18,7 +19,12 @@
 #                               # or if a warm
 #                               # unchanged-sets Reconfigure costs more
 #                               # than 10(1+tol/100)% of the full fused
-#                               # ConfigureReduce on the same topology
+#                               # ConfigureReduce on the same topology.
+#                               # The wire gate additionally requires the
+#                               # quantized warm Reduce (fp16 and int8) to
+#                               # stay at 0 allocs/op and fp16 to ship
+#                               # >=1.7x fewer value-plane payload bytes
+#                               # than raw float32
 #
 # BENCH_reduce.json is the checked-in record of the hot-path numbers;
 # regenerate it when the hot path changes and commit both runs'
@@ -42,7 +48,8 @@ fi
 
 out="$(mktemp)"
 cfgout="$(mktemp)"
-trap 'rm -f "$out" "$cfgout"' EXIT
+wireout=""
+trap 'rm -f "$out" "$cfgout" "$wireout"' EXIT
 
 echo "== hot-path benchmarks (internal/bench, internal/core, internal/sparse)"
 go test ./internal/bench/ -run '^$' -bench 'BenchmarkReduceWarmQuick|BenchmarkReduceWarmObs|BenchmarkReduceWarmW4' -benchtime 2s -benchmem | tee "$out"
@@ -51,6 +58,11 @@ go test ./internal/sparse/ -run '^$' -bench 'BenchmarkCombineInto|BenchmarkGathe
 
 echo "== wire benchmarks (internal/tcpnet, real loopback sockets)"
 go test ./internal/tcpnet/ -run '^$' -bench 'BenchmarkFrameBatching' -benchtime 1s -benchmem | tee -a "$out"
+
+echo "== wire quantization benchmarks (value codec: fp16 / int8)"
+wireout="$(mktemp)"
+go test ./internal/bench/ -run '^$' -bench 'BenchmarkReduceWarmFP16|BenchmarkReduceWarmINT8' -benchtime 2s -benchmem | tee "$wireout"
+go test ./internal/sparse/ -run '^$' -bench 'BenchmarkQuantize|BenchmarkDequantize' -benchtime 1s -benchmem | tee -a "$wireout"
 
 echo "== configuration benchmarks (configure / reconfigure / index codec)"
 go test ./internal/core/ -run '^$' -bench 'BenchmarkConfigure8x4x2|BenchmarkConfigureReduce16|BenchmarkConfigureReduce8x4x2|BenchmarkReconfigureWarm' -benchtime 2s -benchmem | tee "$cfgout"
@@ -70,12 +82,16 @@ parse() {
     /^Benchmark/ {
         name = $1; sub(/-[0-9]+$/, "", name)
         ns = ""; bop = ""; aop = ""; shards = ""; fpw = ""
+        vb = ""; rvb = ""; vx = ""
         for (i = 2; i <= NF; i++) {
-            if ($(i) == "ns/op")         ns     = $(i-1)
-            if ($(i) == "B/op")          bop    = $(i-1)
-            if ($(i) == "allocs/op")     aop    = $(i-1)
-            if ($(i) == "shards/op")     shards = $(i-1)
-            if ($(i) == "frames/writev") fpw    = $(i-1)
+            if ($(i) == "ns/op")          ns     = $(i-1)
+            if ($(i) == "B/op")           bop    = $(i-1)
+            if ($(i) == "allocs/op")      aop    = $(i-1)
+            if ($(i) == "shards/op")      shards = $(i-1)
+            if ($(i) == "frames/writev")  fpw    = $(i-1)
+            if ($(i) == "valbytes/op")    vb     = $(i-1)
+            if ($(i) == "rawvalbytes/op") rvb    = $(i-1)
+            if ($(i) == "valx")           vx     = $(i-1)
         }
         if (ns == "") next
         if (!first) printf ",\n"
@@ -85,6 +101,9 @@ parse() {
         if (aop != "")    printf ", \"allocs_per_op\": %s", aop
         if (shards != "") printf ", \"shards_per_op\": %s", shards
         if (fpw != "")    printf ", \"frames_per_writev\": %s", fpw
+        if (vb != "")     printf ", \"value_bytes_per_op\": %s", vb
+        if (rvb != "")    printf ", \"raw_value_bytes_per_op\": %s", rvb
+        if (vx != "")     printf ", \"value_compression\": %s", vx
         printf "}"
     }' "$1"
 }
@@ -125,6 +144,19 @@ cfgbaseline="scripts/bench_config_baseline.txt"
 } > "$cfgjson"
 echo "== wrote $cfgjson"
 
+# BENCH_wire.json records the wire-level value quantization numbers:
+# raw_value_bytes_per_op is what one collective round ships as raw
+# float32 payload ("before"), value_bytes_per_op what the selected
+# codec ships ("after"), value_compression their ratio.
+wirejson="BENCH_wire.json"
+{
+    echo "{"
+    printf '  "after": {\n'
+    parse "$wireout"
+    printf '\n  }\n}\n'
+} > "$wirejson"
+echo "== wrote $wirejson"
+
 if [ "$gate" = 1 ]; then
     for b in BenchmarkReduceWarmQuick BenchmarkReduceWarmObs BenchmarkReduceWarmW4 BenchmarkReduceWarmW4Workers; do
         allocs="$(awk -v b="$b" '$1 ~ "^"b"(-[0-9]+)?$" { for (i = 2; i <= NF; i++) if ($(i) == "allocs/op") print $(i-1) }' "$out")"
@@ -137,6 +169,35 @@ if [ "$gate" = 1 ]; then
             exit 1
         fi
     done
+    # Quantized warm Reduce must stay allocation-free too: the value
+    # codec runs entirely from the preallocated QVals arena and landing
+    # buffers.
+    for b in BenchmarkReduceWarmFP16 BenchmarkReduceWarmINT8; do
+        allocs="$(awk -v b="$b" '$1 ~ "^"b"(-[0-9]+)?$" { for (i = 2; i <= NF; i++) if ($(i) == "allocs/op") print $(i-1) }' "$wireout")"
+        if [ -z "$allocs" ]; then
+            echo "bench gate: $b did not report allocs/op" >&2
+            exit 1
+        fi
+        if [ "$allocs" != "0" ]; then
+            echo "bench gate: $b allocates ($allocs allocs/op, want 0)" >&2
+            exit 1
+        fi
+    done
+
+    # Value quantization gate: fp16 must ship >=1.7x fewer value-plane
+    # payload bytes than the raw float32 encoding on the power-law
+    # workload (the theoretical 2x minus per-piece header overhead).
+    valx="$(awk '$1 ~ /^BenchmarkReduceWarmFP16(-[0-9]+)?$/ { for (i = 2; i <= NF; i++) if ($(i) == "valx") print $(i-1) }' "$wireout")"
+    if [ -z "$valx" ]; then
+        echo "bench gate: BenchmarkReduceWarmFP16 did not report valx" >&2
+        exit 1
+    fi
+    if awk -v x="$valx" 'BEGIN { exit !(x < 1.7) }'; then
+        echo "bench gate: fp16 value compression below floor: ${valx}x (want >=1.7x)" >&2
+        exit 1
+    fi
+    echo "bench gate OK: fp16 value payload ${valx}x smaller than raw float32"
+
     obs_ns="$(awk '/^BenchmarkReduceWarmObs/ { for (i = 2; i <= NF; i++) if ($(i) == "ns/op") print $(i-1) }' "$out")"
     tol="${KYLIX_BENCH_TOLERANCE:-10}"
     if [ -n "$prev_obs_ns" ] && [ -n "$obs_ns" ]; then

@@ -31,10 +31,11 @@ type LayerTraffic struct {
 	Bytes     int64
 	WireBytes int64
 	// RawBytes is what the same messages would have cost in the
-	// uncompressed wire format (8 bytes per index key); the ratio
-	// RawBytes/Bytes is the index codec's compression factor at this
-	// layer. Value-only phases ship no index sets, so there it equals
-	// Bytes.
+	// uncompressed wire format (8 bytes per index key, 4 bytes per
+	// float32 value); the ratio RawBytes/Bytes is the codec's
+	// compression factor at this layer — the index codec's for config
+	// phases, the value codec's for value-only phases (which equal
+	// Bytes only when WithQuantization is off).
 	RawBytes int64
 	// MaxNodeRecvBytes is the heaviest single receiver's byte volume in
 	// this layer — the fan-in hotspot the cost model's incast term
@@ -71,7 +72,7 @@ func (r *TrafficReport) TotalBytes(phase Phase) int64 {
 
 // TotalRawBytes is TotalBytes for the uncompressed-equivalent volume:
 // what the same traffic would have cost before the compressed index
-// wire format.
+// wire format and (when quantization is on) the value codec.
 func (r *TrafficReport) TotalRawBytes(phase Phase) int64 {
 	var total int64
 	for _, lt := range r.Layers {
